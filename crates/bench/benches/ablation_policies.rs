@@ -1,0 +1,90 @@
+//! Policy ablations called out in DESIGN.md §8: what each design choice
+//! contributes to the 3D scheme.
+//!
+//! * migration on/off — CMP-DNUCA-3D vs CMP-SNUCA-3D (first-class schemes)
+//! * vicinity-stop on/off — the §4.2.3 "don't migrate data that is
+//!   already local" rule vs migrating on every non-local access
+//! * pre-warm on/off — sampling a warmed vs a cold L2
+//! * replication on/off — the NuRapid / victim-replication alternative
+//!   (§1–§2) composed with the static and dynamic 3D schemes
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use nim_core::{RunReport, Scheme, SystemBuilder};
+use nim_workload::BenchmarkProfile;
+
+fn run(scheme: Scheme, vicinity_stop: bool, prewarm: bool) -> RunReport {
+    run_r(scheme, vicinity_stop, prewarm, false)
+}
+
+fn run_r(scheme: Scheme, vicinity_stop: bool, prewarm: bool, replication: bool) -> RunReport {
+    SystemBuilder::new(scheme)
+        .seed(42)
+        .warmup_transactions(200)
+        .sampled_transactions(1_500)
+        .vicinity_stop(vicinity_stop)
+        .prewarm(prewarm)
+        .replication(replication)
+        .build()
+        .expect("build")
+        .run(&BenchmarkProfile::swim())
+        .expect("run")
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_policies");
+    group.sample_size(10);
+    group.bench_function("dnuca3d_paper_policy", |b| {
+        b.iter(|| black_box(run(Scheme::CmpDnuca3d, true, true)))
+    });
+    group.bench_function("dnuca3d_no_vicinity_stop", |b| {
+        b.iter(|| black_box(run(Scheme::CmpDnuca3d, false, true)))
+    });
+    group.finish();
+
+    let paper = run(Scheme::CmpDnuca3d, true, true);
+    let eager = run(Scheme::CmpDnuca3d, false, true);
+    let snuca = run(Scheme::CmpSnuca3d, true, true);
+    let cold = run(Scheme::CmpDnuca3d, true, false);
+    eprintln!(
+        "ablation: migration off (SNUCA-3D)        latency {:.2}, migrations {}",
+        snuca.avg_l2_hit_latency(),
+        snuca.counters.migrations
+    );
+    eprintln!(
+        "ablation: paper policy (vicinity stop)    latency {:.2}, migrations {}",
+        paper.avg_l2_hit_latency(),
+        paper.counters.migrations
+    );
+    eprintln!(
+        "ablation: eager migration (no stop)       latency {:.2}, migrations {}",
+        eager.avg_l2_hit_latency(),
+        eager.counters.migrations
+    );
+    eprintln!(
+        "ablation: cold L2 (no pre-warm)           latency {:.2}, miss rate {:.3}",
+        cold.avg_l2_hit_latency(),
+        cold.l2_miss_rate()
+    );
+    let snuca_r = run_r(Scheme::CmpSnuca3d, true, true, true);
+    let dnuca_r = run_r(Scheme::CmpDnuca3d, true, true, true);
+    eprintln!(
+        "ablation: SNUCA-3D + replication          latency {:.2}, replicas {}",
+        snuca_r.avg_l2_hit_latency(),
+        snuca_r.counters.replicas_created
+    );
+    eprintln!(
+        "ablation: DNUCA-3D + replication          latency {:.2}, replicas {}, migrations {}",
+        dnuca_r.avg_l2_hit_latency(),
+        dnuca_r.counters.replicas_created,
+        dnuca_r.counters.migrations
+    );
+    assert!(
+        eager.counters.migrations > paper.counters.migrations,
+        "vicinity stop must cut migration volume"
+    );
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! Ablation — the §3.1 design search: dTDMA bus pillars vs the rejected
+//! 7-port full-3D-mesh router as the vertical interconnect.
+//!
+//! The 7-port router's enlarged crossbar and more complicated switch
+//! arbiters prevent the speculative single-cycle pipeline, so the mesh3d
+//! configuration runs with 2-cycle routers (every router in that design
+//! is 7-port). Identical random traffic is driven through both fabrics;
+//! the printed average latencies reproduce the paper's conclusion that
+//! the bus is the better vertical gateway below 9 layers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use nim_noc::{Network, SendRequest, TrafficClass, VerticalMode};
+use nim_topology::ChipLayout;
+use nim_types::{Coord, SystemConfig};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+fn traffic(layout: &ChipLayout, seed: u64, count: usize) -> Vec<(Coord, Coord, u32)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            let src = Coord::new(
+                rng.random_range(0..layout.width()),
+                rng.random_range(0..layout.height()),
+                rng.random_range(0..layout.layers()),
+            );
+            let dst = Coord::new(
+                rng.random_range(0..layout.width()),
+                rng.random_range(0..layout.height()),
+                rng.random_range(0..layout.layers()),
+            );
+            let flits = if rng.random_bool(0.5) { 1 } else { 4 };
+            (src, dst, flits)
+        })
+        .collect()
+}
+
+fn run(mode: VerticalMode, layers: u8) -> f64 {
+    let mut cfg = SystemConfig::default().with_layers(layers);
+    if mode == VerticalMode::Mesh3d {
+        // 7-port routers cannot close single-cycle timing (§3.1).
+        cfg.network.router_latency = 2;
+    }
+    let layout = ChipLayout::new(&cfg).expect("layout");
+    let mut net = Network::new(&layout, &cfg.network, mode);
+    // L2 transactions arrive spread over time, not as a synchronised
+    // burst — a burst would saturate any fabric and measure queueing
+    // capacity rather than the vertical-gateway design point.
+    for (i, (src, dst, flits)) in traffic(&layout, 99, 600).into_iter().enumerate() {
+        net.send(SendRequest {
+            src,
+            dst,
+            via: layout.nearest_pillar(src),
+            class: TrafficClass::Data,
+            flits,
+            token: i as u64,
+        });
+        for _ in 0..10 {
+            net.tick();
+        }
+    }
+    net.run_until_idle(1_000_000).expect("drains");
+    net.stats().avg_latency()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_vertical_link");
+    group.sample_size(10);
+    group.bench_function("dtdma_pillars_2_layers", |b| {
+        b.iter(|| black_box(run(VerticalMode::Pillars, 2)))
+    });
+    group.bench_function("mesh3d_7port_2_layers", |b| {
+        b.iter(|| black_box(run(VerticalMode::Mesh3d, 2)))
+    });
+    group.finish();
+    for layers in [2u8, 4] {
+        let bus = run(VerticalMode::Pillars, layers);
+        let mesh = run(VerticalMode::Mesh3d, layers);
+        eprintln!(
+            "ablation: {layers} layers — dTDMA pillars {bus:.2} cycles vs 7-port mesh {mesh:.2} cycles ({})",
+            if bus < mesh { "bus wins, as in §3.1" } else { "mesh wins" }
+        );
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Figure 13 — average L2 hit latency under the four schemes.
+//!
+//! Each iteration regenerates one Figure-13 row (all four schemes on one
+//! benchmark) at the quick experiment scale; the measured series is
+//! printed afterwards. `cargo run -p nim-bench --bin figures` regenerates
+//! the full figure across all nine benchmarks.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use nim_bench::scale_from_env;
+use nim_core::experiments::fig13_l2_latency;
+use nim_core::Scheme;
+use nim_workload::BenchmarkProfile;
+
+fn bench(c: &mut Criterion) {
+    let scale = scale_from_env(true);
+    let bench_set = [BenchmarkProfile::swim()];
+    let mut group = c.benchmark_group("fig13");
+    group.sample_size(10);
+    group.bench_function("swim_all_schemes", |b| {
+        b.iter(|| black_box(fig13_l2_latency(&bench_set, scale).expect("runs complete")))
+    });
+    group.finish();
+    let rows = fig13_l2_latency(&bench_set, scale).expect("runs complete");
+    for row in rows {
+        for scheme in Scheme::ALL {
+            eprintln!(
+                "fig13: {:<6} {:<14} avg L2 hit = {:.2} cycles",
+                row.benchmark,
+                scheme.label(),
+                row.report(scheme).avg_l2_hit_latency()
+            );
+        }
+    }
+    if scale.sample < 10_000 {
+        eprintln!(
+            "fig13: note — the quick scale samples the pre-rotation transient \
+             (2D migration still fully converged); run with NIM_SCALE=full for \
+             the figure's regime (see EXPERIMENTS.md)."
+        );
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Figure 14 — block migrations of CMP-DNUCA and CMP-DNUCA-3D,
+//! normalised to CMP-DNUCA-2D.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use nim_bench::scale_from_env;
+use nim_core::experiments::fig14_migrations;
+use nim_workload::BenchmarkProfile;
+
+fn bench(c: &mut Criterion) {
+    let scale = scale_from_env(true);
+    let bench_set = [BenchmarkProfile::swim()];
+    let mut group = c.benchmark_group("fig14");
+    group.sample_size(10);
+    group.bench_function("swim_migrations", |b| {
+        b.iter(|| black_box(fig14_migrations(&bench_set, scale).expect("runs complete")))
+    });
+    group.finish();
+    for row in fig14_migrations(&bench_set, scale).expect("runs complete") {
+        eprintln!(
+            "fig14: {:<6} CMP-DNUCA {:.3}x  CMP-DNUCA-3D {:.3}x of CMP-DNUCA-2D",
+            row.benchmark, row.cmp_dnuca, row.cmp_dnuca_3d
+        );
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

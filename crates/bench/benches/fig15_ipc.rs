@@ -1,0 +1,37 @@
+//! Figure 15 — IPC under the four schemes (the same runs as Figure 13;
+//! IPC is read from the core counters of each report).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use nim_bench::scale_from_env;
+use nim_core::experiments::fig15_ipc;
+use nim_core::Scheme;
+use nim_workload::BenchmarkProfile;
+
+fn bench(c: &mut Criterion) {
+    let scale = scale_from_env(true);
+    let bench_set = [BenchmarkProfile::mgrid()];
+    let mut group = c.benchmark_group("fig15");
+    group.sample_size(10);
+    group.bench_function("mgrid_ipc", |b| {
+        b.iter(|| black_box(fig15_ipc(&bench_set, scale).expect("runs complete")))
+    });
+    group.finish();
+    for row in fig15_ipc(&bench_set, scale).expect("runs complete") {
+        let base = row.report(Scheme::CmpDnuca2d).ipc();
+        for scheme in Scheme::ALL {
+            let ipc = row.report(scheme).ipc();
+            eprintln!(
+                "fig15: {:<6} {:<14} IPC = {:.4}  ({:+.1}% vs CMP-DNUCA-2D)",
+                row.benchmark,
+                scheme.label(),
+                ipc,
+                (ipc / base - 1.0) * 100.0
+            );
+        }
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

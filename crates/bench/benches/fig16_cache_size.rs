@@ -1,0 +1,29 @@
+//! Figure 16 — average L2 hit latency at 16/32/64 MB for the 2D and 3D
+//! dynamic schemes (the 3D topology scales more gracefully).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use nim_bench::scale_from_env;
+use nim_core::experiments::fig16_cache_size;
+use nim_workload::BenchmarkProfile;
+
+fn bench(c: &mut Criterion) {
+    let scale = scale_from_env(true);
+    let bench_set = [BenchmarkProfile::art()];
+    let mut group = c.benchmark_group("fig16");
+    group.sample_size(10);
+    group.bench_function("art_16_32_64_mb", |b| {
+        b.iter(|| black_box(fig16_cache_size(&bench_set, scale).expect("runs complete")))
+    });
+    group.finish();
+    for row in fig16_cache_size(&bench_set, scale).expect("runs complete") {
+        eprintln!(
+            "fig16: {:<6} {:>3} MB  2D {:.2}  3D {:.2} cycles",
+            row.benchmark, row.l2_mb, row.latency_2d, row.latency_3d
+        );
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Figure 17 — impact of the number of pillars (8/4/2) on CMP-DNUCA-3D:
+//! fewer pillars (coarser via pitches) mean shared, contended vertical
+//! links and CPUs crowded around them.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use nim_bench::scale_from_env;
+use nim_core::experiments::fig17_pillars;
+use nim_workload::BenchmarkProfile;
+
+fn bench(c: &mut Criterion) {
+    let scale = scale_from_env(true);
+    let bench_set = [BenchmarkProfile::swim()];
+    let mut group = c.benchmark_group("fig17");
+    group.sample_size(10);
+    group.bench_function("swim_8_4_2_pillars", |b| {
+        b.iter(|| black_box(fig17_pillars(&bench_set, scale).expect("runs complete")))
+    });
+    group.finish();
+    for row in fig17_pillars(&bench_set, scale).expect("runs complete") {
+        eprintln!(
+            "fig17: {:<6} {} pillars -> {:.2} cycles",
+            row.benchmark, row.pillars, row.latency
+        );
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

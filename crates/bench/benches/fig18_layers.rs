@@ -1,0 +1,30 @@
+//! Figure 18 — impact of the number of device layers (2/4) on
+//! CMP-SNUCA-3D: more layers shrink each layer's mesh and put more of the
+//! L2 a single pillar hop away.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use nim_bench::scale_from_env;
+use nim_core::experiments::fig18_layers;
+use nim_workload::BenchmarkProfile;
+
+fn bench(c: &mut Criterion) {
+    let scale = scale_from_env(true);
+    let bench_set = [BenchmarkProfile::galgel()];
+    let mut group = c.benchmark_group("fig18");
+    group.sample_size(10);
+    group.bench_function("galgel_2_vs_4_layers", |b| {
+        b.iter(|| black_box(fig18_layers(&bench_set, scale).expect("runs complete")))
+    });
+    group.finish();
+    for row in fig18_layers(&bench_set, scale).expect("runs complete") {
+        eprintln!(
+            "fig18: {:<7} {} layers -> {:.2} cycles",
+            row.benchmark, row.layers, row.latency
+        );
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

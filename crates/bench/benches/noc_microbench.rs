@@ -1,0 +1,79 @@
+//! NoC microbenchmarks: zero-load latency and saturation behaviour of
+//! the 3D fabric — the standard characterisation behind the paper's
+//! interconnect choices, plus raw simulator throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use nim_noc::{Network, SendRequest, TrafficClass, VerticalMode};
+use nim_topology::ChipLayout;
+use nim_types::{Coord, SystemConfig};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Uniform-random traffic at a given injection rate (packets per node
+/// per cycle), run for a fixed horizon; returns average packet latency.
+fn offered_load(layout: &ChipLayout, rate: f64, horizon: u64, seed: u64) -> f64 {
+    let cfg = SystemConfig::default();
+    let mut net = Network::new(layout, &cfg.network, VerticalMode::Pillars);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let nodes = layout.num_nodes();
+    let mut token = 0u64;
+    for _ in 0..horizon {
+        for n in 0..nodes {
+            if rng.random::<f64>() < rate {
+                let src = layout.coord_of_index(n);
+                let dst = layout.coord_of_index(rng.random_range(0..nodes));
+                net.send(SendRequest {
+                    src,
+                    dst,
+                    via: layout.nearest_pillar(src),
+                    class: TrafficClass::Data,
+                    flits: 4,
+                    token,
+                });
+                token += 1;
+            }
+        }
+        net.tick();
+    }
+    net.run_until_idle(2_000_000).expect("drains after injection stops");
+    net.stats().avg_latency()
+}
+
+fn bench(c: &mut Criterion) {
+    let cfg = SystemConfig::default();
+    let layout = ChipLayout::new(&cfg).expect("layout");
+
+    let mut group = c.benchmark_group("noc");
+    group.sample_size(10);
+    group.bench_function("zero_load_corner_to_corner", |b| {
+        b.iter(|| {
+            let mut net = Network::new(&layout, &cfg.network, VerticalMode::Pillars);
+            net.send(SendRequest {
+                src: Coord::new(0, 0, 0),
+                dst: Coord::new(15, 7, 1),
+                via: layout.nearest_pillar(Coord::new(0, 0, 0)),
+                class: TrafficClass::Data,
+                flits: 4,
+                token: 0,
+            });
+            net.run_until_idle(10_000).expect("drains");
+            black_box(net.stats().avg_latency())
+        })
+    });
+    group.bench_function("uniform_random_3pct_load", |b| {
+        b.iter(|| black_box(offered_load(&layout, 0.003, 2_000, 7)))
+    });
+    group.finish();
+
+    // Latency-vs-load curve (printed once): the knee marks saturation.
+    eprintln!("noc: uniform-random latency vs offered load (4-flit packets)");
+    for rate in [0.0005, 0.001, 0.002, 0.004, 0.008] {
+        let lat = offered_load(&layout, rate, 2_000, 7);
+        eprintln!("noc: {rate:.4} pkts/node/cycle -> {lat:.2} cycles");
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

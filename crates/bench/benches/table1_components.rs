@@ -1,0 +1,44 @@
+//! Table 1 — area and power of the dTDMA bus components next to a
+//! generic 5-port NoC router (90 nm synthesis constants).
+//!
+//! The benchmark regenerates the table's rows and the paper's derived
+//! claim (the dTDMA additions are orders of magnitude below the router
+//! budget) on every iteration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use nim_power::{components::pillar_node_overhead_area_mm2, table1, GENERIC_ROUTER};
+
+mod support {
+    /// Row check shared with the harness binaries: Table 1 verbatim.
+    pub fn regenerate() -> (f64, f64) {
+        let rows = nim_power::table1();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].power_w, 119.55e-3);
+        assert_eq!(rows[1].area_mm2, 0.00036207);
+        assert_eq!(rows[2].power_w, 204.98e-6);
+        let overhead_area = 2.0 * rows[1].area_mm2 + rows[2].area_mm2;
+        let overhead_power = 2.0 * rows[1].power_w + rows[2].power_w;
+        (overhead_area, overhead_power)
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("table1/regenerate", |b| {
+        b.iter(|| black_box(support::regenerate()))
+    });
+    // Report the derived overhead ratios once.
+    let (area, power) = support::regenerate();
+    eprintln!(
+        "table1: dTDMA overhead per pillar node = {:.6} mm2 ({:.3}% of a router), {:.2} uW ({:.4}% of a router)",
+        area,
+        area / GENERIC_ROUTER.area_mm2 * 100.0,
+        power * 1e6,
+        power / GENERIC_ROUTER.power_w * 100.0,
+    );
+    let _ = (table1(), pillar_node_overhead_area_mm2());
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Table 2 — inter-wafer wiring area of a 170-wire pillar at the four
+//! via pitches the paper considers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use nim_power::{table2_row, TABLE2_PITCHES_UM};
+
+fn regenerate() -> [f64; 4] {
+    let mut rows = [0.0; 4];
+    for (i, pitch) in TABLE2_PITCHES_UM.iter().enumerate() {
+        rows[i] = table2_row(*pitch);
+    }
+    // Verbatim Table 2 values (the 0.2 um row up to f64 rounding).
+    let expect = [62_500.0, 15_625.0, 625.0, 25.0];
+    for (got, want) in rows.iter().zip(expect) {
+        assert!((got - want).abs() < 1e-9, "{got} vs {want}");
+    }
+    rows
+}
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("table2/regenerate", |b| b.iter(|| black_box(regenerate())));
+    let rows = regenerate();
+    eprintln!(
+        "table2: pillar area um2 at 10/5/1/0.2 um pitch = {:.0} / {:.0} / {:.0} / {:.0}",
+        rows[0], rows[1], rows[2], rows[3]
+    );
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

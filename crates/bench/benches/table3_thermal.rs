@@ -1,0 +1,25 @@
+//! Table 3 — steady-state thermal profile of the seven CPU-placement
+//! configurations (the solver runs to convergence on every iteration).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use nim_core::experiments::table3_thermal;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3");
+    group.sample_size(10);
+    group.bench_function("thermal_profiles", |b| {
+        b.iter(|| black_box(table3_thermal().expect("all rows place")))
+    });
+    group.finish();
+    for row in table3_thermal().expect("rows") {
+        eprintln!(
+            "table3: {:<26} peak {:>7.2} C  avg {:>6.2} C  min {:>6.2} C",
+            row.config, row.peak_c, row.avg_c, row.min_c
+        );
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! Regenerates Figures 13–18 of the paper's evaluation (§5.2) and prints
+//! them as tables, one series per scheme/configuration.
+//!
+//! ```sh
+//! NIM_SCALE=full cargo run --release -p nim-bench --bin figures
+//! ```
+
+use std::error::Error;
+
+use nim_bench::{representative_benchmarks, scale_from_env};
+use nim_core::experiments::{
+    fig13_l2_latency, fig14_migrations, fig16_cache_size, fig17_pillars, fig18_layers,
+};
+use nim_core::Scheme;
+use nim_workload::BenchmarkProfile;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let scale = scale_from_env(false);
+    let all = BenchmarkProfile::all();
+    let representative = representative_benchmarks();
+    eprintln!(
+        "# scale: warmup {} / sample {} transactions per run",
+        scale.warmup, scale.sample
+    );
+
+    println!("## Figure 13 — average L2 hit latency (cycles)");
+    println!("## Figure 15 — IPC (same runs)");
+    println!(
+        "{:<10} {:>12} {:>14} {:>14} {:>14}   | IPC per scheme",
+        "benchmark", "CMP-DNUCA", "CMP-DNUCA-2D", "CMP-SNUCA-3D", "CMP-DNUCA-3D"
+    );
+    let rows = fig13_l2_latency(&all, scale)?;
+    for row in &rows {
+        let lat: Vec<f64> = Scheme::ALL
+            .iter()
+            .map(|&s| row.report(s).avg_l2_hit_latency())
+            .collect();
+        let ipc: Vec<f64> = Scheme::ALL.iter().map(|&s| row.report(s).ipc()).collect();
+        println!(
+            "{:<10} {:>12.2} {:>14.2} {:>14.2} {:>14.2}   | {:.4} {:.4} {:.4} {:.4}",
+            row.benchmark, lat[0], lat[1], lat[2], lat[3], ipc[0], ipc[1], ipc[2], ipc[3]
+        );
+    }
+
+    println!();
+    println!("## Figure 14 — block migrations normalised to CMP-DNUCA-2D");
+    println!(
+        "{:<10} {:>12} {:>14}",
+        "benchmark", "CMP-DNUCA", "CMP-DNUCA-3D"
+    );
+    for row in fig14_migrations(&all, scale)? {
+        println!(
+            "{:<10} {:>12.3} {:>14.3}",
+            row.benchmark, row.cmp_dnuca, row.cmp_dnuca_3d
+        );
+    }
+
+    println!();
+    println!("## Figure 16 — avg L2 hit latency vs cache size (cycles)");
+    println!(
+        "{:<10} {:>6} {:>10} {:>10}",
+        "benchmark", "L2 MB", "2D", "3D"
+    );
+    for row in fig16_cache_size(&representative, scale)? {
+        println!(
+            "{:<10} {:>6} {:>10.2} {:>10.2}",
+            row.benchmark, row.l2_mb, row.latency_2d, row.latency_3d
+        );
+    }
+
+    println!();
+    println!("## Figure 17 — impact of the number of pillars (CMP-DNUCA-3D)");
+    println!("{:<10} {:>8} {:>10}", "benchmark", "pillars", "latency");
+    for row in fig17_pillars(&representative, scale)? {
+        println!(
+            "{:<10} {:>8} {:>10.2}",
+            row.benchmark, row.pillars, row.latency
+        );
+    }
+
+    println!();
+    println!("## Figure 18 — impact of the number of layers (CMP-SNUCA-3D)");
+    println!("{:<10} {:>8} {:>10}", "benchmark", "layers", "latency");
+    for row in fig18_layers(&representative, scale)? {
+        println!(
+            "{:<10} {:>8} {:>10.2}",
+            row.benchmark, row.layers, row.latency
+        );
+    }
+    Ok(())
+}

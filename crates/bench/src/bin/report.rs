@@ -1,0 +1,125 @@
+//! Regenerates a complete paper-vs-measured markdown report — every
+//! table and figure — from live simulation runs.
+//!
+//! ```sh
+//! NIM_SCALE=full cargo run --release -p nim-bench --bin report > report.md
+//! ```
+//!
+//! The shipped `EXPERIMENTS.md` was produced from this output at the
+//! full scale (plus prose commentary).
+
+use std::error::Error;
+
+use nim_bench::{representative_benchmarks, scale_from_env};
+use nim_core::experiments::{
+    fig13_l2_latency, fig14_migrations, fig16_cache_size, fig17_pillars, fig18_layers,
+    table3_thermal,
+};
+use nim_core::Scheme;
+use nim_power::{pillar_area_vs_router, table1, table2_row, TABLE2_PITCHES_UM};
+use nim_workload::BenchmarkProfile;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let scale = scale_from_env(false);
+    let all = BenchmarkProfile::all();
+    let representative = representative_benchmarks();
+
+    println!("# Network-in-Memory: regenerated evaluation\n");
+    println!(
+        "_warmup {} / sample {} transactions per run, seed {}_\n",
+        scale.warmup, scale.sample, scale.seed
+    );
+
+    println!("## Table 1 — dTDMA components (90 nm)\n");
+    println!("| Component | Power | Area |");
+    println!("|---|---|---|");
+    for c in table1() {
+        let power = if c.power_w >= 1e-3 {
+            format!("{:.2} mW", c.power_w * 1e3)
+        } else {
+            format!("{:.2} µW", c.power_w * 1e6)
+        };
+        println!("| {} | {} | {:.8} mm² |", c.name, power, c.area_mm2);
+    }
+
+    println!("\n## Table 2 — pillar wiring area vs via pitch\n");
+    println!("| Pitch (µm) | Area (µm²) | vs 5-port router |");
+    println!("|---|---|---|");
+    for pitch in TABLE2_PITCHES_UM {
+        println!(
+            "| {} | {:.0} | {:.2} % |",
+            pitch,
+            table2_row(pitch),
+            pillar_area_vs_router(pitch) * 100.0
+        );
+    }
+
+    println!("\n## Table 3 — thermal profiles\n");
+    println!("| Configuration | Peak °C | Avg °C | Min °C |");
+    println!("|---|---|---|---|");
+    for row in table3_thermal()? {
+        println!(
+            "| {} | {:.2} | {:.2} | {:.2} |",
+            row.config, row.peak_c, row.avg_c, row.min_c
+        );
+    }
+
+    println!("\n## Figures 13 & 15 — L2 hit latency (cycles) and IPC\n");
+    println!("| benchmark | CMP-DNUCA | CMP-DNUCA-2D | CMP-SNUCA-3D | CMP-DNUCA-3D | IPC (same order) |");
+    println!("|---|---|---|---|---|---|");
+    let rows = fig13_l2_latency(&all, scale)?;
+    for row in &rows {
+        let lat: Vec<String> = Scheme::ALL
+            .iter()
+            .map(|&s| format!("{:.2}", row.report(s).avg_l2_hit_latency()))
+            .collect();
+        let ipc: Vec<String> = Scheme::ALL
+            .iter()
+            .map(|&s| format!("{:.3}", row.report(s).ipc()))
+            .collect();
+        println!(
+            "| {} | {} | {} | {} | {} | {} |",
+            row.benchmark,
+            lat[0],
+            lat[1],
+            lat[2],
+            lat[3],
+            ipc.join(" / ")
+        );
+    }
+
+    println!("\n## Figure 14 — migrations normalised to CMP-DNUCA-2D\n");
+    println!("| benchmark | CMP-DNUCA | CMP-DNUCA-3D |");
+    println!("|---|---|---|");
+    for row in fig14_migrations(&all, scale)? {
+        println!(
+            "| {} | {:.3} | {:.3} |",
+            row.benchmark, row.cmp_dnuca, row.cmp_dnuca_3d
+        );
+    }
+
+    println!("\n## Figure 16 — L2 capacity scaling\n");
+    println!("| benchmark | L2 MB | 2D | 3D |");
+    println!("|---|---|---|---|");
+    for row in fig16_cache_size(&representative, scale)? {
+        println!(
+            "| {} | {} | {:.2} | {:.2} |",
+            row.benchmark, row.l2_mb, row.latency_2d, row.latency_3d
+        );
+    }
+
+    println!("\n## Figure 17 — pillar count (CMP-DNUCA-3D)\n");
+    println!("| benchmark | pillars | latency |");
+    println!("|---|---|---|");
+    for row in fig17_pillars(&representative, scale)? {
+        println!("| {} | {} | {:.2} |", row.benchmark, row.pillars, row.latency);
+    }
+
+    println!("\n## Figure 18 — layer count (CMP-SNUCA-3D)\n");
+    println!("| benchmark | layers | latency |");
+    println!("|---|---|---|");
+    for row in fig18_layers(&representative, scale)? {
+        println!("| {} | {} | {:.2} |", row.benchmark, row.layers, row.latency);
+    }
+    Ok(())
+}

@@ -1,0 +1,49 @@
+//! Regenerates Tables 1–3 of the paper.
+//!
+//! ```sh
+//! cargo run --release -p nim-bench --bin tables
+//! ```
+
+use std::error::Error;
+
+use nim_core::experiments::table3_thermal;
+use nim_power::{pillar_area_vs_router, table1, table2_row, TABLE2_PITCHES_UM};
+
+fn main() -> Result<(), Box<dyn Error>> {
+    println!("## Table 1 — area and power overhead of the dTDMA bus (90 nm)");
+    println!("{:<30} {:>12} {:>14}", "Component", "Power", "Area");
+    for c in table1() {
+        let power = if c.power_w >= 1e-3 {
+            format!("{:.2} mW", c.power_w * 1e3)
+        } else {
+            format!("{:.2} uW", c.power_w * 1e6)
+        };
+        println!("{:<30} {:>12} {:>11.8} mm2", c.name, power, c.area_mm2);
+    }
+
+    println!();
+    println!("## Table 2 — inter-wafer wiring area (170-wire pillar)");
+    println!("{:>10} {:>16} {:>18}", "pitch um", "area um2", "vs 5-port router");
+    for pitch in TABLE2_PITCHES_UM {
+        println!(
+            "{:>10} {:>16.1} {:>17.2}%",
+            pitch,
+            table2_row(pitch),
+            pillar_area_vs_router(pitch) * 100.0
+        );
+    }
+
+    println!();
+    println!("## Table 3 — temperature profile of placement configurations");
+    println!(
+        "{:<26} {:>10} {:>10} {:>10}",
+        "Configuration", "Peak C", "Avg C", "Min C"
+    );
+    for row in table3_thermal()? {
+        println!(
+            "{:<26} {:>10.2} {:>10.2} {:>10.2}",
+            row.config, row.peak_c, row.avg_c, row.min_c
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,441 @@
+//! Directory-based MSI coherence for private L1 caches (paper §5.1).
+//!
+//! The paper keeps the private L1s of the eight processors coherent with
+//! a distributed directory implementing MSI; L1 events (read misses,
+//! writes) drive state transitions and generate invalidation traffic that
+//! the network simulation carries. This module is the protocol's
+//! functional core: who may cache what, and which messages each access
+//! must generate. Transport and timing belong to `nim-core`.
+
+use std::collections::HashMap;
+
+use nim_types::{CpuId, LineAddr};
+
+/// Global coherence state of one line across all L1s.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LineState {
+    /// No L1 holds the line.
+    Invalid,
+    /// One or more L1s hold a clean copy.
+    Shared,
+    /// Exactly one L1 holds a clean copy and may upgrade to `Modified`
+    /// without any coherence traffic (MESI extension; write-back mode
+    /// with [`Protocol::Mesi`] only).
+    Exclusive,
+    /// Exactly one L1 holds the line with write permission (write-back
+    /// configurations only; the paper's write-through L1s never hold M).
+    Modified,
+}
+
+/// Which protocol family the directory runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Protocol {
+    /// The paper's protocol (§5.1).
+    Msi,
+    /// MESI: sole readers get an `Exclusive` copy, so private
+    /// read-then-write sequences generate no invalidation traffic
+    /// (an extension; meaningful with write-back L1s).
+    Mesi,
+}
+
+/// What an L1 does with a line.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DirAccess {
+    /// Load or instruction fetch.
+    Read,
+    /// Store.
+    Write,
+}
+
+/// How stores interact with the next level.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WritePolicy {
+    /// Stores update L2 immediately; L1 copies stay clean (`Shared`).
+    /// This is the paper's configuration (Table 4).
+    WriteThrough,
+    /// Stores dirty the L1 copy (`Modified`); eviction writes back.
+    WriteBack,
+}
+
+/// The coherence actions one access requires.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CoherenceOutcome {
+    /// L1s that must invalidate their copy.
+    pub invalidations: Vec<CpuId>,
+    /// A previous owner must flush dirty data before the access proceeds
+    /// (write-back mode only).
+    pub flush_from: Option<CpuId>,
+}
+
+#[derive(Clone, Debug)]
+struct Entry {
+    state: LineState,
+    sharers: u64,
+}
+
+impl Entry {
+    fn sharer_list(&self) -> Vec<CpuId> {
+        (0..64)
+            .filter(|i| self.sharers & (1 << i) != 0)
+            .map(|i| CpuId(i as u16))
+            .collect()
+    }
+}
+
+/// The directory: line → (state, sharer set).
+///
+/// Sharer sets are bitsets, so at most 64 CPUs are supported (the paper
+/// uses 8).
+#[derive(Clone, Debug)]
+pub struct Directory {
+    entries: HashMap<LineAddr, Entry>,
+    policy: WritePolicy,
+    protocol: Protocol,
+    num_cpus: u32,
+    /// Invalidation messages generated so far (for traffic accounting).
+    pub invalidations_sent: u64,
+}
+
+impl Directory {
+    /// Creates an empty MSI directory for `num_cpus` processors (the
+    /// paper's protocol).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_cpus` exceeds 64.
+    pub fn new(num_cpus: u32, policy: WritePolicy) -> Self {
+        Self::with_protocol(num_cpus, policy, Protocol::Msi)
+    }
+
+    /// Creates a directory running the given protocol family.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_cpus` exceeds 64.
+    pub fn with_protocol(num_cpus: u32, policy: WritePolicy, protocol: Protocol) -> Self {
+        assert!(num_cpus <= 64, "sharer bitset supports at most 64 CPUs");
+        Self {
+            entries: HashMap::new(),
+            policy,
+            protocol,
+            num_cpus,
+            invalidations_sent: 0,
+        }
+    }
+
+    /// Global state of a line.
+    pub fn state(&self, line: LineAddr) -> LineState {
+        self.entries
+            .get(&line)
+            .map_or(LineState::Invalid, |e| e.state)
+    }
+
+    /// CPUs currently holding the line.
+    pub fn sharers(&self, line: LineAddr) -> Vec<CpuId> {
+        self.entries
+            .get(&line)
+            .map_or_else(Vec::new, Entry::sharer_list)
+    }
+
+    /// Whether `cpu` holds the line.
+    pub fn holds(&self, line: LineAddr, cpu: CpuId) -> bool {
+        self.entries
+            .get(&line)
+            .is_some_and(|e| e.sharers & (1 << cpu.index()) != 0)
+    }
+
+    /// Processes an access by `cpu` and returns the required actions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cpu` is out of range.
+    pub fn access(&mut self, cpu: CpuId, line: LineAddr, access: DirAccess) -> CoherenceOutcome {
+        assert!((cpu.index() as u32) < self.num_cpus, "unknown cpu {cpu}");
+        let bit = 1u64 << cpu.index();
+        let entry = self.entries.entry(line).or_insert(Entry {
+            state: LineState::Invalid,
+            sharers: 0,
+        });
+        let mut out = CoherenceOutcome::default();
+        match access {
+            DirAccess::Read => {
+                if entry.state == LineState::Modified && entry.sharers != bit {
+                    // Owner must provide data and demote to Shared.
+                    out.flush_from = entry.sharer_list().first().copied();
+                }
+                entry.state = if entry.sharers == 0
+                    && self.protocol == Protocol::Mesi
+                    && self.policy == WritePolicy::WriteBack
+                {
+                    // Sole reader of an uncached line: Exclusive (MESI).
+                    LineState::Exclusive
+                } else if matches!(entry.state, LineState::Modified | LineState::Exclusive)
+                    && entry.sharers == bit
+                {
+                    entry.state // silent re-read by the sole holder
+                } else {
+                    LineState::Shared
+                };
+                entry.sharers |= bit;
+            }
+            DirAccess::Write => {
+                if entry.state == LineState::Modified && entry.sharers != bit {
+                    out.flush_from = entry.sharer_list().first().copied();
+                }
+                let silent_upgrade = entry.state == LineState::Exclusive
+                    && entry.sharers == bit
+                    && self.policy == WritePolicy::WriteBack;
+                // Everyone else invalidates.
+                let others = entry.sharers & !bit;
+                if others != 0 {
+                    out.invalidations = Entry {
+                        state: entry.state,
+                        sharers: others,
+                    }
+                    .sharer_list();
+                    self.invalidations_sent += out.invalidations.len() as u64;
+                }
+                entry.sharers = bit;
+                entry.state = match self.policy {
+                    WritePolicy::WriteThrough => LineState::Shared,
+                    WritePolicy::WriteBack => LineState::Modified,
+                };
+                // The E→M transition is entirely local to the owner.
+                debug_assert!(!silent_upgrade || out.invalidations.is_empty());
+            }
+        }
+        out
+    }
+
+    /// Notes that `cpu` silently dropped the line (L1 eviction).
+    ///
+    /// Returns whether a dirty write-back is required (write-back mode,
+    /// owner eviction).
+    pub fn evict(&mut self, cpu: CpuId, line: LineAddr) -> bool {
+        let bit = 1u64 << cpu.index();
+        let Some(entry) = self.entries.get_mut(&line) else {
+            return false;
+        };
+        let was_owner = entry.state == LineState::Modified && entry.sharers == bit;
+        entry.sharers &= !bit;
+        if entry.sharers == 0 {
+            self.entries.remove(&line);
+            // Exclusive copies are clean: only Modified writes back.
+            return was_owner;
+        }
+        if was_owner {
+            entry.state = LineState::Shared;
+        }
+        false
+    }
+
+    /// Invalidates every L1 copy (e.g. when the L2 evicts the line).
+    /// Returns the CPUs that must be told.
+    pub fn invalidate_all(&mut self, line: LineAddr) -> Vec<CpuId> {
+        match self.entries.remove(&line) {
+            Some(e) => {
+                let list = e.sharer_list();
+                self.invalidations_sent += list.len() as u64;
+                list
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// Number of lines the directory currently tracks.
+    pub fn tracked_lines(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Protocol invariant check, used by tests: `Modified` implies exactly
+    /// one sharer; a tracked entry always has at least one sharer.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for (line, e) in &self.entries {
+            if e.sharers == 0 {
+                return Err(format!("{line}: tracked with zero sharers"));
+            }
+            if matches!(e.state, LineState::Modified | LineState::Exclusive)
+                && e.sharers.count_ones() != 1
+            {
+                return Err(format!("{line}: {:?} with multiple sharers", e.state));
+            }
+            if e.state == LineState::Invalid {
+                return Err(format!("{line}: tracked but Invalid"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dir(policy: WritePolicy) -> Directory {
+        Directory::new(8, policy)
+    }
+
+    const LINE: LineAddr = LineAddr(0x1000);
+
+    #[test]
+    fn first_read_installs_shared() {
+        let mut d = dir(WritePolicy::WriteThrough);
+        let out = d.access(CpuId(0), LINE, DirAccess::Read);
+        assert!(out.invalidations.is_empty());
+        assert_eq!(d.state(LINE), LineState::Shared);
+        assert_eq!(d.sharers(LINE), vec![CpuId(0)]);
+        d.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn write_invalidates_other_sharers() {
+        let mut d = dir(WritePolicy::WriteThrough);
+        for c in 0..4 {
+            d.access(CpuId(c), LINE, DirAccess::Read);
+        }
+        let out = d.access(CpuId(0), LINE, DirAccess::Write);
+        let mut inv = out.invalidations.clone();
+        inv.sort_unstable();
+        assert_eq!(inv, vec![CpuId(1), CpuId(2), CpuId(3)]);
+        assert_eq!(d.sharers(LINE), vec![CpuId(0)]);
+        assert_eq!(
+            d.state(LINE),
+            LineState::Shared,
+            "write-through leaves the writer clean"
+        );
+        assert_eq!(d.invalidations_sent, 3);
+        d.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn write_back_write_takes_ownership() {
+        let mut d = dir(WritePolicy::WriteBack);
+        d.access(CpuId(1), LINE, DirAccess::Write);
+        assert_eq!(d.state(LINE), LineState::Modified);
+        // Another reader forces a flush from the owner.
+        let out = d.access(CpuId(2), LINE, DirAccess::Read);
+        assert_eq!(out.flush_from, Some(CpuId(1)));
+        assert_eq!(d.state(LINE), LineState::Shared);
+        let mut sharers = d.sharers(LINE);
+        sharers.sort_unstable();
+        assert_eq!(sharers, vec![CpuId(1), CpuId(2)]);
+        d.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn owner_re_read_stays_modified_silently() {
+        let mut d = dir(WritePolicy::WriteBack);
+        d.access(CpuId(1), LINE, DirAccess::Write);
+        let out = d.access(CpuId(1), LINE, DirAccess::Read);
+        assert_eq!(out, CoherenceOutcome::default());
+        assert_eq!(d.state(LINE), LineState::Modified);
+    }
+
+    #[test]
+    fn write_after_write_transfers_ownership() {
+        let mut d = dir(WritePolicy::WriteBack);
+        d.access(CpuId(1), LINE, DirAccess::Write);
+        let out = d.access(CpuId(2), LINE, DirAccess::Write);
+        assert_eq!(out.invalidations, vec![CpuId(1)]);
+        assert_eq!(out.flush_from, Some(CpuId(1)));
+        assert_eq!(d.sharers(LINE), vec![CpuId(2)]);
+        d.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn eviction_drops_the_sharer_and_reports_writeback() {
+        let mut d = dir(WritePolicy::WriteBack);
+        d.access(CpuId(3), LINE, DirAccess::Write);
+        assert!(d.evict(CpuId(3), LINE), "dirty owner eviction writes back");
+        assert_eq!(d.state(LINE), LineState::Invalid);
+        assert_eq!(d.tracked_lines(), 0);
+
+        d.access(CpuId(0), LINE, DirAccess::Read);
+        d.access(CpuId(1), LINE, DirAccess::Read);
+        assert!(!d.evict(CpuId(0), LINE), "clean eviction is silent");
+        assert_eq!(d.sharers(LINE), vec![CpuId(1)]);
+        d.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn invalidate_all_notifies_every_sharer() {
+        let mut d = dir(WritePolicy::WriteThrough);
+        for c in [0u16, 3, 7] {
+            d.access(CpuId(c), LINE, DirAccess::Read);
+        }
+        let mut told = d.invalidate_all(LINE);
+        told.sort_unstable();
+        assert_eq!(told, vec![CpuId(0), CpuId(3), CpuId(7)]);
+        assert_eq!(d.state(LINE), LineState::Invalid);
+        assert!(d.invalidate_all(LINE).is_empty(), "idempotent");
+    }
+
+    #[test]
+    fn holds_tracks_individual_cpus() {
+        let mut d = dir(WritePolicy::WriteThrough);
+        d.access(CpuId(2), LINE, DirAccess::Read);
+        assert!(d.holds(LINE, CpuId(2)));
+        assert!(!d.holds(LINE, CpuId(3)));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown cpu")]
+    fn out_of_range_cpu_panics() {
+        let mut d = dir(WritePolicy::WriteThrough);
+        d.access(CpuId(9), LINE, DirAccess::Read);
+    }
+
+    fn mesi() -> Directory {
+        Directory::with_protocol(8, WritePolicy::WriteBack, Protocol::Mesi)
+    }
+
+    #[test]
+    fn mesi_sole_reader_gets_exclusive() {
+        let mut d = mesi();
+        let out = d.access(CpuId(0), LINE, DirAccess::Read);
+        assert_eq!(out, CoherenceOutcome::default());
+        assert_eq!(d.state(LINE), LineState::Exclusive);
+        assert_eq!(d.sharers(LINE), vec![CpuId(0)]);
+        d.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn mesi_silent_upgrade_to_modified() {
+        let mut d = mesi();
+        d.access(CpuId(0), LINE, DirAccess::Read);
+        let out = d.access(CpuId(0), LINE, DirAccess::Write);
+        assert!(out.invalidations.is_empty(), "E→M needs no traffic");
+        assert_eq!(out.flush_from, None);
+        assert_eq!(d.state(LINE), LineState::Modified);
+        d.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn mesi_second_reader_demotes_to_shared_without_flush() {
+        let mut d = mesi();
+        d.access(CpuId(0), LINE, DirAccess::Read);
+        let out = d.access(CpuId(1), LINE, DirAccess::Read);
+        assert_eq!(out.flush_from, None, "Exclusive copies are clean");
+        assert_eq!(d.state(LINE), LineState::Shared);
+        assert_eq!(d.sharers(LINE).len(), 2);
+        d.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn mesi_exclusive_eviction_is_silent() {
+        let mut d = mesi();
+        d.access(CpuId(3), LINE, DirAccess::Read);
+        assert!(
+            !d.evict(CpuId(3), LINE),
+            "an Exclusive (clean) copy needs no write-back"
+        );
+        assert_eq!(d.state(LINE), LineState::Invalid);
+    }
+
+    #[test]
+    fn msi_never_produces_exclusive() {
+        let mut d = Directory::with_protocol(8, WritePolicy::WriteBack, Protocol::Msi);
+        d.access(CpuId(0), LINE, DirAccess::Read);
+        assert_eq!(d.state(LINE), LineState::Shared, "MSI has no E state");
+    }
+}

@@ -1,0 +1,98 @@
+//! Error types for system construction and simulation runs.
+
+use core::error::Error;
+use core::fmt;
+
+use nim_topology::{PlacementError, TopologyError};
+use nim_types::ConfigError;
+
+/// Error building a [`System`](crate::System).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BuildError {
+    /// The configuration is inconsistent.
+    Config(ConfigError),
+    /// The chip geometry could not be derived.
+    Topology(TopologyError),
+    /// CPUs could not be seated.
+    Placement(PlacementError),
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::Config(e) => write!(f, "invalid configuration: {e}"),
+            BuildError::Topology(e) => write!(f, "invalid topology: {e}"),
+            BuildError::Placement(e) => write!(f, "CPU placement failed: {e}"),
+        }
+    }
+}
+
+impl Error for BuildError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            BuildError::Config(e) => Some(e),
+            BuildError::Topology(e) => Some(e),
+            BuildError::Placement(e) => Some(e),
+        }
+    }
+}
+
+impl From<ConfigError> for BuildError {
+    fn from(e: ConfigError) -> Self {
+        BuildError::Config(e)
+    }
+}
+
+impl From<TopologyError> for BuildError {
+    fn from(e: TopologyError) -> Self {
+        BuildError::Topology(e)
+    }
+}
+
+impl From<PlacementError> for BuildError {
+    fn from(e: PlacementError) -> Self {
+        BuildError::Placement(e)
+    }
+}
+
+/// Error during a simulation run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RunError {
+    /// No L2 transaction completed for an implausibly long time — a
+    /// protocol deadlock or livelock.
+    Stalled {
+        /// Cycle at which the watchdog fired.
+        cycle: u64,
+        /// Transactions completed before the stall.
+        completed: u64,
+    },
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::Stalled { cycle, completed } => write!(
+                f,
+                "simulation stalled at cycle {cycle} after {completed} transactions"
+            ),
+        }
+    }
+}
+
+impl Error for RunError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_their_cause() {
+        let e = BuildError::Config(ConfigError::Zero("num_cpus"));
+        assert!(e.to_string().contains("num_cpus"));
+        let e = RunError::Stalled {
+            cycle: 10,
+            completed: 3,
+        };
+        assert!(e.to_string().contains("cycle 10"));
+    }
+}

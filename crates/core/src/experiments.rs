@@ -1,0 +1,464 @@
+//! One driver per table and figure of the paper's evaluation (§5.2).
+//!
+//! Each function reproduces the data behind one exhibit:
+//!
+//! | Exhibit | Function | Metric |
+//! |---|---|---|
+//! | Table 3 | [`table3_thermal`] | peak/avg/min temperature per placement |
+//! | Fig. 13 | [`fig13_l2_latency`] | avg L2 hit latency, 4 schemes |
+//! | Fig. 14 | [`fig14_migrations`] | block migrations normalised to CMP-DNUCA-2D |
+//! | Fig. 15 | [`fig15_ipc`] | IPC, 4 schemes |
+//! | Fig. 16 | [`fig16_cache_size`] | latency at 16/32/64 MB, 2D vs 3D |
+//! | Fig. 17 | [`fig17_pillars`] | latency vs pillar count (8/4/2) |
+//! | Fig. 18 | [`fig18_layers`] | latency vs layer count (2/4) |
+//!
+//! Tables 1 and 2 are pure models, regenerated directly by
+//! [`nim_power::table1`] and [`nim_power::table2_row`].
+//!
+//! The paper samples 2 G cycles per run; these drivers scale the sample
+//! down (configurable via [`ExperimentScale`]) — ample for steady-state
+//! latency statistics of a memory system this size, and the Fig. 14
+//! metric is normalised so absolute volume cancels.
+
+use core::error::Error;
+use core::fmt;
+
+use nim_thermal::{ThermalConfig, ThermalModel};
+use nim_topology::{ChipLayout, Floorplan, PlacementPolicy};
+use nim_types::SystemConfig;
+use nim_workload::BenchmarkProfile;
+
+use crate::error::{BuildError, RunError};
+use crate::report::RunReport;
+use crate::scheme::Scheme;
+use crate::system::SystemBuilder;
+
+/// Error from an experiment driver.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ExperimentError {
+    /// A system failed to build.
+    Build(BuildError),
+    /// A run failed.
+    Run(RunError),
+}
+
+impl fmt::Display for ExperimentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExperimentError::Build(e) => write!(f, "build: {e}"),
+            ExperimentError::Run(e) => write!(f, "run: {e}"),
+        }
+    }
+}
+
+impl Error for ExperimentError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ExperimentError::Build(e) => Some(e),
+            ExperimentError::Run(e) => Some(e),
+        }
+    }
+}
+
+impl From<BuildError> for ExperimentError {
+    fn from(e: BuildError) -> Self {
+        ExperimentError::Build(e)
+    }
+}
+
+impl From<RunError> for ExperimentError {
+    fn from(e: RunError) -> Self {
+        ExperimentError::Run(e)
+    }
+}
+
+/// How much to sample per run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ExperimentScale {
+    /// Workload seed.
+    pub seed: u64,
+    /// Transactions completed before measurement.
+    pub warmup: u64,
+    /// Transactions measured.
+    pub sample: u64,
+}
+
+impl Default for ExperimentScale {
+    /// The scale used by the shipped EXPERIMENTS.md numbers.
+    fn default() -> Self {
+        Self {
+            seed: 42,
+            warmup: 2_000,
+            sample: 20_000,
+        }
+    }
+}
+
+impl ExperimentScale {
+    /// A fast scale for tests and smoke runs.
+    pub fn quick() -> Self {
+        Self {
+            seed: 42,
+            warmup: 200,
+            sample: 1_500,
+        }
+    }
+}
+
+fn run_one(
+    scheme: Scheme,
+    bench: &BenchmarkProfile,
+    scale: ExperimentScale,
+    tweak: impl FnOnce(SystemBuilder) -> SystemBuilder,
+) -> Result<RunReport, ExperimentError> {
+    let builder = SystemBuilder::new(scheme)
+        .seed(scale.seed)
+        .warmup_transactions(scale.warmup)
+        .sampled_transactions(scale.sample);
+    let mut system = tweak(builder).build()?;
+    Ok(system.run(bench)?)
+}
+
+// ---------------------------------------------------------------------------
+// Figure 13 / Figure 15 — four schemes over the benchmarks.
+// ---------------------------------------------------------------------------
+
+/// One benchmark's results across all four schemes.
+#[derive(Clone, Debug)]
+pub struct SchemeComparisonRow {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Reports in [`Scheme::ALL`] order.
+    pub reports: Vec<RunReport>,
+}
+
+impl SchemeComparisonRow {
+    /// The report for one scheme.
+    pub fn report(&self, scheme: Scheme) -> &RunReport {
+        self.reports
+            .iter()
+            .find(|r| r.scheme == scheme)
+            .expect("all schemes present")
+    }
+}
+
+/// Figure 13: average L2 hit latency under the four schemes.
+pub fn fig13_l2_latency(
+    benchmarks: &[BenchmarkProfile],
+    scale: ExperimentScale,
+) -> Result<Vec<SchemeComparisonRow>, ExperimentError> {
+    benchmarks
+        .iter()
+        .map(|bench| {
+            let reports = Scheme::ALL
+                .iter()
+                .map(|&s| run_one(s, bench, scale, |b| b))
+                .collect::<Result<Vec<_>, _>>()?;
+            Ok(SchemeComparisonRow {
+                benchmark: bench.name.to_string(),
+                reports,
+            })
+        })
+        .collect()
+}
+
+/// Figure 15 reuses the same runs as Figure 13 (IPC is read from the same
+/// reports), so it shares the row type and driver.
+pub fn fig15_ipc(
+    benchmarks: &[BenchmarkProfile],
+    scale: ExperimentScale,
+) -> Result<Vec<SchemeComparisonRow>, ExperimentError> {
+    fig13_l2_latency(benchmarks, scale)
+}
+
+// ---------------------------------------------------------------------------
+// Figure 14 — migrations normalised to CMP-DNUCA-2D.
+// ---------------------------------------------------------------------------
+
+/// One benchmark's migration volume, normalised to CMP-DNUCA-2D = 1.0.
+#[derive(Clone, Debug)]
+pub struct Fig14Row {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// CMP-DNUCA (baseline, edge CPUs) relative migrations.
+    pub cmp_dnuca: f64,
+    /// CMP-DNUCA-3D relative migrations.
+    pub cmp_dnuca_3d: f64,
+}
+
+/// Figure 14: block migrations of CMP-DNUCA and CMP-DNUCA-3D, normalised
+/// to CMP-DNUCA-2D.
+pub fn fig14_migrations(
+    benchmarks: &[BenchmarkProfile],
+    scale: ExperimentScale,
+) -> Result<Vec<Fig14Row>, ExperimentError> {
+    benchmarks
+        .iter()
+        .map(|bench| {
+            let base = run_one(Scheme::CmpDnuca2d, bench, scale, |b| b)?;
+            let dnuca = run_one(Scheme::CmpDnuca, bench, scale, |b| b)?;
+            let d3 = run_one(Scheme::CmpDnuca3d, bench, scale, |b| b)?;
+            let denom = base.counters.migrations.max(1) as f64;
+            Ok(Fig14Row {
+                benchmark: bench.name.to_string(),
+                cmp_dnuca: dnuca.counters.migrations as f64 / denom,
+                cmp_dnuca_3d: d3.counters.migrations as f64 / denom,
+            })
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Figure 16 — L2 capacity scaling.
+// ---------------------------------------------------------------------------
+
+/// Latency of one (benchmark, capacity) cell for 2D and 3D DNUCA.
+#[derive(Clone, Debug)]
+pub struct Fig16Row {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// L2 capacity in MB.
+    pub l2_mb: u32,
+    /// CMP-DNUCA-2D average hit latency.
+    pub latency_2d: f64,
+    /// CMP-DNUCA-3D average hit latency.
+    pub latency_3d: f64,
+}
+
+/// Figure 16: average L2 hit latency at 16, 32, and 64 MB.
+pub fn fig16_cache_size(
+    benchmarks: &[BenchmarkProfile],
+    scale: ExperimentScale,
+) -> Result<Vec<Fig16Row>, ExperimentError> {
+    let mut rows = Vec::new();
+    for bench in benchmarks {
+        for factor in [1u32, 2, 4] {
+            let d2 = run_one(Scheme::CmpDnuca2d, bench, scale, |b| b.l2_scale(factor))?;
+            let d3 = run_one(Scheme::CmpDnuca3d, bench, scale, |b| b.l2_scale(factor))?;
+            rows.push(Fig16Row {
+                benchmark: bench.name.to_string(),
+                l2_mb: 16 * factor,
+                latency_2d: d2.avg_l2_hit_latency(),
+                latency_3d: d3.avg_l2_hit_latency(),
+            });
+        }
+    }
+    Ok(rows)
+}
+
+// ---------------------------------------------------------------------------
+// Figure 17 — pillar count.
+// ---------------------------------------------------------------------------
+
+/// Latency of one (benchmark, pillar count) cell.
+#[derive(Clone, Debug)]
+pub struct Fig17Row {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Number of vertical pillars.
+    pub pillars: u16,
+    /// CMP-DNUCA-3D average hit latency.
+    pub latency: f64,
+}
+
+/// Figure 17: impact of the number of pillars (8/4/2) on the
+/// CMP-DNUCA-3D scheme. Fewer pillars mean shared vertical links and
+/// Algorithm 1 placement.
+pub fn fig17_pillars(
+    benchmarks: &[BenchmarkProfile],
+    scale: ExperimentScale,
+) -> Result<Vec<Fig17Row>, ExperimentError> {
+    let mut rows = Vec::new();
+    for bench in benchmarks {
+        for pillars in [8u16, 4, 2] {
+            let report = run_one(Scheme::CmpDnuca3d, bench, scale, |b| b.pillars(pillars))?;
+            rows.push(Fig17Row {
+                benchmark: bench.name.to_string(),
+                pillars,
+                latency: report.avg_l2_hit_latency(),
+            });
+        }
+    }
+    Ok(rows)
+}
+
+// ---------------------------------------------------------------------------
+// Figure 18 — layer count.
+// ---------------------------------------------------------------------------
+
+/// Latency of one (benchmark, layer count) cell.
+#[derive(Clone, Debug)]
+pub struct Fig18Row {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Device layers.
+    pub layers: u8,
+    /// CMP-SNUCA-3D average hit latency.
+    pub latency: f64,
+}
+
+/// Figure 18: impact of the number of layers (2/4) on the CMP-SNUCA-3D
+/// scheme.
+pub fn fig18_layers(
+    benchmarks: &[BenchmarkProfile],
+    scale: ExperimentScale,
+) -> Result<Vec<Fig18Row>, ExperimentError> {
+    let mut rows = Vec::new();
+    for bench in benchmarks {
+        for layers in [2u8, 4] {
+            let report = run_one(Scheme::CmpSnuca3d, bench, scale, |b| b.layers(layers))?;
+            rows.push(Fig18Row {
+                benchmark: bench.name.to_string(),
+                layers,
+                latency: report.avg_l2_hit_latency(),
+            });
+        }
+    }
+    Ok(rows)
+}
+
+// ---------------------------------------------------------------------------
+// Configuration sweep — the full (layers × pillars) design space.
+// ---------------------------------------------------------------------------
+
+/// One cell of a design-space sweep.
+#[derive(Clone, Debug)]
+pub struct SweepCell {
+    /// Device layers.
+    pub layers: u8,
+    /// Vertical pillars.
+    pub pillars: u16,
+    /// The run's full report.
+    pub report: RunReport,
+}
+
+/// Sweeps the (layers × pillars) design space for one scheme and
+/// benchmark, skipping combinations the configuration rules reject
+/// (e.g. more CPUs than Algorithm 1 can seat). This generalises the
+/// paper's Figures 17 and 18 into the full grid a designer would explore.
+pub fn sweep_design_space(
+    scheme: Scheme,
+    bench: &BenchmarkProfile,
+    layers: &[u8],
+    pillars: &[u16],
+    scale: ExperimentScale,
+) -> Result<Vec<SweepCell>, ExperimentError> {
+    let mut cells = Vec::new();
+    for &l in layers {
+        for &p in pillars {
+            let result = run_one(scheme, bench, scale, |b| b.layers(l).pillars(p));
+            match result {
+                Ok(report) => cells.push(SweepCell {
+                    layers: l,
+                    pillars: p,
+                    report,
+                }),
+                Err(ExperimentError::Build(_)) => continue, // unbuildable cell
+                Err(e) => return Err(e),
+            }
+        }
+    }
+    Ok(cells)
+}
+
+// ---------------------------------------------------------------------------
+// Table 3 — thermal profile of the placement configurations.
+// ---------------------------------------------------------------------------
+
+/// One row of Table 3.
+#[derive(Clone, Debug)]
+pub struct Table3Row {
+    /// Configuration label (as in the paper).
+    pub config: &'static str,
+    /// Peak temperature, °C.
+    pub peak_c: f64,
+    /// Average temperature, °C.
+    pub avg_c: f64,
+    /// Minimum temperature, °C.
+    pub min_c: f64,
+}
+
+/// Table 3: temperature profile of the seven placement configurations
+/// (8 × 8 W CPUs among 256 clock-gated banks).
+///
+/// The `k = 1` / `k = 2` rows share pillars (4 pillars, Algorithm 1);
+/// the "optimal offset" rows give every CPU its own pillar and offset in
+/// all three dimensions; the "stacking" rows align CPUs vertically.
+///
+/// # Errors
+///
+/// Returns [`ExperimentError::Build`] if a configuration cannot be
+/// placed (cannot happen for the shipped rows).
+pub fn table3_thermal() -> Result<Vec<Table3Row>, ExperimentError> {
+    let rows: [(&'static str, u8, u16, PlacementPolicy); 7] = [
+        ("2D, maximal offset", 1, 8, PlacementPolicy::Interior2d),
+        ("3D-2L, optimal offset", 2, 8, PlacementPolicy::MaximalOffset),
+        ("3D-2L, offset k=2", 2, 4, PlacementPolicy::Algorithm1 { k: 2 }),
+        ("3D-2L, offset k=1", 2, 4, PlacementPolicy::Algorithm1 { k: 1 }),
+        ("3D-2L, CPU stacking", 2, 8, PlacementPolicy::Stacked),
+        ("3D-4L, optimal offset", 4, 8, PlacementPolicy::MaximalOffset),
+        ("3D-4L, CPU stacking", 4, 8, PlacementPolicy::Stacked),
+    ];
+    let tcfg = ThermalConfig::default();
+    rows.into_iter()
+        .map(|(label, layers, pillars, policy)| {
+            let cfg = SystemConfig::default()
+                .with_layers(layers)
+                .with_pillars(pillars);
+            let layout = ChipLayout::new(&cfg).map_err(BuildError::from)?;
+            let seats = policy
+                .place(&layout, cfg.num_cpus)
+                .map_err(BuildError::from)?;
+            let plan = Floorplan::new(&layout, &seats);
+            let profile = ThermalModel::new(&plan, &tcfg).solve(&tcfg);
+            Ok(Table3Row {
+                config: label,
+                peak_c: profile.peak(),
+                avg_c: profile.avg(),
+                min_c: profile.min(),
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_reproduces_the_paper_ordering() {
+        let rows = table3_thermal().expect("all configurations place");
+        for r in &rows {
+            eprintln!(
+                "{:26} peak {:7.2}  avg {:6.2}  min {:6.2}",
+                r.config, r.peak_c, r.avg_c, r.min_c
+            );
+        }
+        let by = |label: &str| {
+            rows.iter()
+                .find(|r| r.config == label)
+                .unwrap_or_else(|| panic!("{label} missing"))
+        };
+        let d2 = by("2D, maximal offset");
+        let opt2 = by("3D-2L, optimal offset");
+        let k2 = by("3D-2L, offset k=2");
+        let k1 = by("3D-2L, offset k=1");
+        let st2 = by("3D-2L, CPU stacking");
+        let opt4 = by("3D-4L, optimal offset");
+        let st4 = by("3D-4L, CPU stacking");
+        // Peak ordering (Table 3).
+        assert!(d2.peak_c < opt2.peak_c, "3D runs hotter than 2D");
+        assert!(opt2.peak_c <= k2.peak_c, "shared pillars no cooler than optimal");
+        assert!(k2.peak_c <= k1.peak_c, "larger offset reduces the peak");
+        assert!(k1.peak_c < st2.peak_c, "stacking creates hotspots");
+        assert!(opt4.peak_c < st4.peak_c, "stacking is worst at 4 layers");
+        assert!(opt2.peak_c < opt4.peak_c, "more layers run hotter");
+        // Average depends only on layer count (same power, same footprint).
+        assert!((opt2.avg_c - st2.avg_c).abs() < 1.0);
+        assert!(d2.avg_c < opt2.avg_c && opt2.avg_c < opt4.avg_c);
+        // Minimum below average below peak, everywhere.
+        for r in &rows {
+            assert!(r.min_c < r.avg_c && r.avg_c < r.peak_c, "{}", r.config);
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! System assembly and experiment drivers for the 3D network-in-memory
+//! chip multiprocessor.
+//!
+//! This crate is the paper's "novel simulation environment" (§5.1): it
+//! couples the in-order cores and their L1s (`nim-cpu`), the directory
+//! (`nim-coherence`), the NUCA L2 (`nim-cache`), and the cycle-accurate
+//! 3D NoC with dTDMA pillars (`nim-noc`) into one lock-step simulation,
+//! then exposes the paper's four schemes and every evaluation experiment.
+//!
+//! * [`Scheme`] — CMP-DNUCA / CMP-DNUCA-2D / CMP-SNUCA-3D / CMP-DNUCA-3D.
+//! * [`SystemBuilder`] / [`System`] — build and run one configuration.
+//! * [`RunReport`] — avg L2 hit latency, IPC, migrations, energy.
+//! * [`experiments`] — one driver per table/figure (Table 3, Figs 13–18).
+//!
+//! # Examples
+//!
+//! ```
+//! use nim_core::{Scheme, SystemBuilder};
+//! use nim_workload::BenchmarkProfile;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let report = SystemBuilder::new(Scheme::CmpSnuca3d)
+//!     .warmup_transactions(100)
+//!     .sampled_transactions(400)
+//!     .build()?
+//!     .run(&BenchmarkProfile::synthetic())?;
+//! assert!(report.avg_l2_hit_latency() > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+pub mod experiments;
+mod report;
+mod scheme;
+mod system;
+mod token;
+
+pub use error::{BuildError, RunError};
+pub use report::{Counters, RunReport};
+pub use scheme::Scheme;
+pub use system::{System, SystemBuilder};

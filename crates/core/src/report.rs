@@ -1,0 +1,234 @@
+//! Run reports: the measurements every figure is built from.
+
+use nim_noc::NetworkStats;
+use nim_power::{ActivityCounts, EnergyBreakdown, EnergyModel};
+
+use crate::scheme::Scheme;
+
+/// Raw counters the system accumulates (sampled over the measurement
+/// window, after warm-up).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Counters {
+    /// Completed L2 transactions (reads + writes + instruction fetches).
+    pub l2_transactions: u64,
+    /// Transactions served from the L2.
+    pub l2_hits: u64,
+    /// Transactions that went to memory.
+    pub l2_misses: u64,
+    /// Sum of latencies of L2 *hits* (issue to completion), cycles.
+    pub hit_latency_sum: u64,
+    /// Sum of latencies of L2 misses, cycles.
+    pub miss_latency_sum: u64,
+    /// Cache-line migrations committed.
+    pub migrations: u64,
+    /// Data-bank accesses (reads + writes + migration writes).
+    pub bank_accesses: u64,
+    /// Tag-array probes.
+    pub tag_accesses: u64,
+    /// L1 invalidation messages sent.
+    pub invalidations: u64,
+    /// Lines evicted from the L2 (written back to memory).
+    pub l2_evictions: u64,
+    /// Searches re-issued because a migration raced the probes.
+    pub search_retries: u64,
+    /// Hits served by a step-1 probe (local cluster or the vicinity
+    /// cylinder).
+    pub step1_hits: u64,
+    /// Hits served by the step-2 multicast.
+    pub step2_hits: u64,
+    /// Latency sum of step-1 hits.
+    pub step1_latency_sum: u64,
+    /// Latency sum of step-2 hits.
+    pub step2_latency_sum: u64,
+    /// Read-only replicas created (replication extension).
+    pub replicas_created: u64,
+}
+
+impl Counters {
+    pub(crate) fn minus(&self, earlier: &Counters) -> Counters {
+        Counters {
+            l2_transactions: self.l2_transactions - earlier.l2_transactions,
+            l2_hits: self.l2_hits - earlier.l2_hits,
+            l2_misses: self.l2_misses - earlier.l2_misses,
+            hit_latency_sum: self.hit_latency_sum - earlier.hit_latency_sum,
+            miss_latency_sum: self.miss_latency_sum - earlier.miss_latency_sum,
+            migrations: self.migrations - earlier.migrations,
+            bank_accesses: self.bank_accesses - earlier.bank_accesses,
+            tag_accesses: self.tag_accesses - earlier.tag_accesses,
+            invalidations: self.invalidations - earlier.invalidations,
+            l2_evictions: self.l2_evictions - earlier.l2_evictions,
+            search_retries: self.search_retries - earlier.search_retries,
+            step1_hits: self.step1_hits - earlier.step1_hits,
+            step2_hits: self.step2_hits - earlier.step2_hits,
+            step1_latency_sum: self.step1_latency_sum - earlier.step1_latency_sum,
+            step2_latency_sum: self.step2_latency_sum - earlier.step2_latency_sum,
+            replicas_created: self.replicas_created - earlier.replicas_created,
+        }
+    }
+}
+
+/// The result of one simulation run (one scheme × one benchmark).
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Scheme simulated.
+    pub scheme: Scheme,
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Cycles in the measurement window.
+    pub cycles: u64,
+    /// Instructions retired across all cores in the window.
+    pub instructions: u64,
+    /// Number of cores.
+    pub num_cpus: u32,
+    /// Counter deltas over the window.
+    pub counters: Counters,
+    /// Network counters (whole run, dominated by the window).
+    pub network: NetworkStats,
+    /// Flits carried by the vertical buses (whole run).
+    pub bus_transfers: u64,
+    /// Cycles a bus had more than one waiting client (whole run).
+    pub bus_contention_cycles: u64,
+}
+
+impl RunReport {
+    /// Average L2 hit latency in cycles — the paper's Figures 13/16/17/18
+    /// metric.
+    pub fn avg_l2_hit_latency(&self) -> f64 {
+        if self.counters.l2_hits == 0 {
+            0.0
+        } else {
+            self.counters.hit_latency_sum as f64 / self.counters.l2_hits as f64
+        }
+    }
+
+    /// Average per-core IPC — the paper's Figure 15 metric.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64 / f64::from(self.num_cpus)
+        }
+    }
+
+    /// L2 miss rate over the window.
+    pub fn l2_miss_rate(&self) -> f64 {
+        let total = self.counters.l2_hits + self.counters.l2_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.counters.l2_misses as f64 / total as f64
+        }
+    }
+
+    /// Migrations per completed L2 transaction — the paper's Figure 14
+    /// metric before normalisation.
+    pub fn migrations_per_transaction(&self) -> f64 {
+        if self.counters.l2_transactions == 0 {
+            0.0
+        } else {
+            self.counters.migrations as f64 / self.counters.l2_transactions as f64
+        }
+    }
+
+    /// Mean latency of hits found in search step 1.
+    pub fn avg_step1_latency(&self) -> f64 {
+        if self.counters.step1_hits == 0 {
+            0.0
+        } else {
+            self.counters.step1_latency_sum as f64 / self.counters.step1_hits as f64
+        }
+    }
+
+    /// Mean latency of hits found in the step-2 multicast.
+    pub fn avg_step2_latency(&self) -> f64 {
+        if self.counters.step2_hits == 0 {
+            0.0
+        } else {
+            self.counters.step2_latency_sum as f64 / self.counters.step2_hits as f64
+        }
+    }
+
+    /// Activity counts for the energy model.
+    pub fn activity(&self) -> ActivityCounts {
+        ActivityCounts {
+            flit_hops: self.network.flit_hops,
+            bus_transfers: self.bus_transfers,
+            bank_accesses: self.counters.bank_accesses,
+            tag_accesses: self.counters.tag_accesses,
+        }
+    }
+
+    /// L2 memory-system energy over the window.
+    pub fn energy(&self) -> EnergyBreakdown {
+        EnergyModel::default().estimate(&self.activity())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> RunReport {
+        RunReport {
+            scheme: Scheme::CmpDnuca3d,
+            benchmark: "swim".into(),
+            cycles: 1000,
+            instructions: 4000,
+            num_cpus: 8,
+            counters: Counters {
+                l2_transactions: 100,
+                l2_hits: 80,
+                l2_misses: 20,
+                hit_latency_sum: 2400,
+                miss_latency_sum: 8000,
+                migrations: 10,
+                bank_accesses: 110,
+                tag_accesses: 700,
+                invalidations: 5,
+                l2_evictions: 3,
+                search_retries: 0,
+                step1_hits: 60,
+                step2_hits: 20,
+                step1_latency_sum: 1500,
+                step2_latency_sum: 900,
+                replicas_created: 0,
+            },
+            network: NetworkStats::default(),
+            bus_transfers: 50,
+            bus_contention_cycles: 4,
+        }
+    }
+
+    #[test]
+    fn derived_metrics() {
+        let r = report();
+        assert!((r.avg_l2_hit_latency() - 30.0).abs() < 1e-12);
+        assert!((r.ipc() - 0.5).abs() < 1e-12);
+        assert!((r.l2_miss_rate() - 0.2).abs() < 1e-12);
+        assert!((r.migrations_per_transaction() - 0.1).abs() < 1e-12);
+        assert!(r.energy().total_j() > 0.0);
+    }
+
+    #[test]
+    fn counter_deltas_subtract_fieldwise() {
+        let a = report().counters;
+        let mut b = a;
+        b.l2_transactions += 5;
+        b.hit_latency_sum += 100;
+        let d = b.minus(&a);
+        assert_eq!(d.l2_transactions, 5);
+        assert_eq!(d.hit_latency_sum, 100);
+        assert_eq!(d.migrations, 0);
+    }
+
+    #[test]
+    fn empty_windows_do_not_divide_by_zero() {
+        let mut r = report();
+        r.counters = Counters::default();
+        r.cycles = 0;
+        assert_eq!(r.avg_l2_hit_latency(), 0.0);
+        assert_eq!(r.ipc(), 0.0);
+        assert_eq!(r.l2_miss_rate(), 0.0);
+        assert_eq!(r.migrations_per_transaction(), 0.0);
+    }
+}

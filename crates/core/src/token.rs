@@ -1,0 +1,212 @@
+//! Message tokens and timed events.
+//!
+//! Every packet the system puts on the network carries a 64-bit token
+//! identifying what should happen when it arrives. [`Token`] packs a
+//! message kind and its payload (transaction id, cluster, or line
+//! address) into the cookie; [`TimedEvent`] is the non-network companion
+//! for fixed-latency steps (tag probes, bank accesses, memory fetches).
+
+use nim_types::{ClusterId, Coord, LineAddr};
+
+/// Transaction identifier (index into the system's live-transaction map).
+pub(crate) type TxnId = u32;
+
+/// Decoded message token.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Token {
+    /// Tag-array probe for a transaction, aimed at one cluster.
+    Probe { txn: TxnId, cluster: ClusterId },
+    /// Tag broadcast riding the pillar: one packet probes the whole
+    /// search-step disc on the destination layer (paper §4.2.1 — "all the
+    /// vertically neighboring clusters receive the tag that is broadcast
+    /// through the pillar").
+    VerticalProbe {
+        txn: TxnId,
+        /// Layer whose clusters are probed.
+        layer: u8,
+        /// Search step the probe belongs to (selects the cluster set).
+        step: u8,
+    },
+    /// A probed tag array reports a miss back to the requester.
+    ProbeMiss { txn: TxnId },
+    /// Forwarded request travelling from a tag array to the serving bank.
+    BankFetch { txn: TxnId },
+    /// Data packet from the serving bank back to the requesting CPU.
+    DataToCpu { txn: TxnId },
+    /// A probed tag array tells a writing CPU where the line lives.
+    FoundForWrite { txn: TxnId, cluster: ClusterId },
+    /// Write-through store data from the CPU to the serving bank.
+    WriteData { txn: TxnId },
+    /// Store acknowledgement from the bank back to the CPU.
+    WriteAck { txn: TxnId },
+    /// A migrating cache line moving between banks.
+    MigrationMove { line: LineAddr },
+    /// L1 invalidation (coherence or L2 eviction).
+    Invalidate { line: LineAddr },
+    /// A read-only replica copy travelling to its new cluster
+    /// (replication extension).
+    ReplicaFill { line: LineAddr, cluster: ClusterId },
+    /// An L2 miss travelling to a memory controller.
+    MemRequest { line: LineAddr },
+    /// A line fetched from DRAM travelling from a memory controller to
+    /// its home bank.
+    MemFill { line: LineAddr },
+}
+
+const KIND_SHIFT: u32 = 56;
+const PAYLOAD_MASK: u64 = (1 << KIND_SHIFT) - 1;
+
+impl Token {
+    /// Packs the token into a packet cookie.
+    pub(crate) fn encode(self) -> u64 {
+        let (kind, payload): (u64, u64) = match self {
+            Token::Probe { txn, cluster } => (0, u64::from(txn) | (u64::from(cluster.0) << 32)),
+            Token::ProbeMiss { txn } => (1, u64::from(txn)),
+            Token::BankFetch { txn } => (2, u64::from(txn)),
+            Token::DataToCpu { txn } => (3, u64::from(txn)),
+            Token::FoundForWrite { txn, cluster } => {
+                (4, u64::from(txn) | (u64::from(cluster.0) << 32))
+            }
+            Token::WriteData { txn } => (5, u64::from(txn)),
+            Token::WriteAck { txn } => (6, u64::from(txn)),
+            Token::MigrationMove { line } => (7, line.0),
+            Token::Invalidate { line } => (8, line.0),
+            Token::VerticalProbe { txn, layer, step } => (
+                9,
+                u64::from(txn) | (u64::from(layer) << 32) | (u64::from(step) << 40),
+            ),
+            Token::ReplicaFill { line, cluster } => {
+                debug_assert!(line.0 < (1 << 40), "line address too large for token");
+                (10, line.0 | (u64::from(cluster.0) << 40))
+            }
+            Token::MemRequest { line } => (11, line.0),
+            Token::MemFill { line } => (12, line.0),
+        };
+        debug_assert!(payload <= PAYLOAD_MASK, "token payload overflow");
+        (kind << KIND_SHIFT) | payload
+    }
+
+    /// Unpacks a packet cookie.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown kind tag (corrupted token).
+    pub(crate) fn decode(raw: u64) -> Token {
+        let kind = raw >> KIND_SHIFT;
+        let payload = raw & PAYLOAD_MASK;
+        let txn = payload as u32;
+        let cluster = ClusterId(((payload >> 32) & 0xffff) as u16);
+        match kind {
+            0 => Token::Probe { txn, cluster },
+            1 => Token::ProbeMiss { txn },
+            2 => Token::BankFetch { txn },
+            3 => Token::DataToCpu { txn },
+            4 => Token::FoundForWrite { txn, cluster },
+            5 => Token::WriteData { txn },
+            6 => Token::WriteAck { txn },
+            7 => Token::MigrationMove {
+                line: LineAddr(payload),
+            },
+            8 => Token::Invalidate {
+                line: LineAddr(payload),
+            },
+            9 => Token::VerticalProbe {
+                txn,
+                layer: ((payload >> 32) & 0xff) as u8,
+                step: ((payload >> 40) & 0xff) as u8,
+            },
+            10 => Token::ReplicaFill {
+                line: LineAddr(payload & ((1 << 40) - 1)),
+                cluster: ClusterId(((payload >> 40) & 0xffff) as u16),
+            },
+            11 => Token::MemRequest {
+                line: LineAddr(payload),
+            },
+            12 => Token::MemFill {
+                line: LineAddr(payload),
+            },
+            k => panic!("unknown token kind {k}"),
+        }
+    }
+}
+
+/// A fixed-latency step that completes at a scheduled cycle.
+///
+/// `Ord` exists only so events can live inside the scheduler's binary
+/// heap; the heap key is `(due_cycle, sequence_number)`, which is unique,
+/// so the derived event ordering is never what decides execution order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub(crate) enum TimedEvent {
+    /// A tag array finished probing for a transaction.
+    ProbeResolved { txn: TxnId, cluster: ClusterId },
+    /// One tag array finished probing a pillar broadcast (fan-out from
+    /// the pillar node charged per cluster; the misses of a layer are
+    /// aggregated into a single reply).
+    VerticalClusterResolved { txn: TxnId, cluster: ClusterId, layer: u8 },
+    /// The bank at `at` finished a read for the transaction.
+    BankReadDone { txn: TxnId, at: Coord },
+    /// The bank at `at` finished a write for the transaction.
+    BankWritten { txn: TxnId, at: Coord },
+    /// A memory controller finished a DRAM access; the fill may depart.
+    MemoryReady { line: LineAddr, mc: u16 },
+    /// The fetched line is installed and ready to serve its waiters.
+    MemoryFetched { line: LineAddr },
+    /// A migrated line finished writing into its destination bank.
+    MigrationDone { line: LineAddr },
+    /// A replica copy finished writing into its new cluster's bank.
+    ReplicaInstalled { line: LineAddr, cluster: ClusterId },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokens_round_trip() {
+        let samples = [
+            Token::Probe {
+                txn: 0xdead_beef,
+                cluster: ClusterId(15),
+            },
+            Token::ProbeMiss { txn: 7 },
+            Token::BankFetch { txn: u32::MAX },
+            Token::DataToCpu { txn: 0 },
+            Token::FoundForWrite {
+                txn: 42,
+                cluster: ClusterId(3),
+            },
+            Token::WriteData { txn: 1 },
+            Token::WriteAck { txn: 2 },
+            Token::MigrationMove {
+                line: LineAddr((1 << 40) / 64),
+            },
+            Token::Invalidate {
+                line: LineAddr(0x3fff_ffff),
+            },
+            Token::VerticalProbe {
+                txn: 0xffff_ffff,
+                layer: 7,
+                step: 2,
+            },
+            Token::ReplicaFill {
+                line: LineAddr((1 << 40) - 1),
+                cluster: ClusterId(12),
+            },
+            Token::MemRequest {
+                line: LineAddr(0x1234_5678),
+            },
+            Token::MemFill {
+                line: LineAddr(0x8765_4321),
+            },
+        ];
+        for t in samples {
+            assert_eq!(Token::decode(t.encode()), t, "{t:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown token kind")]
+    fn corrupt_tokens_panic() {
+        let _ = Token::decode(63 << 56);
+    }
+}

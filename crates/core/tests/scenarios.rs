@@ -1,0 +1,158 @@
+//! Deterministic micro-scenarios: hand-crafted reference streams drive
+//! the full system and the transaction outcomes are checked exactly.
+//! Small CPU counts keep every L2 transaction attributable.
+
+use nim_core::{RunError, Scheme, SystemBuilder};
+use nim_types::{AccessKind, Address, CpuId, SystemConfig, TraceOp};
+use nim_workload::ReplayTrace;
+
+fn op(kind: AccessKind, addr: u64) -> TraceOp {
+    TraceOp {
+        gap: 1,
+        kind,
+        addr: Address(addr),
+    }
+}
+
+fn trace_for(cpu: u16, ops: &[TraceOp]) -> ReplayTrace {
+    let mut trace = ReplayTrace::default();
+    for o in ops {
+        trace.push(CpuId(cpu), *o);
+    }
+    trace
+}
+
+fn builder(sample: u64, cpus: u32) -> SystemBuilder {
+    let mut cfg = SystemConfig::default();
+    cfg.num_cpus = cpus;
+    SystemBuilder::new(Scheme::CmpDnuca3d)
+        .config(cfg)
+        .prewarm(false)
+        .warmup_transactions(0)
+        .sampled_transactions(sample)
+}
+
+#[test]
+fn a_cold_read_misses_and_pays_the_memory_latency() {
+    let mut system = builder(1, 1).build().unwrap();
+    let mut trace = trace_for(0, &[op(AccessKind::Read, 0x1234_0000)]);
+    let report = system.run_with_source("scenario", &mut trace).unwrap();
+    assert_eq!(report.counters.l2_transactions, 1);
+    assert_eq!(report.counters.l2_misses, 1);
+    assert_eq!(report.counters.l2_hits, 0);
+    let latency = report.counters.miss_latency_sum;
+    assert!(
+        latency > 260,
+        "a miss must cost more than the 260-cycle memory latency, got {latency}"
+    );
+    assert!(latency < 800, "but not absurdly more, got {latency}");
+}
+
+#[test]
+fn a_same_line_reread_is_absorbed_by_the_l1() {
+    // Two reads of the same 64 B line: the second hits the L1, so only
+    // ONE L2 transaction ever completes and the run stalls short of its
+    // 2-transaction target.
+    let mut system = builder(2, 1).build().unwrap();
+    let mut trace = trace_for(
+        0,
+        &[op(AccessKind::Read, 0x1234_0000), op(AccessKind::Read, 0x1234_0008)],
+    );
+    let err = system.run_with_source("scenario", &mut trace).unwrap_err();
+    assert!(
+        matches!(err, RunError::Stalled { completed: 1, .. }),
+        "got {err:?}"
+    );
+}
+
+#[test]
+fn a_store_to_a_fetched_line_hits_the_l2() {
+    // Read-miss then write-through store to the same line: the store
+    // finds the line in the L2 (an L2 hit) and is far cheaper than the
+    // memory fetch.
+    let mut system = builder(2, 1).build().unwrap();
+    let addr = 0x1234_0000;
+    let mut trace = trace_for(0, &[op(AccessKind::Read, addr), op(AccessKind::Write, addr)]);
+    let report = system.run_with_source("scenario", &mut trace).unwrap();
+    assert_eq!(report.counters.l2_misses, 1, "the cold read");
+    assert_eq!(report.counters.l2_hits, 1, "the write-through store");
+    assert!(
+        report.counters.hit_latency_sum < report.counters.miss_latency_sum / 2,
+        "hit {} must be far cheaper than miss {}",
+        report.counters.hit_latency_sum,
+        report.counters.miss_latency_sum
+    );
+    assert_eq!(report.counters.step1_hits + report.counters.step2_hits, 1);
+}
+
+#[test]
+fn a_write_by_another_cpu_invalidates_the_readers_l1() {
+    // CPU 0 reads a line (L1 + directory install); CPU 1 writes it later;
+    // the directory must send exactly one invalidation to CPU 0.
+    let line = 0x7700_0000;
+    let mut trace = ReplayTrace::default();
+    trace.push(CpuId(0), op(AccessKind::Read, line));
+    trace.push(
+        CpuId(1),
+        TraceOp {
+            gap: 2_000, // let CPU 0's read finish first
+            kind: AccessKind::Write,
+            addr: Address(line),
+        },
+    );
+    let mut system = builder(2, 2).build().unwrap();
+    let report = system.run_with_source("scenario", &mut trace).unwrap();
+    assert_eq!(report.counters.l2_transactions, 2);
+    assert_eq!(
+        report.counters.invalidations, 1,
+        "the store invalidates exactly the one sharer"
+    );
+}
+
+#[test]
+fn an_ifetch_miss_is_a_first_class_l2_transaction() {
+    let mut system = builder(1, 1).build().unwrap();
+    let mut trace = trace_for(0, &[op(AccessKind::IFetch, 0x0BAD_C0DE & !63)]);
+    let report = system.run_with_source("scenario", &mut trace).unwrap();
+    assert_eq!(report.counters.l2_transactions, 1);
+    assert_eq!(report.counters.l2_misses, 1);
+}
+
+#[test]
+fn dried_up_traces_report_a_stall_not_a_hang() {
+    let mut system = builder(10, 1).build().unwrap();
+    let mut trace = trace_for(0, &[op(AccessKind::Read, 0xABC0)]);
+    let start = std::time::Instant::now();
+    let err = system.run_with_source("scenario", &mut trace).unwrap_err();
+    assert!(matches!(err, RunError::Stalled { completed: 1, .. }), "{err}");
+    assert!(
+        start.elapsed().as_secs() < 10,
+        "stall detection must be immediate, not a watchdog timeout"
+    );
+}
+
+#[test]
+fn repeated_reads_by_one_cpu_pull_the_line_home() {
+    // §4.2.3: data accessed repeatedly by a single processor migrates all
+    // the way to that processor's local cluster. The L1 would absorb
+    // plain rereads, so each round also touches two lines that conflict
+    // in the target's 2-way L1 set, forcing every round back to the L2.
+    let target = 0x5A05_0000u64; // home cluster 5 (byte-address bits [16,20))
+    let conflict_a = target + 512 * 64; // same L1 set, same home cluster
+    let conflict_b = conflict_a + 512 * 64;
+    let mut ops = Vec::new();
+    for _ in 0..20 {
+        ops.push(op(AccessKind::Read, target));
+        ops.push(op(AccessKind::Read, conflict_a));
+        ops.push(op(AccessKind::Read, conflict_b));
+    }
+    let mut system = builder(60, 1).build().unwrap();
+    let mut trace = trace_for(0, &ops);
+    let report = system.run_with_source("scenario", &mut trace).unwrap();
+    assert!(
+        report.counters.migrations > 0,
+        "repeated single-CPU access must migrate the line"
+    );
+    assert_eq!(report.counters.l2_misses, 3, "only the cold reads miss");
+    assert!(report.counters.l2_hits >= 55, "every later round hits the L2");
+}

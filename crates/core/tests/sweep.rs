@@ -1,0 +1,38 @@
+//! The design-space sweep driver: the generalisation of Figures 17/18
+//! into the full (layers × pillars) grid.
+
+use nim_core::experiments::{sweep_design_space, ExperimentScale};
+use nim_core::Scheme;
+use nim_workload::BenchmarkProfile;
+
+#[test]
+fn sweep_covers_the_grid_and_skips_unbuildable_cells() {
+    let bench = BenchmarkProfile::art();
+    let cells = sweep_design_space(
+        Scheme::CmpSnuca3d,
+        &bench,
+        &[2, 4],
+        &[8],
+        ExperimentScale::quick(),
+    )
+    .unwrap();
+    assert_eq!(cells.len(), 2);
+    let l2 = cells.iter().find(|c| c.layers == 2).unwrap();
+    let l4 = cells.iter().find(|c| c.layers == 4).unwrap();
+    assert!(
+        l4.report.avg_l2_hit_latency() < l2.report.avg_l2_hit_latency(),
+        "the sweep reproduces the Fig. 18 gradient"
+    );
+    // An unbuildable cell (5 layers do not divide 16 clusters) is skipped,
+    // not an error.
+    let with_bad = sweep_design_space(
+        Scheme::CmpSnuca3d,
+        &bench,
+        &[2, 5],
+        &[8],
+        ExperimentScale::quick(),
+    )
+    .unwrap();
+    assert_eq!(with_bad.len(), 1, "the 5-layer cell is unbuildable");
+    assert_eq!(with_bad[0].layers, 2);
+}

@@ -1,0 +1,209 @@
+//! Private L1 cache (Table 4: 64 KB split I/D, 2-way, 64 B lines,
+//! 3-cycle, write-through).
+//!
+//! True LRU per set (trivial at 2 ways). Stores are write-through and
+//! no-write-allocate: every store is forwarded to the L2, and a store
+//! miss does not install the line.
+
+use nim_types::{Address, L1Config, LineAddr};
+
+/// Hit/miss counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct L1Stats {
+    /// Lookups that hit.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+}
+
+impl L1Stats {
+    /// Miss rate over all lookups (0 when the cache is untouched).
+    pub fn miss_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.misses as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Way {
+    line: LineAddr,
+    stamp: u64,
+}
+
+/// One side (I or D) of a private L1 cache.
+#[derive(Clone, Debug)]
+pub struct L1Cache {
+    sets: Vec<Vec<Way>>,
+    ways: usize,
+    line_bytes: u64,
+    clock: u64,
+    stats: L1Stats,
+}
+
+impl L1Cache {
+    /// Creates an empty L1 with the given geometry.
+    pub fn new(cfg: &L1Config) -> Self {
+        let sets = cfg.sets() as usize;
+        Self {
+            sets: vec![Vec::new(); sets],
+            ways: cfg.ways as usize,
+            line_bytes: u64::from(cfg.line_bytes),
+            clock: 0,
+            stats: L1Stats::default(),
+        }
+    }
+
+    /// Hit/miss counters.
+    #[inline]
+    pub fn stats(&self) -> &L1Stats {
+        &self.stats
+    }
+
+    #[inline]
+    fn set_of(&self, line: LineAddr) -> usize {
+        (line.0 % self.sets.len() as u64) as usize
+    }
+
+    /// Looks up the line containing `addr`, updating LRU and counters.
+    pub fn access(&mut self, addr: Address) -> bool {
+        let line = addr.line(self.line_bytes);
+        let set = self.set_of(line);
+        self.clock += 1;
+        if let Some(way) = self.sets[set].iter_mut().find(|w| w.line == line) {
+            way.stamp = self.clock;
+            self.stats.hits += 1;
+            true
+        } else {
+            self.stats.misses += 1;
+            false
+        }
+    }
+
+    /// Whether the line containing `addr` is resident (no LRU/counter
+    /// side effects).
+    pub fn contains(&self, addr: Address) -> bool {
+        let line = addr.line(self.line_bytes);
+        let set = self.set_of(line);
+        self.sets[set].iter().any(|w| w.line == line)
+    }
+
+    /// Installs the line containing `addr`, evicting LRU if the set is
+    /// full. Returns the evicted line (the directory must be told).
+    pub fn fill(&mut self, addr: Address) -> Option<LineAddr> {
+        let line = addr.line(self.line_bytes);
+        let set = self.set_of(line);
+        self.clock += 1;
+        let clock = self.clock;
+        let ways = &mut self.sets[set];
+        if ways.iter().any(|w| w.line == line) {
+            return None; // already present (e.g. racing fills)
+        }
+        if ways.len() < self.ways {
+            ways.push(Way { line, stamp: clock });
+            return None;
+        }
+        let lru = ways
+            .iter_mut()
+            .min_by_key(|w| w.stamp)
+            .expect("set is full, hence nonempty");
+        let evicted = lru.line;
+        lru.line = line;
+        lru.stamp = clock;
+        Some(evicted)
+    }
+
+    /// Drops `line` (coherence invalidation). Returns whether it was
+    /// present.
+    pub fn invalidate(&mut self, line: LineAddr) -> bool {
+        let set = self.set_of(line);
+        let ways = &mut self.sets[set];
+        match ways.iter().position(|w| w.line == line) {
+            Some(i) => {
+                ways.swap_remove(i);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Resident lines.
+    pub fn occupancy(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l1() -> L1Cache {
+        L1Cache::new(&L1Config::default())
+    }
+
+    #[test]
+    fn geometry_matches_table_4() {
+        let cfg = L1Config::default();
+        assert_eq!(cfg.sets(), 512); // 64 KB / (64 B * 2 ways)
+        let cache = L1Cache::new(&cfg);
+        assert_eq!(cache.sets.len(), 512);
+    }
+
+    #[test]
+    fn miss_then_fill_then_hit() {
+        let mut c = l1();
+        let a = Address(0x1234);
+        assert!(!c.access(a));
+        assert_eq!(c.fill(a), None);
+        assert!(c.access(a));
+        assert!(c.contains(a));
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+        assert_eq!(c.stats().miss_rate(), 0.5);
+    }
+
+    #[test]
+    fn same_line_different_bytes_hit() {
+        let mut c = l1();
+        c.fill(Address(0x1000));
+        assert!(c.access(Address(0x103f)), "same 64 B line");
+        assert!(!c.access(Address(0x1040)), "next line");
+    }
+
+    #[test]
+    fn two_way_set_evicts_lru() {
+        let mut c = l1();
+        // Three lines mapping to the same set: stride = sets * line = 32 KB.
+        let stride = 512 * 64u64;
+        let (a, b, d) = (Address(0), Address(stride), Address(2 * stride));
+        c.fill(a);
+        c.fill(b);
+        c.access(a); // a is now MRU
+        let evicted = c.fill(d).expect("set of 2 overflows");
+        assert_eq!(evicted, b.line(64), "LRU way evicted");
+        assert!(c.contains(a) && c.contains(d) && !c.contains(b));
+    }
+
+    #[test]
+    fn invalidate_removes_the_line() {
+        let mut c = l1();
+        let a = Address(0x40);
+        c.fill(a);
+        assert!(c.invalidate(a.line(64)));
+        assert!(!c.contains(a));
+        assert!(!c.invalidate(a.line(64)));
+        assert_eq!(c.occupancy(), 0);
+    }
+
+    #[test]
+    fn duplicate_fill_is_a_no_op() {
+        let mut c = l1();
+        let a = Address(0x40);
+        assert_eq!(c.fill(a), None);
+        assert_eq!(c.fill(a), None);
+        assert_eq!(c.occupancy(), 1);
+    }
+}

@@ -1,0 +1,903 @@
+//! The cycle-accurate network engine.
+//!
+//! [`Network`] owns every router, pillar bus, injection queue, and delivery
+//! queue of the chip and advances them one clock cycle per [`Network::tick`].
+//! Each cycle runs three phases:
+//!
+//! 1. **Bus phase** — every dTDMA pillar transfers at most one flit from a
+//!    transceiver interface to the destination layer's pillar router
+//!    (round-robin over active interfaces = dynamic slot allocation).
+//! 2. **Router phase** — every active router performs switch allocation:
+//!    per output port, the winning flit traverses to the next router's
+//!    input VC (single-stage router: one hop per cycle on a win).
+//! 3. **Injection phase** — each node's network interface streams at most
+//!    one flit of its oldest pending packet into a local-input VC.
+//!
+//! A flit stamped `arrived == now` cannot move again in the same cycle, so
+//! ordering of phases never lets a flit traverse two hops per cycle.
+//! Routers with no buffered flits are skipped entirely via a dirty list,
+//! which keeps big idle meshes cheap to tick.
+
+use std::collections::VecDeque;
+
+use nim_topology::ChipLayout;
+use nim_types::{Coord, Cycle, Dir, NetworkConfig, PacketId};
+
+use crate::dtdma::{BusStats, DtdmaBus};
+use crate::packet::{Delivered, Flit, FlitKind, SendRequest};
+use crate::router::{Hold, Router};
+use crate::routing::{route, VerticalMode};
+use crate::stats::NetworkStats;
+
+/// One pending packet at a node's network interface.
+#[derive(Clone, Copy, Debug)]
+struct Pending {
+    id: PacketId,
+    req: SendRequest,
+    seq: u32,
+    injected: Cycle,
+}
+
+/// Per-node injection state.
+#[derive(Clone, Debug, Default)]
+struct Injector {
+    queue: VecDeque<Pending>,
+    /// VC the current packet is streaming into.
+    vc: Option<usize>,
+}
+
+/// The on-chip network: stacked wormhole meshes joined by dTDMA pillars
+/// (or by a full 3D mesh in the ablation mode).
+#[derive(Clone, Debug)]
+pub struct Network {
+    layout: ChipLayout,
+    mode: VerticalMode,
+    vcs: usize,
+    /// Cycles a flit dwells in a router before it may leave (Table 4:
+    /// 1-cycle single-stage router; the 7-port ablation uses 2).
+    router_latency: u64,
+    /// Bus cycles per flit on the pillars (1 for a flit-wide bus; more
+    /// when the via budget only affords a narrower vertical bus).
+    bus_cycles_per_flit: u64,
+    /// Per-bus earliest next grant time (serialisation of narrow buses).
+    bus_ready_at: Vec<u64>,
+    routers: Vec<Router>,
+    buses: Vec<DtdmaBus>,
+    /// Bus index at each node position, if the node is a pillar node.
+    bus_of_node: Vec<Option<u16>>,
+    injectors: Vec<Injector>,
+    outbox: Vec<VecDeque<Delivered>>,
+    delivered_nodes: Vec<u32>,
+    in_delivered: Vec<bool>,
+    dirty: Vec<u32>,
+    in_dirty: Vec<bool>,
+    inj_active: Vec<u32>,
+    in_inj: Vec<bool>,
+    now: Cycle,
+    next_pkt: u64,
+    flits_in_flight: u64,
+    stats: NetworkStats,
+    /// Flit traversals through each router (node-indexed), for
+    /// utilisation maps and hotspot analysis.
+    traversals: Vec<u64>,
+}
+
+impl Network {
+    /// Builds the network for a chip layout.
+    ///
+    /// `mode` selects the vertical interconnect: [`VerticalMode::Pillars`]
+    /// is the paper's hybrid NoC/bus design; [`VerticalMode::Mesh3d`] is
+    /// the rejected 7-port router kept for the design-search ablation.
+    pub fn new(layout: &ChipLayout, cfg: &NetworkConfig, mode: VerticalMode) -> Self {
+        let vcs = cfg.vcs_per_port as usize;
+        let depth = cfg.vc_depth_flits as usize;
+        let n = layout.num_nodes();
+        let mut routers = Vec::with_capacity(n);
+        let mut bus_of_node = vec![None; n];
+        for i in 0..n {
+            let c = layout.coord_of_index(i);
+            let mut dirs = vec![Dir::Local];
+            for d in Dir::MESH {
+                if d.step(c.x, c.y, layout.width(), layout.height()).is_some() {
+                    dirs.push(d);
+                }
+            }
+            match mode {
+                VerticalMode::Pillars => {
+                    if layout.layers() > 1 && layout.is_pillar_node(c) {
+                        dirs.push(Dir::Vertical);
+                    }
+                }
+                VerticalMode::Mesh3d => {
+                    if c.layer + 1 < layout.layers() {
+                        dirs.push(Dir::Up);
+                    }
+                    if c.layer > 0 {
+                        dirs.push(Dir::Down);
+                    }
+                }
+            }
+            routers.push(Router::new(c, &dirs, &dirs, vcs, depth));
+        }
+        let mut buses = Vec::new();
+        if mode == VerticalMode::Pillars && layout.layers() > 1 {
+            for p in 0..layout.num_pillars() {
+                let pillar = nim_types::PillarId(p);
+                let xy = layout.pillar_xy(pillar);
+                for layer in 0..layout.layers() {
+                    let idx = layout.node_index(Coord::new(xy.0, xy.1, layer));
+                    bus_of_node[idx] = Some(p);
+                }
+                buses.push(DtdmaBus::new(pillar, xy, layout.layers(), depth));
+            }
+        }
+        Self {
+            layout: layout.clone(),
+            mode,
+            vcs,
+            router_latency: u64::from(cfg.router_latency).max(1),
+            bus_cycles_per_flit: u64::from(cfg.bus_cycles_per_flit()).max(1),
+            bus_ready_at: vec![0; if mode == VerticalMode::Pillars && layout.layers() > 1 {
+                layout.num_pillars() as usize
+            } else {
+                0
+            }],
+            routers,
+            buses,
+            bus_of_node,
+            injectors: vec![Injector::default(); n],
+            outbox: vec![VecDeque::new(); n],
+            delivered_nodes: Vec::new(),
+            in_delivered: vec![false; n],
+            dirty: Vec::new(),
+            in_dirty: vec![false; n],
+            inj_active: Vec::new(),
+            in_inj: vec![false; n],
+            now: Cycle::ZERO,
+            next_pkt: 0,
+            flits_in_flight: 0,
+            stats: NetworkStats::default(),
+            traversals: vec![0; n],
+        }
+    }
+
+    /// The current simulated time.
+    #[inline]
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Whether no flits are buffered, queued, or awaiting injection.
+    #[inline]
+    pub fn is_idle(&self) -> bool {
+        self.flits_in_flight == 0
+    }
+
+    /// Accumulated statistics.
+    #[inline]
+    pub fn stats(&self) -> &NetworkStats {
+        &self.stats
+    }
+
+    /// Per-bus statistics, indexed by pillar.
+    pub fn bus_stats(&self) -> Vec<BusStats> {
+        self.buses.iter().map(|b| b.stats).collect()
+    }
+
+    /// Flit traversals through each router, indexed like
+    /// [`ChipLayout::node_index`](nim_topology::ChipLayout::node_index) —
+    /// the utilisation map behind congestion analysis.
+    pub fn traversals(&self) -> &[u64] {
+        &self.traversals
+    }
+
+    /// Queues a packet for injection at `req.src`. Returns its id.
+    ///
+    /// The packet's latency clock starts now; injection itself contends
+    /// for the node's single flit-wide link into its router.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `req.flits == 0` or an endpoint is outside the mesh.
+    pub fn send(&mut self, req: SendRequest) -> PacketId {
+        assert!(req.flits >= 1, "packet must have at least one flit");
+        assert!(self.layout.contains(req.src), "source {} outside mesh", req.src);
+        assert!(self.layout.contains(req.dst), "destination {} outside mesh", req.dst);
+        let id = PacketId(self.next_pkt);
+        self.next_pkt += 1;
+        let node = self.layout.node_index(req.src);
+        self.injectors[node].queue.push_back(Pending {
+            id,
+            req,
+            seq: 0,
+            injected: self.now,
+        });
+        self.mark_inj(node);
+        self.flits_in_flight += u64::from(req.flits);
+        self.stats.packets_sent += 1;
+        id
+    }
+
+    /// Pops the oldest packet delivered at node `c`, if any.
+    pub fn pop_delivered(&mut self, c: Coord) -> Option<Delivered> {
+        let idx = self.layout.node_index(c);
+        self.outbox[idx].pop_front()
+    }
+
+    /// Drains every delivered packet, in (node, arrival) order.
+    pub fn drain_delivered(&mut self) -> Vec<Delivered> {
+        let mut out = Vec::new();
+        self.drain_delivered_into(&mut out);
+        out
+    }
+
+    /// Whether any delivered packets await pickup.
+    #[inline]
+    pub fn has_deliveries(&self) -> bool {
+        !self.delivered_nodes.is_empty()
+    }
+
+    /// Drains all delivered packets into `buf` (in node order, then
+    /// arrival order per node), touching only the nodes that actually
+    /// received something.
+    pub fn drain_delivered_into(&mut self, buf: &mut Vec<Delivered>) {
+        let mut nodes = std::mem::take(&mut self.delivered_nodes);
+        nodes.sort_unstable();
+        for &n in &nodes {
+            self.in_delivered[n as usize] = false;
+            buf.extend(self.outbox[n as usize].drain(..));
+        }
+        nodes.clear();
+        self.delivered_nodes = nodes;
+    }
+
+    /// Advances the clock over a known-quiet span without ticking.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any flit is in flight — skipping would change behaviour.
+    pub fn advance_idle(&mut self, cycles: u64) {
+        assert!(self.is_idle(), "advance_idle with traffic in flight");
+        self.now += cycles;
+    }
+
+    /// Advances the network by one clock cycle.
+    pub fn tick(&mut self) {
+        self.now += 1;
+        let now = self.now;
+        self.bus_phase(now);
+        self.router_phase(now);
+        self.injection_phase(now);
+    }
+
+    /// Ticks until the network is idle, up to `max_cycles`. Returns the
+    /// number of cycles consumed, or `None` if traffic is still in flight
+    /// at the limit (useful to catch livelock in tests).
+    pub fn run_until_idle(&mut self, max_cycles: u64) -> Option<u64> {
+        let start = self.now;
+        while !self.is_idle() {
+            if self.now - start >= max_cycles {
+                return None;
+            }
+            self.tick();
+        }
+        Some(self.now - start)
+    }
+
+    #[inline]
+    fn mark_dirty(&mut self, node: usize) {
+        if !self.in_dirty[node] {
+            self.in_dirty[node] = true;
+            self.dirty.push(node as u32);
+        }
+    }
+
+    #[inline]
+    fn mark_inj(&mut self, node: usize) {
+        if !self.in_inj[node] {
+            self.in_inj[node] = true;
+            self.inj_active.push(node as u32);
+        }
+    }
+
+    fn bus_phase(&mut self, now: Cycle) {
+        for b in 0..self.buses.len() {
+            // A narrow bus is still serialising the previous flit.
+            if self.bus_ready_at[b] > now.0 {
+                continue;
+            }
+            let layers = self.buses[b].ifaces.len();
+            let eligible = self.buses[b]
+                .ifaces
+                .iter()
+                .filter(|i| i.q.front().is_some_and(|f| f.arrived < now))
+                .count();
+            if eligible == 0 {
+                continue;
+            }
+            if eligible >= 2 {
+                self.buses[b].stats.contention_cycles += 1;
+            }
+            let rr = self.buses[b].rr;
+            for off in 0..layers {
+                let i = (rr + off) % layers;
+                let Some(front) = self.buses[b].ifaces[i].q.front().copied() else {
+                    continue;
+                };
+                if front.arrived >= now {
+                    continue;
+                }
+                let (px, py) = self.buses[b].xy;
+                let dest_idx = self
+                    .layout
+                    .node_index(Coord::new(px, py, front.dst.layer));
+                let vi = Dir::Vertical.index();
+                let port = self.routers[dest_idx].inputs[vi]
+                    .as_ref()
+                    .expect("pillar node lacks vertical port");
+                let vc_sel = if front.kind.is_head() {
+                    port.free_vc()
+                } else {
+                    self.buses[b].ifaces[i]
+                        .bound_vc
+                        .filter(|&v| port.vc(v).accepts_continuation(front.pkt))
+                };
+                let Some(vc) = vc_sel else {
+                    continue;
+                };
+                let mut f = self.buses[b].ifaces[i].q.pop_front().expect("front checked");
+                f.arrived = now;
+                f.hops += 1;
+                self.routers[dest_idx].inputs[vi]
+                    .as_mut()
+                    .expect("checked above")
+                    .vc_mut(vc)
+                    .push(f);
+                self.routers[dest_idx].occupancy += 1;
+                self.mark_dirty(dest_idx);
+                let iface = &mut self.buses[b].ifaces[i];
+                iface.bound_vc = if f.kind.is_tail() {
+                    None
+                } else if f.kind.is_head() {
+                    Some(vc)
+                } else {
+                    iface.bound_vc
+                };
+                self.buses[b].stats.transfers += 1;
+                self.buses[b].stats.busy_cycles += self.bus_cycles_per_flit;
+                self.stats.bus_transfers += 1;
+                self.buses[b].rr = (i + 1) % layers;
+                self.bus_ready_at[b] = now.0 + self.bus_cycles_per_flit;
+                break; // one flit per bus grant
+            }
+        }
+    }
+
+    fn router_phase(&mut self, now: Cycle) {
+        let mut work = std::mem::take(&mut self.dirty);
+        work.sort_unstable();
+        for &n in &work {
+            self.in_dirty[n as usize] = false;
+        }
+        for &n in &work {
+            let n = n as usize;
+            if self.routers[n].occupancy == 0 {
+                continue;
+            }
+            let mut used_input = [false; Dir::COUNT];
+            for out in Dir::ALL {
+                if self.routers[n].has_output(out) {
+                    self.process_output(n, out, now, &mut used_input);
+                }
+            }
+            if self.routers[n].occupancy > 0 {
+                self.mark_dirty(n);
+            }
+        }
+    }
+
+    /// Switch allocation and traversal for one output port of one router.
+    fn process_output(
+        &mut self,
+        n: usize,
+        out: Dir,
+        now: Cycle,
+        used_input: &mut [bool; Dir::COUNT],
+    ) {
+        let oi = out.index();
+        // An output already claimed by a packet serves only that packet.
+        if let Some(hold) = self.routers[n].held[oi] {
+            if used_input[hold.in_dir] {
+                return;
+            }
+            let front = self.routers[n].inputs[hold.in_dir]
+                .as_ref()
+                .and_then(|p| p.vc(hold.vc).front())
+                .copied();
+            let Some(front) = front else { return };
+            if front.pkt != hold.pkt || front.arrived.0 + self.router_latency > now.0 {
+                return;
+            }
+            if self.try_move(n, hold.in_dir, hold.vc, out, &front, now) {
+                used_input[hold.in_dir] = true;
+                if front.kind.is_tail() {
+                    self.routers[n].held[oi] = None;
+                }
+            } else {
+                self.stats.switch_contention += 1;
+            }
+            return;
+        }
+        // Free output: round-robin over head flits requesting it.
+        let vcs = self.vcs;
+        let total = Dir::COUNT * vcs;
+        let rrp = self.routers[n].rr[oi] as usize;
+        let at = self.routers[n].coord;
+        let mut winner: Option<(usize, usize, Flit, usize)> = None;
+        let mut eligible = 0u64;
+        for off in 0..total {
+            let slot = (rrp + off) % total;
+            let (in_dir, vc) = (slot / vcs, slot % vcs);
+            if used_input[in_dir] {
+                continue;
+            }
+            let Some(port) = &self.routers[n].inputs[in_dir] else {
+                continue;
+            };
+            let Some(front) = port.vc(vc).front() else {
+                continue;
+            };
+            if front.arrived.0 + self.router_latency > now.0 || !front.kind.is_head() {
+                continue;
+            }
+            if route(&self.layout, self.mode, at, front.dst, front.via) != out {
+                continue;
+            }
+            eligible += 1;
+            if winner.is_none() {
+                winner = Some((in_dir, vc, *front, slot));
+            }
+        }
+        if eligible > 1 {
+            self.stats.switch_contention += eligible - 1;
+        }
+        let Some((in_dir, vc, front, slot)) = winner else {
+            return;
+        };
+        if self.try_move(n, in_dir, vc, out, &front, now) {
+            used_input[in_dir] = true;
+            if !front.kind.is_tail() {
+                self.routers[n].held[oi] = Some(Hold {
+                    pkt: front.pkt,
+                    in_dir,
+                    vc,
+                });
+            }
+            self.routers[n].rr[oi] = ((slot + 1) % total) as u16;
+        } else {
+            self.stats.switch_contention += 1;
+        }
+    }
+
+    /// Attempts the actual flit traversal. Returns `false` when downstream
+    /// has no space or no free VC (speculation failure — retry next cycle).
+    fn try_move(
+        &mut self,
+        n: usize,
+        in_dir: usize,
+        vc: usize,
+        out: Dir,
+        front: &Flit,
+        now: Cycle,
+    ) -> bool {
+        match out {
+            Dir::Local => {
+                let f = self.routers[n].inputs[in_dir]
+                    .as_mut()
+                    .expect("input exists")
+                    .vc_mut(vc)
+                    .pop()
+                    .expect("front checked");
+                self.routers[n].occupancy -= 1;
+                self.flits_in_flight -= 1;
+                if f.kind.is_tail() {
+                    let d = Delivered {
+                        packet: f.pkt,
+                        src: f.src,
+                        dst: f.dst,
+                        class: f.class,
+                        token: f.token,
+                        injected: f.injected,
+                        delivered: now,
+                        hops: f.hops,
+                    };
+                    self.stats.record_delivery(&d);
+                    self.outbox[n].push_back(d);
+                    if !self.in_delivered[n] {
+                        self.in_delivered[n] = true;
+                        self.delivered_nodes.push(n as u32);
+                    }
+                }
+                true
+            }
+            Dir::Vertical => {
+                let bus_idx = self.bus_of_node[n].expect("vertical output on non-pillar node")
+                    as usize;
+                let layer = self.routers[n].coord.layer;
+                if !self.buses[bus_idx].can_enqueue(layer) {
+                    return false;
+                }
+                let mut f = self.routers[n].inputs[in_dir]
+                    .as_mut()
+                    .expect("input exists")
+                    .vc_mut(vc)
+                    .pop()
+                    .expect("front checked");
+                f.arrived = now;
+                self.buses[bus_idx].enqueue(layer, f);
+                self.routers[n].occupancy -= 1;
+                self.stats.flit_hops += 1;
+                self.stats.flit_hops_by_class[f.class.index()] += 1;
+                self.traversals[n] += 1;
+                true
+            }
+            _ => {
+                let c = self.routers[n].coord;
+                let dest = match out {
+                    Dir::Up => Coord::new(c.x, c.y, c.layer + 1),
+                    Dir::Down => Coord::new(c.x, c.y, c.layer - 1),
+                    d => {
+                        let (x, y) = d
+                            .step(c.x, c.y, self.layout.width(), self.layout.height())
+                            .expect("routing stays on the mesh");
+                        Coord::new(x, y, c.layer)
+                    }
+                };
+                let dest_idx = self.layout.node_index(dest);
+                debug_assert_ne!(dest_idx, n);
+                let ii = out.opposite().index();
+                let dvc = {
+                    let port = self.routers[dest_idx].inputs[ii]
+                        .as_ref()
+                        .expect("link implies input port");
+                    if front.kind.is_head() {
+                        port.free_vc()
+                    } else {
+                        port.continuation_vc(front.pkt)
+                    }
+                };
+                let Some(dvc) = dvc else {
+                    return false;
+                };
+                let mut f = self.routers[n].inputs[in_dir]
+                    .as_mut()
+                    .expect("input exists")
+                    .vc_mut(vc)
+                    .pop()
+                    .expect("front checked");
+                f.arrived = now;
+                f.hops += 1;
+                self.routers[dest_idx].inputs[ii]
+                    .as_mut()
+                    .expect("checked above")
+                    .vc_mut(dvc)
+                    .push(f);
+                self.routers[n].occupancy -= 1;
+                self.routers[dest_idx].occupancy += 1;
+                self.mark_dirty(dest_idx);
+                self.stats.flit_hops += 1;
+                self.stats.flit_hops_by_class[f.class.index()] += 1;
+                self.traversals[n] += 1;
+                true
+            }
+        }
+    }
+
+    fn injection_phase(&mut self, now: Cycle) {
+        let mut active = std::mem::take(&mut self.inj_active);
+        active.sort_unstable();
+        for &n in &active {
+            self.in_inj[n as usize] = false;
+        }
+        for &n in &active {
+            let n = n as usize;
+            let li = Dir::Local.index();
+            if let Some(p) = self.injectors[n].queue.front().copied() {
+                let kind = FlitKind::for_position(p.seq, p.req.flits);
+                let port = self.routers[n].inputs[li].as_mut().expect("local port");
+                let vc_sel = if kind.is_head() {
+                    port.free_vc()
+                } else {
+                    self.injectors[n]
+                        .vc
+                        .filter(|&v| port.vc(v).accepts_continuation(p.id))
+                };
+                if let Some(v) = vc_sel {
+                    let flit = Flit {
+                        pkt: p.id,
+                        kind,
+                        src: p.req.src,
+                        dst: p.req.dst,
+                        via: p.req.via,
+                        class: p.req.class,
+                        token: p.req.token,
+                        injected: p.injected,
+                        arrived: now,
+                        hops: 0,
+                    };
+                    self.routers[n].inputs[li]
+                        .as_mut()
+                        .expect("local port")
+                        .vc_mut(v)
+                        .push(flit);
+                    self.routers[n].occupancy += 1;
+                    self.mark_dirty(n);
+                    let inj = &mut self.injectors[n];
+                    let front = inj.queue.front_mut().expect("checked above");
+                    front.seq += 1;
+                    if front.seq == front.req.flits {
+                        inj.queue.pop_front();
+                        inj.vc = None;
+                    } else {
+                        inj.vc = Some(v);
+                    }
+                }
+            }
+            if !self.injectors[n].queue.is_empty() {
+                self.mark_inj(n);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::TrafficClass;
+    use nim_types::{PillarId, SystemConfig};
+
+    fn net(mode: VerticalMode) -> (ChipLayout, Network) {
+        let cfg = SystemConfig::default();
+        let layout = ChipLayout::new(&cfg).unwrap();
+        let network = Network::new(&layout, &cfg.network, mode);
+        (layout, network)
+    }
+
+    fn send_one(
+        net: &mut Network,
+        src: Coord,
+        dst: Coord,
+        via: Option<PillarId>,
+        flits: u32,
+    ) -> PacketId {
+        net.send(SendRequest {
+            src,
+            dst,
+            via,
+            class: TrafficClass::Control,
+            flits,
+            token: 7,
+        })
+    }
+
+    #[test]
+    fn single_flit_same_layer_zero_load_latency() {
+        let (_, mut net) = net(VerticalMode::Pillars);
+        let src = Coord::new(0, 0, 0);
+        let dst = Coord::new(3, 0, 0);
+        send_one(&mut net, src, dst, None, 1);
+        let cycles = net.run_until_idle(100).expect("must drain");
+        // 1 injection cycle + 3 hops + 1 ejection cycle.
+        assert_eq!(cycles, 5);
+        let d = net.pop_delivered(dst).expect("delivered");
+        assert_eq!(d.latency(), 5);
+        assert_eq!(d.hops, 3);
+        assert_eq!(d.token, 7);
+        assert_eq!(net.stats().packets_delivered, 1);
+    }
+
+    #[test]
+    fn four_flit_packet_streams_behind_its_head() {
+        let (_, mut net) = net(VerticalMode::Pillars);
+        let src = Coord::new(0, 0, 0);
+        let dst = Coord::new(3, 0, 0);
+        send_one(&mut net, src, dst, None, 4);
+        let cycles = net.run_until_idle(100).expect("must drain");
+        // Head takes 5; each body/tail flit adds one cycle behind it.
+        assert_eq!(cycles, 8);
+        let d = net.pop_delivered(dst).unwrap();
+        assert_eq!(d.latency(), 8);
+    }
+
+    #[test]
+    fn delivery_to_self_works() {
+        let (_, mut net) = net(VerticalMode::Pillars);
+        let here = Coord::new(2, 2, 0);
+        send_one(&mut net, here, here, None, 1);
+        net.run_until_idle(50).expect("drains");
+        let d = net.pop_delivered(here).unwrap();
+        assert_eq!(d.hops, 0, "local delivery never leaves the router");
+    }
+
+    #[test]
+    fn cross_layer_rides_the_pillar_bus() {
+        let (layout, mut net) = net(VerticalMode::Pillars);
+        let p = PillarId(0);
+        let (px, py) = layout.pillar_xy(p);
+        let src = Coord::new(px, py, 0);
+        let dst = Coord::new(px, py, 1);
+        send_one(&mut net, src, dst, Some(p), 1);
+        let cycles = net.run_until_idle(100).expect("drains");
+        // inject + vertical crossbar + bus + eject = 4 cycles.
+        assert_eq!(cycles, 4);
+        let d = net.pop_delivered(dst).unwrap();
+        assert_eq!(d.hops, 1, "the bus is a single hop between any layers");
+        assert_eq!(net.stats().bus_transfers, 1);
+        assert_eq!(net.bus_stats()[0].transfers, 1);
+    }
+
+    #[test]
+    fn cross_layer_from_off_pillar_walks_to_the_pillar() {
+        let (layout, mut net) = net(VerticalMode::Pillars);
+        let p = PillarId(0);
+        let (px, py) = layout.pillar_xy(p);
+        let src = Coord::new(px.saturating_sub(1), py, 0);
+        let dst = Coord::new(px + 1, py, 1);
+        send_one(&mut net, src, dst, Some(p), 1);
+        net.run_until_idle(200).expect("drains");
+        let d = net.pop_delivered(dst).unwrap();
+        // 1 hop to pillar + 1 bus hop + 1 hop to dst.
+        assert_eq!(d.hops, 3);
+    }
+
+    #[test]
+    fn mesh3d_mode_climbs_with_up_down_ports() {
+        let (_, mut net) = net(VerticalMode::Mesh3d);
+        let src = Coord::new(0, 0, 0);
+        let dst = Coord::new(2, 0, 1);
+        send_one(&mut net, src, dst, None, 1);
+        net.run_until_idle(100).expect("drains");
+        let d = net.pop_delivered(dst).unwrap();
+        assert_eq!(d.hops, 3, "2 lateral + 1 vertical mesh hop");
+        assert_eq!(net.stats().bus_transfers, 0, "no buses in mesh3d mode");
+    }
+
+    #[test]
+    fn pillar_contention_is_observable() {
+        let (layout, mut net) = net(VerticalMode::Pillars);
+        let p = PillarId(0);
+        let (px, py) = layout.pillar_xy(p);
+        // Two senders on different layers both crossing simultaneously.
+        send_one(&mut net, Coord::new(px, py, 0), Coord::new(px, py, 1), Some(p), 4);
+        send_one(&mut net, Coord::new(px, py, 1), Coord::new(px, py, 0), Some(p), 4);
+        net.run_until_idle(300).expect("drains");
+        assert_eq!(net.stats().packets_delivered, 2);
+        assert!(net.bus_stats()[0].contention_cycles > 0);
+    }
+
+    #[test]
+    fn many_packets_all_arrive_exactly_once() {
+        let (layout, mut net) = net(VerticalMode::Pillars);
+        let mut expected = Vec::new();
+        // All-to-all among a set of nodes spread over both layers.
+        let nodes = [
+            Coord::new(0, 0, 0),
+            Coord::new(15, 7, 0),
+            Coord::new(7, 3, 1),
+            Coord::new(2, 6, 1),
+            Coord::new(12, 1, 0),
+        ];
+        let mut token = 0u64;
+        for &s in &nodes {
+            for &d in &nodes {
+                if s != d {
+                    let via = layout.nearest_pillar(s);
+                    net.send(SendRequest {
+                        src: s,
+                        dst: d,
+                        via,
+                        class: TrafficClass::Data,
+                        flits: 4,
+                        token,
+                    });
+                    expected.push((d, token));
+                    token += 1;
+                }
+            }
+        }
+        net.run_until_idle(10_000).expect("all traffic drains");
+        let mut got: Vec<(Coord, u64)> = net
+            .drain_delivered()
+            .into_iter()
+            .map(|d| (d.dst, d.token))
+            .collect();
+        got.sort_unstable_by_key(|&(c, t)| (c.layer, c.y, c.x, t));
+        expected.sort_unstable_by_key(|&(c, t)| (c.layer, c.y, c.x, t));
+        assert_eq!(got, expected);
+        assert_eq!(net.stats().packets_sent, net.stats().packets_delivered);
+    }
+
+    #[test]
+    fn per_source_destination_order_is_preserved() {
+        let (_, mut net) = net(VerticalMode::Pillars);
+        let src = Coord::new(0, 0, 0);
+        let dst = Coord::new(5, 5, 0);
+        for t in 0..10u64 {
+            net.send(SendRequest {
+                src,
+                dst,
+                via: None,
+                class: TrafficClass::Control,
+                flits: 1,
+                token: t,
+            });
+        }
+        net.run_until_idle(1_000).expect("drains");
+        let tokens: Vec<u64> = std::iter::from_fn(|| net.pop_delivered(dst))
+            .map(|d| d.token)
+            .collect();
+        assert_eq!(tokens, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn heavy_random_traffic_drains_without_deadlock() {
+        use rand::rngs::StdRng;
+        use rand::{RngExt, SeedableRng};
+        let (layout, mut net) = net(VerticalMode::Pillars);
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut sent = 0u64;
+        for _ in 0..400 {
+            let src = Coord::new(
+                rng.random_range(0..layout.width()),
+                rng.random_range(0..layout.height()),
+                rng.random_range(0..layout.layers()),
+            );
+            let dst = Coord::new(
+                rng.random_range(0..layout.width()),
+                rng.random_range(0..layout.height()),
+                rng.random_range(0..layout.layers()),
+            );
+            let flits = if rng.random_bool(0.5) { 1 } else { 4 };
+            net.send(SendRequest {
+                src,
+                dst,
+                via: layout.nearest_pillar(src),
+                class: TrafficClass::Data,
+                flits,
+                token: sent,
+            });
+            sent += 1;
+            // Interleave some ticks so injection queues overlap in time.
+            if sent % 7 == 0 {
+                net.tick();
+            }
+        }
+        net.run_until_idle(100_000).expect("no deadlock under load");
+        assert_eq!(net.stats().packets_delivered, sent);
+        assert!(net.stats().avg_latency() > 0.0);
+        assert!(net.stats().switch_contention > 0, "load must cause contention");
+    }
+
+    #[test]
+    fn stats_latency_matches_deliveries() {
+        let (_, mut net) = net(VerticalMode::Pillars);
+        send_one(&mut net, Coord::new(0, 0, 0), Coord::new(1, 0, 0), None, 1);
+        send_one(&mut net, Coord::new(4, 4, 0), Coord::new(4, 6, 0), None, 1);
+        net.run_until_idle(100).unwrap();
+        let ds = net.drain_delivered();
+        let sum: u64 = ds.iter().map(|d| d.latency()).sum();
+        assert_eq!(net.stats().total_latency, sum);
+        assert_eq!(net.stats().avg_latency(), sum as f64 / 2.0);
+    }
+
+    #[test]
+    fn mesh3d_four_layer_traffic() {
+        let cfg = SystemConfig::default().with_layers(4);
+        let layout = ChipLayout::new(&cfg).unwrap();
+        let mut net = Network::new(&layout, &cfg.network, VerticalMode::Mesh3d);
+        send_one(&mut net, Coord::new(0, 0, 0), Coord::new(0, 0, 3), None, 1);
+        net.run_until_idle(100).expect("drains");
+        let d = net.pop_delivered(Coord::new(0, 0, 3)).unwrap();
+        assert_eq!(d.hops, 3, "each layer crossing is a mesh hop in 3D-mesh mode");
+    }
+}

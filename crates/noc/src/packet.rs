@@ -1,0 +1,210 @@
+//! Packets, flits, and the send/receive interface records.
+//!
+//! Messages are packetised and broken into *flits* — the unit of transfer
+//! whose width equals the link width (paper §2.2). With the default
+//! configuration a 64 B cache line travels as one 4-flit packet of 128-bit
+//! flits (§3.2); control messages (requests, tag probes, acks) are single
+//! head-tail flits.
+
+use nim_types::{Coord, Cycle, PacketId, PillarId};
+
+/// Position of a flit within its packet.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FlitKind {
+    /// First flit; carries routing information and allocates VCs.
+    Head,
+    /// Middle flit.
+    Body,
+    /// Last flit; releases VCs and port holds as it drains.
+    Tail,
+    /// Single-flit packet: head and tail at once.
+    HeadTail,
+}
+
+impl FlitKind {
+    /// Whether this flit performs head duties (VC allocation).
+    #[inline]
+    pub const fn is_head(self) -> bool {
+        matches!(self, FlitKind::Head | FlitKind::HeadTail)
+    }
+
+    /// Whether this flit performs tail duties (resource release).
+    #[inline]
+    pub const fn is_tail(self) -> bool {
+        matches!(self, FlitKind::Tail | FlitKind::HeadTail)
+    }
+
+    /// The kind of flit number `seq` in a packet of `len` flits.
+    pub const fn for_position(seq: u32, len: u32) -> FlitKind {
+        if len == 1 {
+            FlitKind::HeadTail
+        } else if seq == 0 {
+            FlitKind::Head
+        } else if seq + 1 == len {
+            FlitKind::Tail
+        } else {
+            FlitKind::Body
+        }
+    }
+}
+
+/// Coarse message class, used for statistics and energy accounting.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TrafficClass {
+    /// Requests, tag probes, acknowledgements (single-flit).
+    Control,
+    /// Cache-line data transfers.
+    Data,
+    /// Cache-line movements caused by the migration policy.
+    Migration,
+    /// L1 coherence traffic (invalidations, directory updates).
+    Coherence,
+}
+
+impl TrafficClass {
+    /// All classes, for dense indexing.
+    pub const ALL: [TrafficClass; 4] = [
+        TrafficClass::Control,
+        TrafficClass::Data,
+        TrafficClass::Migration,
+        TrafficClass::Coherence,
+    ];
+
+    /// Dense index matching [`TrafficClass::ALL`].
+    #[inline]
+    pub const fn index(self) -> usize {
+        match self {
+            TrafficClass::Control => 0,
+            TrafficClass::Data => 1,
+            TrafficClass::Migration => 2,
+            TrafficClass::Coherence => 3,
+        }
+    }
+}
+
+/// One flit in flight.
+///
+/// Every flit carries the full routing record so routers stay stateless
+/// about packets (look-ahead routing computes the output port from the
+/// destination on the fly).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Flit {
+    /// Packet this flit belongs to.
+    pub pkt: PacketId,
+    /// Head/body/tail position.
+    pub kind: FlitKind,
+    /// Injecting node.
+    pub src: Coord,
+    /// Destination node.
+    pub dst: Coord,
+    /// Pillar to ride for inter-layer traversal (the transaction owner's
+    /// dedicated pillar); `None` lets routers pick the nearest.
+    pub via: Option<PillarId>,
+    /// Message class for statistics.
+    pub class: TrafficClass,
+    /// Opaque sender cookie, returned on delivery.
+    pub token: u64,
+    /// Cycle the packet was handed to [`Network::send`].
+    ///
+    /// [`Network::send`]: crate::Network::send
+    pub injected: Cycle,
+    /// Cycle this flit last moved (prevents multi-hop teleports within a
+    /// single simulated cycle).
+    pub arrived: Cycle,
+    /// Router traversals so far (head flit only is meaningful).
+    pub hops: u16,
+}
+
+/// A request to inject one packet into the network.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SendRequest {
+    /// Injecting node (must host the sender's network interface).
+    pub src: Coord,
+    /// Destination node.
+    pub dst: Coord,
+    /// Pillar to ride for any inter-layer traversal.
+    pub via: Option<PillarId>,
+    /// Message class.
+    pub class: TrafficClass,
+    /// Packet length in flits (≥ 1).
+    pub flits: u32,
+    /// Opaque cookie returned on delivery.
+    pub token: u64,
+}
+
+/// A packet that reached its destination's local port.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Delivered {
+    /// Packet id assigned by [`Network::send`].
+    ///
+    /// [`Network::send`]: crate::Network::send
+    pub packet: PacketId,
+    /// Injecting node.
+    pub src: Coord,
+    /// Destination node (where it was delivered).
+    pub dst: Coord,
+    /// Message class.
+    pub class: TrafficClass,
+    /// Sender cookie.
+    pub token: u64,
+    /// Cycle the packet was handed to the network.
+    pub injected: Cycle,
+    /// Cycle the tail flit left the destination router.
+    pub delivered: Cycle,
+    /// Router/bus traversals of the head flit.
+    pub hops: u16,
+}
+
+impl Delivered {
+    /// End-to-end packet latency in cycles (injection to tail ejection).
+    #[inline]
+    pub fn latency(&self) -> u64 {
+        self.delivered - self.injected
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flit_kind_positions() {
+        assert_eq!(FlitKind::for_position(0, 1), FlitKind::HeadTail);
+        assert_eq!(FlitKind::for_position(0, 4), FlitKind::Head);
+        assert_eq!(FlitKind::for_position(1, 4), FlitKind::Body);
+        assert_eq!(FlitKind::for_position(2, 4), FlitKind::Body);
+        assert_eq!(FlitKind::for_position(3, 4), FlitKind::Tail);
+    }
+
+    #[test]
+    fn head_and_tail_predicates() {
+        assert!(FlitKind::Head.is_head());
+        assert!(!FlitKind::Head.is_tail());
+        assert!(FlitKind::Tail.is_tail());
+        assert!(!FlitKind::Tail.is_head());
+        assert!(FlitKind::HeadTail.is_head() && FlitKind::HeadTail.is_tail());
+        assert!(!FlitKind::Body.is_head() && !FlitKind::Body.is_tail());
+    }
+
+    #[test]
+    fn traffic_class_indices_are_dense() {
+        for (i, c) in TrafficClass::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+    }
+
+    #[test]
+    fn delivered_latency() {
+        let d = Delivered {
+            packet: PacketId(1),
+            src: Coord::new(0, 0, 0),
+            dst: Coord::new(1, 0, 0),
+            class: TrafficClass::Control,
+            token: 0,
+            injected: Cycle(10),
+            delivered: Cycle(25),
+            hops: 2,
+        };
+        assert_eq!(d.latency(), 15);
+    }
+}

@@ -1,0 +1,122 @@
+//! Single-stage wormhole router state.
+//!
+//! The paper adopts speculative allocation and look-ahead routing to get a
+//! single-cycle router (§3.2, citing Peh & Dally and Mullins et al.). We
+//! model the *resulting timing*: a flit that wins switch allocation
+//! traverses to the next router's input buffer in one cycle; a flit that
+//! loses retries the next cycle. Routing is recomputed combinationally
+//! from the destination at every hop (look-ahead makes this free in
+//! hardware).
+//!
+//! Pillar routers carry one extra physical channel — the `Vertical` port —
+//! interfacing the dTDMA bus (Figure 7); the router sees it as just
+//! another port. The 7-port 3D-mesh ablation router instead carries `Up`
+//! and `Down` ports.
+
+use nim_types::{Coord, Dir, PacketId};
+
+use crate::vc::InputPort;
+
+/// An output port held by an in-flight packet (wormhole: once a head flit
+/// claims an output, body flits follow contiguously until the tail).
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Hold {
+    pub pkt: PacketId,
+    /// Input direction the packet is streaming from.
+    pub in_dir: usize,
+    /// VC index within that input port.
+    pub vc: usize,
+}
+
+/// One router: per-input-port VC buffers plus switch-allocation state.
+#[derive(Clone, Debug)]
+pub(crate) struct Router {
+    pub coord: Coord,
+    /// Input buffers, indexed by [`Dir::index`]; `None` where the port
+    /// does not exist (mesh edge, non-pillar node, ...).
+    pub inputs: [Option<InputPort>; Dir::COUNT],
+    /// Output ports that exist, as a bitmask over [`Dir::index`].
+    pub out_mask: u8,
+    /// Per-output wormhole hold.
+    pub held: [Option<Hold>; Dir::COUNT],
+    /// Per-output round-robin arbitration pointer (over `in_dir * V + vc`).
+    pub rr: [u16; Dir::COUNT],
+    /// Total flits buffered in this router.
+    pub occupancy: u32,
+}
+
+impl Router {
+    /// Creates a router with the given input/output ports.
+    pub(crate) fn new(
+        coord: Coord,
+        in_dirs: &[Dir],
+        out_dirs: &[Dir],
+        vcs: usize,
+        depth: usize,
+    ) -> Self {
+        let mut inputs: [Option<InputPort>; Dir::COUNT] = Default::default();
+        for d in in_dirs {
+            inputs[d.index()] = Some(InputPort::new(vcs, depth));
+        }
+        let mut out_mask = 0u8;
+        for d in out_dirs {
+            out_mask |= 1 << d.index();
+        }
+        Self {
+            coord,
+            inputs,
+            out_mask,
+            held: Default::default(),
+            rr: [0; Dir::COUNT],
+            occupancy: 0,
+        }
+    }
+
+    /// Whether the router has an output port in direction `d`.
+    #[inline]
+    pub(crate) fn has_output(&self, d: Dir) -> bool {
+        self.out_mask & (1 << d.index()) != 0
+    }
+
+    /// Number of physical ports (inputs), for statistics.
+    #[allow(dead_code)] // exercised by tests; kept for diagnostics
+    pub(crate) fn num_ports(&self) -> usize {
+        self.inputs.iter().filter(|p| p.is_some()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ports_are_created_where_requested() {
+        let r = Router::new(
+            Coord::new(0, 0, 0),
+            &[Dir::East, Dir::North, Dir::Local],
+            &[Dir::East, Dir::North, Dir::Local],
+            3,
+            4,
+        );
+        assert!(r.inputs[Dir::East.index()].is_some());
+        assert!(r.inputs[Dir::West.index()].is_none());
+        assert!(r.has_output(Dir::East));
+        assert!(!r.has_output(Dir::West));
+        assert_eq!(r.num_ports(), 3);
+        assert_eq!(r.occupancy, 0);
+    }
+
+    #[test]
+    fn pillar_router_has_six_ports() {
+        let dirs = [
+            Dir::North,
+            Dir::South,
+            Dir::East,
+            Dir::West,
+            Dir::Local,
+            Dir::Vertical,
+        ];
+        let r = Router::new(Coord::new(2, 2, 0), &dirs, &dirs, 3, 4);
+        assert_eq!(r.num_ports(), 6, "5-port mesh router + 1 vertical (paper §3.1)");
+    }
+}

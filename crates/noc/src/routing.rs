@@ -1,0 +1,173 @@
+//! Route computation.
+//!
+//! The paper uses dimension-order (XY) routing within each layer (Table 4).
+//! Inter-layer traversal depends on the vertical interconnect:
+//!
+//! * **Pillar mode** (the paper's design): route XY to the transaction's
+//!   pillar, take the dTDMA bus straight to the destination layer (one
+//!   hop), then XY to the destination.
+//! * **Mesh3d mode** (the rejected 7-port router, kept as an ablation):
+//!   route XY within the layer first, then climb layer by layer over the
+//!   `Up`/`Down` ports (XYZ dimension order).
+//!
+//! Dimension-order routing is deterministic and deadlock-free on a mesh;
+//! the pillar detour preserves this because each packet crosses layers at
+//! most once, so the channel dependency graph stays acyclic.
+
+use nim_topology::ChipLayout;
+use nim_types::{Coord, Dir, PillarId};
+
+/// How the layers of the stack are interconnected.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VerticalMode {
+    /// dTDMA bus pillars with hybridised 6-port routers (the paper's
+    /// proposal).
+    Pillars,
+    /// Full 3D mesh with 7-port routers (the rejected alternative,
+    /// reproduced for the §3.1 design-search ablation).
+    Mesh3d,
+}
+
+/// XY dimension-order step within a layer; `Local` when already there.
+#[inline]
+pub(crate) fn xy_toward(at: Coord, dst_x: u8, dst_y: u8) -> Dir {
+    if at.x < dst_x {
+        Dir::East
+    } else if at.x > dst_x {
+        Dir::West
+    } else if at.y < dst_y {
+        Dir::North
+    } else if at.y > dst_y {
+        Dir::South
+    } else {
+        Dir::Local
+    }
+}
+
+/// Output port for a flit standing at `at`, heading for `dst`, riding
+/// pillar `via` for any layer change.
+///
+/// # Panics
+///
+/// Panics if a cross-layer route is requested in pillar mode on a chip
+/// with no pillars.
+pub(crate) fn route(
+    layout: &ChipLayout,
+    mode: VerticalMode,
+    at: Coord,
+    dst: Coord,
+    via: Option<PillarId>,
+) -> Dir {
+    match mode {
+        VerticalMode::Pillars => {
+            if at.layer == dst.layer {
+                xy_toward(at, dst.x, dst.y)
+            } else {
+                let pillar = via
+                    .or_else(|| layout.nearest_pillar(at))
+                    .expect("cross-layer route requires a pillar");
+                let (px, py) = layout.pillar_xy(pillar);
+                if (at.x, at.y) == (px, py) {
+                    Dir::Vertical
+                } else {
+                    xy_toward(at, px, py)
+                }
+            }
+        }
+        VerticalMode::Mesh3d => {
+            let step = xy_toward(at, dst.x, dst.y);
+            if step != Dir::Local {
+                step
+            } else if at.layer < dst.layer {
+                Dir::Up
+            } else if at.layer > dst.layer {
+                Dir::Down
+            } else {
+                Dir::Local
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nim_types::SystemConfig;
+
+    fn layout() -> ChipLayout {
+        ChipLayout::new(&SystemConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn xy_resolves_x_before_y() {
+        let at = Coord::new(2, 2, 0);
+        assert_eq!(xy_toward(at, 5, 0), Dir::East);
+        assert_eq!(xy_toward(at, 0, 5), Dir::West);
+        assert_eq!(xy_toward(at, 2, 5), Dir::North);
+        assert_eq!(xy_toward(at, 2, 0), Dir::South);
+        assert_eq!(xy_toward(at, 2, 2), Dir::Local);
+    }
+
+    #[test]
+    fn same_layer_route_is_pure_xy() {
+        let l = layout();
+        let d = route(
+            &l,
+            VerticalMode::Pillars,
+            Coord::new(0, 0, 0),
+            Coord::new(3, 1, 0),
+            None,
+        );
+        assert_eq!(d, Dir::East);
+    }
+
+    #[test]
+    fn cross_layer_route_heads_for_the_pillar_then_vertical() {
+        let l = layout();
+        let p = PillarId(0);
+        let (px, py) = l.pillar_xy(p);
+        let dst = Coord::new(0, 0, 1);
+        // Standing on the pillar: go vertical.
+        let at = Coord::new(px, py, 0);
+        assert_eq!(route(&l, VerticalMode::Pillars, at, dst, Some(p)), Dir::Vertical);
+        // One hop west of the pillar: go east towards it, even though the
+        // final destination is west.
+        let at = Coord::new(px - 1, py, 0);
+        assert_eq!(route(&l, VerticalMode::Pillars, at, dst, Some(p)), Dir::East);
+    }
+
+    #[test]
+    fn after_the_bus_routing_is_plain_xy_on_the_target_layer() {
+        let l = layout();
+        let p = PillarId(0);
+        let (px, py) = l.pillar_xy(p);
+        let at = Coord::new(px, py, 1); // just got off the bus on layer 1
+        let dst = Coord::new(0, 0, 1);
+        assert_eq!(route(&l, VerticalMode::Pillars, at, dst, Some(p)), Dir::West);
+    }
+
+    #[test]
+    fn mesh3d_routes_xy_then_z() {
+        let l = layout();
+        let dst = Coord::new(3, 3, 1);
+        assert_eq!(
+            route(&l, VerticalMode::Mesh3d, Coord::new(0, 3, 0), dst, None),
+            Dir::East
+        );
+        assert_eq!(
+            route(&l, VerticalMode::Mesh3d, Coord::new(3, 3, 0), dst, None),
+            Dir::Up
+        );
+        assert_eq!(
+            route(&l, VerticalMode::Mesh3d, Coord::new(3, 3, 1), dst, None),
+            Dir::Local
+        );
+    }
+
+    #[test]
+    fn arrival_routes_local() {
+        let l = layout();
+        let c = Coord::new(4, 4, 1);
+        assert_eq!(route(&l, VerticalMode::Pillars, c, c, None), Dir::Local);
+    }
+}

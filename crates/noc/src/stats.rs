@@ -1,0 +1,241 @@
+//! Network-wide statistics.
+
+use core::fmt;
+
+use crate::packet::{Delivered, TrafficClass};
+
+/// A power-of-two-bucketed latency histogram.
+///
+/// Bucket `i` counts packets with latency in `[2^i, 2^(i+1))` cycles
+/// (bucket 0 covers 0–1). Sixteen buckets cover everything up to 65 535
+/// cycles; longer latencies land in the last bucket.
+///
+/// ```
+/// use nim_noc::LatencyHistogram;
+///
+/// let mut h = LatencyHistogram::default();
+/// for lat in [12, 14, 90] {
+///     h.record(lat);
+/// }
+/// assert_eq!(h.count(), 3);
+/// assert_eq!(h.quantile_upper_bound(0.6), 16, "two of three are under 16");
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    buckets: [u64; 16],
+}
+
+impl LatencyHistogram {
+    /// Records one latency sample.
+    pub fn record(&mut self, latency: u64) {
+        let bucket = (64 - latency.max(1).leading_zeros() as usize - 1).min(15);
+        self.buckets[bucket] += 1;
+    }
+
+    /// The raw bucket counts.
+    pub fn buckets(&self) -> &[u64; 16] {
+        &self.buckets
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// The smallest latency bound `b` such that at least `quantile` of
+    /// samples are `< 2b` (an upper estimate using bucket upper edges).
+    pub fn quantile_upper_bound(&self, quantile: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let target = (quantile.clamp(0.0, 1.0) * total as f64).ceil() as u64;
+        let mut seen = 0;
+        for (i, n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return 1 << (i + 1);
+            }
+        }
+        1 << 16
+    }
+}
+
+impl fmt::Display for LatencyHistogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let total = self.count().max(1);
+        for (i, n) in self.buckets.iter().enumerate() {
+            if *n == 0 {
+                continue;
+            }
+            writeln!(
+                f,
+                "[{:>5}, {:>5}) {:>8}  {:>5.1}%",
+                1u64 << i,
+                1u64 << (i + 1),
+                n,
+                *n as f64 / total as f64 * 100.0
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Counters accumulated by the network across a run.
+///
+/// Per-class breakdowns are indexed by [`TrafficClass::index`]; the energy
+/// model in `nim-power` consumes the flit-hop and bus-transfer counts.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct NetworkStats {
+    /// Packets handed to [`Network::send`].
+    ///
+    /// [`Network::send`]: crate::Network::send
+    pub packets_sent: u64,
+    /// Packets fully delivered (tail ejected).
+    pub packets_delivered: u64,
+    /// Sum of end-to-end packet latencies (cycles).
+    pub total_latency: u64,
+    /// Largest single packet latency seen.
+    pub max_latency: u64,
+    /// Sum of head-flit hop counts over delivered packets.
+    pub total_hops: u64,
+    /// Individual flit router-to-router traversals (energy proxy).
+    pub flit_hops: u64,
+    /// Flit traversals by traffic class.
+    pub flit_hops_by_class: [u64; 4],
+    /// Packets delivered by traffic class.
+    pub delivered_by_class: [u64; 4],
+    /// Latency sum by traffic class.
+    pub latency_by_class: [u64; 4],
+    /// Flits carried across all dTDMA buses.
+    pub bus_transfers: u64,
+    /// Switch-allocation losses (a flit wanted an output but another flit
+    /// won it, or downstream had no space/VC).
+    pub switch_contention: u64,
+    /// End-to-end packet latency distribution.
+    pub latency_histogram: LatencyHistogram,
+}
+
+impl NetworkStats {
+    /// Mean end-to-end packet latency in cycles.
+    pub fn avg_latency(&self) -> f64 {
+        if self.packets_delivered == 0 {
+            0.0
+        } else {
+            self.total_latency as f64 / self.packets_delivered as f64
+        }
+    }
+
+    /// Mean latency for one traffic class.
+    pub fn avg_latency_for(&self, class: TrafficClass) -> f64 {
+        let n = self.delivered_by_class[class.index()];
+        if n == 0 {
+            0.0
+        } else {
+            self.latency_by_class[class.index()] as f64 / n as f64
+        }
+    }
+
+    /// Mean hop count of delivered packets.
+    pub fn avg_hops(&self) -> f64 {
+        if self.packets_delivered == 0 {
+            0.0
+        } else {
+            self.total_hops as f64 / self.packets_delivered as f64
+        }
+    }
+
+    pub(crate) fn record_delivery(&mut self, d: &Delivered) {
+        self.packets_delivered += 1;
+        let lat = d.latency();
+        self.latency_histogram.record(lat);
+        self.total_latency += lat;
+        self.max_latency = self.max_latency.max(lat);
+        self.total_hops += u64::from(d.hops);
+        self.delivered_by_class[d.class.index()] += 1;
+        self.latency_by_class[d.class.index()] += lat;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nim_types::{Coord, Cycle, PacketId};
+
+    #[test]
+    fn averages_handle_empty_stats() {
+        let s = NetworkStats::default();
+        assert_eq!(s.avg_latency(), 0.0);
+        assert_eq!(s.avg_hops(), 0.0);
+        assert_eq!(s.avg_latency_for(TrafficClass::Data), 0.0);
+    }
+
+    #[test]
+    fn record_delivery_accumulates() {
+        let mut s = NetworkStats::default();
+        let d = Delivered {
+            packet: PacketId(1),
+            src: Coord::new(0, 0, 0),
+            dst: Coord::new(3, 0, 0),
+            class: TrafficClass::Data,
+            token: 0,
+            injected: Cycle(0),
+            delivered: Cycle(10),
+            hops: 3,
+        };
+        s.record_delivery(&d);
+        let d2 = Delivered {
+            delivered: Cycle(30),
+            hops: 5,
+            class: TrafficClass::Control,
+            ..d
+        };
+        s.record_delivery(&d2);
+        assert_eq!(s.packets_delivered, 2);
+        assert_eq!(s.avg_latency(), 20.0);
+        assert_eq!(s.avg_hops(), 4.0);
+        assert_eq!(s.max_latency, 30);
+        assert_eq!(s.avg_latency_for(TrafficClass::Data), 10.0);
+        assert_eq!(s.avg_latency_for(TrafficClass::Control), 30.0);
+        assert_eq!(s.latency_histogram.count(), 2);
+    }
+
+    #[test]
+    fn histogram_buckets_by_power_of_two() {
+        let mut h = LatencyHistogram::default();
+        for lat in [0u64, 1, 2, 3, 4, 7, 8, 1024, 1_000_000] {
+            h.record(lat);
+        }
+        let b = h.buckets();
+        assert_eq!(b[0], 2, "0 and 1");
+        assert_eq!(b[1], 2, "2 and 3");
+        assert_eq!(b[2], 2, "4 and 7");
+        assert_eq!(b[3], 1, "8");
+        assert_eq!(b[10], 1, "1024");
+        assert_eq!(b[15], 1, "overflow bucket");
+        assert_eq!(h.count(), 9);
+    }
+
+    #[test]
+    fn histogram_quantiles_are_upper_bounds() {
+        let mut h = LatencyHistogram::default();
+        for _ in 0..90 {
+            h.record(10); // bucket 3: [8, 16)
+        }
+        for _ in 0..10 {
+            h.record(100); // bucket 6: [64, 128)
+        }
+        assert_eq!(h.quantile_upper_bound(0.5), 16);
+        assert_eq!(h.quantile_upper_bound(0.99), 128);
+        assert_eq!(LatencyHistogram::default().quantile_upper_bound(0.5), 0);
+    }
+
+    #[test]
+    fn histogram_display_lists_nonempty_buckets() {
+        let mut h = LatencyHistogram::default();
+        h.record(5);
+        let text = h.to_string();
+        assert!(text.contains("[    4,     8)"));
+        assert!(text.contains("100.0%"));
+    }
+}

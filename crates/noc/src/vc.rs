@@ -1,0 +1,206 @@
+//! Virtual channels and input ports.
+//!
+//! Each physical channel of a router has a number of virtual channels
+//! (VCs): FIFO flit buffers holding flits of different pending messages
+//! (paper §3.2: 3 VCs per physical channel, each one 4-flit message deep).
+//! A VC is *owned* by the packet whose head flit allocated it; ownership
+//! is released when the tail flit drains, so a packet never interleaves
+//! with another inside one VC.
+
+use std::collections::VecDeque;
+
+use nim_types::PacketId;
+
+use crate::packet::Flit;
+
+/// One virtual channel: a bounded FIFO owned by at most one packet.
+#[derive(Clone, Debug)]
+pub(crate) struct Vc {
+    buf: VecDeque<Flit>,
+    owner: Option<PacketId>,
+    cap: usize,
+}
+
+impl Vc {
+    pub(crate) fn new(cap: usize) -> Self {
+        assert!(cap >= 1, "VC depth must be at least one flit");
+        Self {
+            buf: VecDeque::with_capacity(cap),
+            owner: None,
+            cap,
+        }
+    }
+
+    /// Whether a head flit of a *new* packet may allocate this VC.
+    #[inline]
+    pub(crate) fn is_free(&self) -> bool {
+        self.owner.is_none() && self.buf.is_empty()
+    }
+
+    /// Whether a non-head flit of `pkt` may enter (right owner, space left).
+    #[inline]
+    pub(crate) fn accepts_continuation(&self, pkt: PacketId) -> bool {
+        self.owner == Some(pkt) && self.buf.len() < self.cap
+    }
+
+    /// Pushes a flit.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if the push violates ownership or capacity — callers
+    /// must check [`is_free`](Self::is_free) /
+    /// [`accepts_continuation`](Self::accepts_continuation) first.
+    pub(crate) fn push(&mut self, flit: Flit) {
+        if flit.kind.is_head() {
+            debug_assert!(self.is_free(), "head flit into occupied VC");
+            self.owner = Some(flit.pkt);
+        } else {
+            debug_assert!(
+                self.accepts_continuation(flit.pkt),
+                "continuation flit into foreign or full VC"
+            );
+        }
+        debug_assert!(self.buf.len() < self.cap);
+        self.buf.push_back(flit);
+    }
+
+    /// The flit at the head of the FIFO, if any.
+    #[inline]
+    pub(crate) fn front(&self) -> Option<&Flit> {
+        self.buf.front()
+    }
+
+    /// Pops the head flit, releasing ownership if it was the tail.
+    pub(crate) fn pop(&mut self) -> Option<Flit> {
+        let flit = self.buf.pop_front()?;
+        if flit.kind.is_tail() {
+            debug_assert!(self.buf.is_empty(), "flits behind a tail");
+            self.owner = None;
+        }
+        Some(flit)
+    }
+
+    #[inline]
+    #[allow(dead_code)] // exercised by tests; kept for diagnostics
+    pub(crate) fn len(&self) -> usize {
+        self.buf.len()
+    }
+}
+
+/// One input port: the VCs fed by one upstream link.
+#[derive(Clone, Debug)]
+pub(crate) struct InputPort {
+    vcs: Vec<Vc>,
+}
+
+impl InputPort {
+    pub(crate) fn new(num_vcs: usize, depth: usize) -> Self {
+        assert!(num_vcs >= 1);
+        Self {
+            vcs: (0..num_vcs).map(|_| Vc::new(depth)).collect(),
+        }
+    }
+
+    /// Index of a VC a new packet's head flit may allocate.
+    pub(crate) fn free_vc(&self) -> Option<usize> {
+        self.vcs.iter().position(Vc::is_free)
+    }
+
+    /// Index of the VC owned by `pkt` with space for another flit.
+    pub(crate) fn continuation_vc(&self, pkt: PacketId) -> Option<usize> {
+        self.vcs.iter().position(|vc| vc.accepts_continuation(pkt))
+    }
+
+    #[inline]
+    pub(crate) fn vc(&self, idx: usize) -> &Vc {
+        &self.vcs[idx]
+    }
+
+    #[inline]
+    pub(crate) fn vc_mut(&mut self, idx: usize) -> &mut Vc {
+        &mut self.vcs[idx]
+    }
+
+    #[inline]
+    #[allow(dead_code)] // exercised by tests; kept for diagnostics
+    pub(crate) fn num_vcs(&self) -> usize {
+        self.vcs.len()
+    }
+
+    /// Total buffered flits across all VCs.
+    #[allow(dead_code)] // exercised by tests; kept for diagnostics
+    pub(crate) fn occupancy(&self) -> usize {
+        self.vcs.iter().map(Vc::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{FlitKind, TrafficClass};
+    use nim_types::{Coord, Cycle, PacketId};
+
+    fn flit(pkt: u64, kind: FlitKind) -> Flit {
+        Flit {
+            pkt: PacketId(pkt),
+            kind,
+            src: Coord::new(0, 0, 0),
+            dst: Coord::new(1, 1, 0),
+            via: None,
+            class: TrafficClass::Data,
+            token: 0,
+            injected: Cycle::ZERO,
+            arrived: Cycle::ZERO,
+            hops: 0,
+        }
+    }
+
+    #[test]
+    fn ownership_lifecycle() {
+        let mut vc = Vc::new(4);
+        assert!(vc.is_free());
+        vc.push(flit(1, FlitKind::Head));
+        assert!(!vc.is_free());
+        assert!(vc.accepts_continuation(PacketId(1)));
+        assert!(!vc.accepts_continuation(PacketId(2)));
+        vc.push(flit(1, FlitKind::Body));
+        vc.push(flit(1, FlitKind::Body));
+        vc.push(flit(1, FlitKind::Tail));
+        assert!(!vc.accepts_continuation(PacketId(1)), "full");
+        assert_eq!(vc.pop().unwrap().kind, FlitKind::Head);
+        assert_eq!(vc.pop().unwrap().kind, FlitKind::Body);
+        assert!(!vc.is_free(), "owner retained until tail pops");
+        vc.pop();
+        vc.pop();
+        assert!(vc.is_free(), "tail pop releases ownership");
+    }
+
+    #[test]
+    fn single_flit_packet_frees_immediately() {
+        let mut vc = Vc::new(4);
+        vc.push(flit(9, FlitKind::HeadTail));
+        assert!(!vc.is_free());
+        vc.pop();
+        assert!(vc.is_free());
+    }
+
+    #[test]
+    fn input_port_vc_selection() {
+        let mut port = InputPort::new(3, 4);
+        assert_eq!(port.free_vc(), Some(0));
+        port.vc_mut(0).push(flit(1, FlitKind::Head));
+        assert_eq!(port.free_vc(), Some(1), "skips the owned VC");
+        assert_eq!(port.continuation_vc(PacketId(1)), Some(0));
+        assert_eq!(port.continuation_vc(PacketId(2)), None);
+        assert_eq!(port.occupancy(), 1);
+        assert_eq!(port.num_vcs(), 3);
+    }
+
+    #[test]
+    fn all_vcs_busy_blocks_new_heads() {
+        let mut port = InputPort::new(2, 4);
+        port.vc_mut(0).push(flit(1, FlitKind::Head));
+        port.vc_mut(1).push(flit(2, FlitKind::Head));
+        assert_eq!(port.free_vc(), None);
+    }
+}

@@ -1,0 +1,103 @@
+//! Temperature-dependent leakage power.
+//!
+//! Sub-threshold leakage grows roughly exponentially with junction
+//! temperature — in the 90 nm generation it doubles about every 25 °C.
+//! This couples the thermal and power analyses in both directions: the
+//! hotter upper layers of a 3D stack leak more, which heats them further.
+//! [`leakage_at`] models the scaling, and [`thermal_runaway_margin`]
+//! checks the loop's stability — the quantitative backing for the
+//! paper's insistence on avoiding hotspots (Table 3).
+
+/// Temperature increase that doubles leakage power (°C), 90 nm-era.
+pub const LEAKAGE_DOUBLING_C: f64 = 25.0;
+
+/// Reference temperature at which component leakage is specified (°C).
+pub const LEAKAGE_REF_C: f64 = 45.0;
+
+/// Leakage power at `temp_c`, given its value at [`LEAKAGE_REF_C`].
+pub fn leakage_at(base_w: f64, temp_c: f64) -> f64 {
+    base_w * ((temp_c - LEAKAGE_REF_C) / LEAKAGE_DOUBLING_C).exp2()
+}
+
+/// One fixed-point iteration of the leakage/temperature loop for a
+/// single tile: given a thermal resistance to ambient and a dynamic
+/// power, returns the self-consistent total power and temperature.
+///
+/// Returns `None` if the loop diverges (thermal runaway): each degree of
+/// heating adds more leakage than the sink can remove.
+pub fn settle_tile(
+    dynamic_w: f64,
+    base_leak_w: f64,
+    r_to_ambient: f64,
+    ambient_c: f64,
+) -> Option<(f64, f64)> {
+    let mut temp = ambient_c;
+    for _ in 0..1_000 {
+        let power = dynamic_w + leakage_at(base_leak_w, temp);
+        let next = ambient_c + power * r_to_ambient;
+        if !next.is_finite() || next > 400.0 {
+            return None; // silicon will not survive to tell the tale
+        }
+        if (next - temp).abs() < 1e-6 {
+            return Some((power, next));
+        }
+        temp = next;
+    }
+    None
+}
+
+/// Stability margin of the leakage feedback loop at temperature `temp_c`:
+/// the loop gain `d(leak)/dT × R`. Below 1.0 the loop settles; at or
+/// above 1.0 the tile runs away.
+pub fn thermal_runaway_margin(base_leak_w: f64, r_to_ambient: f64, temp_c: f64) -> f64 {
+    let dleak_dt = leakage_at(base_leak_w, temp_c) * core::f64::consts::LN_2 / LEAKAGE_DOUBLING_C;
+    dleak_dt * r_to_ambient
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leakage_doubles_every_25_degrees() {
+        let base = 0.05;
+        assert!((leakage_at(base, LEAKAGE_REF_C) - base).abs() < 1e-12);
+        assert!((leakage_at(base, LEAKAGE_REF_C + 25.0) - 2.0 * base).abs() < 1e-12);
+        assert!((leakage_at(base, LEAKAGE_REF_C + 50.0) - 4.0 * base).abs() < 1e-12);
+        assert!((leakage_at(base, LEAKAGE_REF_C - 25.0) - 0.5 * base).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mild_tiles_settle_to_a_fixed_point() {
+        // A cache bank: tiny leakage, generous sink.
+        let (power, temp) = settle_tile(0.05, 0.01, 30.0, 45.0).expect("settles");
+        assert!(temp > 45.0 && temp < 60.0, "temp {temp}");
+        assert!(power > 0.05, "leakage adds on top of dynamic power");
+        // Self-consistency: T = ambient + P * R.
+        assert!((temp - (45.0 + power * 30.0)).abs() < 1e-3);
+    }
+
+    #[test]
+    fn runaway_is_detected() {
+        // Pathological: big leakage source behind a terrible sink.
+        assert!(settle_tile(5.0, 2.0, 60.0, 45.0).is_none());
+    }
+
+    #[test]
+    fn margin_predicts_the_settle_outcome() {
+        // Stable case: margin well below 1 at the settled temperature.
+        let (_, temp) = settle_tile(0.05, 0.01, 30.0, 45.0).unwrap();
+        assert!(thermal_runaway_margin(0.01, 30.0, temp) < 1.0);
+        // The pathological case crosses 1 before any plausible settling.
+        assert!(thermal_runaway_margin(2.0, 60.0, 100.0) > 1.0);
+    }
+
+    #[test]
+    fn hotter_stacks_leak_more() {
+        // The 3D argument: the same bank leaks ~70% more at the 4-layer
+        // average temperature (87 C) than at the 2D one (54 C).
+        let at_2d = leakage_at(0.05, 54.0);
+        let at_4l = leakage_at(0.05, 87.0);
+        assert!(at_4l / at_2d > 1.6 && at_4l / at_2d < 3.0);
+    }
+}

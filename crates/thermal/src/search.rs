@@ -1,0 +1,138 @@
+//! Thermally-aware placement search.
+//!
+//! The paper's §3.3 hand-derives a placement methodology (offset CPUs in
+//! all three dimensions; Algorithm 1 when pillars are shared) and
+//! validates it against HS3d. This module closes the loop: given a chip
+//! configuration, it evaluates every applicable placement policy with the
+//! thermal model and ranks them by peak temperature — the automated
+//! version of the paper's design process.
+
+use nim_topology::{ChipLayout, Floorplan, PlacementPolicy};
+use nim_types::SystemConfig;
+
+use crate::model::{ThermalConfig, ThermalModel, ThermalProfile};
+
+/// One evaluated placement.
+#[derive(Clone, Debug)]
+pub struct RankedPlacement {
+    /// The policy evaluated.
+    pub policy: PlacementPolicy,
+    /// Its steady-state thermal profile.
+    pub profile: ThermalProfile,
+}
+
+impl RankedPlacement {
+    /// Peak temperature of this placement, °C.
+    pub fn peak_c(&self) -> f64 {
+        self.profile.peak()
+    }
+}
+
+/// Evaluates every placement policy that can seat `num_cpus` CPUs on the
+/// configuration's chip and returns them sorted by peak temperature,
+/// coolest first. Policies that cannot seat the CPUs (e.g. maximal
+/// offsetting without enough pillars) are skipped.
+///
+/// # Errors
+///
+/// Returns the topology error if the chip layout itself cannot be built.
+pub fn rank_placements(
+    cfg: &SystemConfig,
+    tcfg: &ThermalConfig,
+) -> Result<Vec<RankedPlacement>, nim_topology::TopologyError> {
+    let layout = ChipLayout::new(cfg)?;
+    // Candidates follow the paper's design space: pillar-anchored
+    // placements on a stack (every CPU needs single-hop vertical access),
+    // planar placements on a single-layer chip.
+    let candidates: &[PlacementPolicy] = if layout.layers() > 1 {
+        &[
+            PlacementPolicy::MaximalOffset,
+            PlacementPolicy::Algorithm1 { k: 1 },
+            PlacementPolicy::Algorithm1 { k: 2 },
+            PlacementPolicy::Stacked,
+        ]
+    } else {
+        &[PlacementPolicy::Edges, PlacementPolicy::Interior2d]
+    };
+    let mut ranked: Vec<RankedPlacement> = candidates
+        .iter()
+        .copied()
+        .filter_map(|policy| {
+            let seats = policy.place(&layout, cfg.num_cpus).ok()?;
+            let plan = Floorplan::new(&layout, &seats);
+            let profile = ThermalModel::new(&plan, tcfg).solve(tcfg);
+            Some(RankedPlacement { policy, profile })
+        })
+        .collect();
+    ranked.sort_by(|a, b| a.peak_c().total_cmp(&b.peak_c()));
+    Ok(ranked)
+}
+
+/// The coolest placement for a configuration (the §3.3 recommendation,
+/// found automatically).
+///
+/// # Errors
+///
+/// Returns the topology error if the chip layout cannot be built.
+///
+/// # Panics
+///
+/// Panics if *no* policy can seat the CPUs (cannot happen for valid
+/// configurations: `Interior2d` always places).
+pub fn best_placement(
+    cfg: &SystemConfig,
+    tcfg: &ThermalConfig,
+) -> Result<RankedPlacement, nim_topology::TopologyError> {
+    let mut ranked = rank_placements(cfg, tcfg)?;
+    assert!(!ranked.is_empty(), "at least one policy must place");
+    Ok(ranked.remove(0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn search_recommends_offsetting_over_stacking() {
+        let cfg = SystemConfig::default(); // 2 layers, 8 pillars, 8 CPUs
+        let tcfg = ThermalConfig::default();
+        let ranked = rank_placements(&cfg, &tcfg).unwrap();
+        // With one pillar per CPU, Algorithm 1 (which shares pillars)
+        // does not apply; offsetting and stacking remain.
+        assert!(ranked.len() >= 2);
+        // Coolest first; the winner must beat stacking by a wide margin.
+        let best = &ranked[0];
+        let stacked = ranked
+            .iter()
+            .find(|r| r.policy == PlacementPolicy::Stacked)
+            .expect("stacking is placeable");
+        assert!(best.peak_c() + 10.0 < stacked.peak_c());
+        // And the automated search agrees with the paper's §3.3 choice.
+        assert_eq!(
+            best_placement(&cfg, &tcfg).unwrap().policy,
+            PlacementPolicy::MaximalOffset
+        );
+    }
+
+    #[test]
+    fn ranking_is_sorted_by_peak() {
+        let cfg = SystemConfig::default().with_layers(4);
+        let ranked = rank_placements(&cfg, &ThermalConfig::default()).unwrap();
+        for pair in ranked.windows(2) {
+            assert!(pair[0].peak_c() <= pair[1].peak_c());
+        }
+    }
+
+    #[test]
+    fn shared_pillar_chips_fall_back_to_algorithm_1() {
+        // 4 pillars cannot give each of the 8 CPUs its own, so maximal
+        // offsetting is unplaceable; Algorithm 1 must win.
+        let cfg = SystemConfig::default().with_pillars(4);
+        let best = best_placement(&cfg, &ThermalConfig::default()).unwrap();
+        assert!(
+            matches!(best.policy, PlacementPolicy::Algorithm1 { .. }),
+            "got {:?}",
+            best.policy
+        );
+    }
+}

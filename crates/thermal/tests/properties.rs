@@ -1,0 +1,106 @@
+//! Property-based tests of the thermal solver: the steady-state solution
+//! of a linear RC network must be linear in the power vector, monotone,
+//! and energy-conserving.
+
+use nim_thermal::{ThermalConfig, ThermalModel};
+use nim_topology::{ChipLayout, Floorplan};
+use nim_types::{Coord, SystemConfig};
+use proptest::prelude::*;
+
+fn plan() -> (ChipLayout, Floorplan) {
+    let cfg = SystemConfig::default();
+    let layout = ChipLayout::new(&cfg).unwrap();
+    let plan = Floorplan::new(&layout, &[]);
+    (layout, plan)
+}
+
+fn tight() -> ThermalConfig {
+    ThermalConfig {
+        tolerance: 1e-8,
+        ..ThermalConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Adding power anywhere never cools any tile (monotonicity of the
+    /// resistive network).
+    #[test]
+    fn extra_power_never_cools_anything(
+        x in 0u8..16, y in 0u8..8, layer in 0u8..2,
+        extra in 0.5f64..20.0,
+    ) {
+        let (layout, plan) = plan();
+        let cfg = tight();
+        let base_model = ThermalModel::new(&plan, &cfg);
+        let base = base_model.solve(&cfg);
+        let mut hot_model = ThermalModel::new(&plan, &cfg);
+        hot_model.set_power(Coord::new(x, y, layer), cfg.bank_w + extra);
+        let hot = hot_model.solve(&cfg);
+        for i in 0..layout.num_nodes() {
+            let c = layout.coord_of_index(i);
+            prop_assert!(
+                hot.at(c) >= base.at(c) - 1e-6,
+                "tile {c} cooled when {x},{y},L{layer} heated"
+            );
+        }
+        // And the heated tile itself is the most-raised one.
+        let target = Coord::new(x, y, layer);
+        let rise_at_target = hot.at(target) - base.at(target);
+        for i in 0..layout.num_nodes() {
+            let c = layout.coord_of_index(i);
+            prop_assert!(hot.at(c) - base.at(c) <= rise_at_target + 1e-6);
+        }
+    }
+
+    /// Temperature *rise* above ambient scales linearly with power
+    /// (the network is linear).
+    #[test]
+    fn temperature_rise_is_linear_in_power(
+        x in 0u8..16, y in 0u8..8,
+        watts in 1.0f64..10.0,
+    ) {
+        let (_, plan) = plan();
+        let cfg = ThermalConfig {
+            bank_w: 0.0, // isolate the single source
+            ..tight()
+        };
+        let c = Coord::new(x, y, 0);
+        let mut m1 = ThermalModel::new(&plan, &cfg);
+        m1.set_power(c, watts);
+        let mut m2 = ThermalModel::new(&plan, &cfg);
+        m2.set_power(c, 2.0 * watts);
+        let rise1 = m1.solve(&cfg).at(c) - cfg.ambient_c;
+        let rise2 = m2.solve(&cfg).at(c) - cfg.ambient_c;
+        prop_assert!(
+            (rise2 - 2.0 * rise1).abs() < 0.01 * rise2.abs().max(1e-9),
+            "doubling power must double the rise: {rise1} vs {rise2}"
+        );
+    }
+
+    /// All dissipated heat leaves through the layer-0 sink.
+    #[test]
+    fn energy_balance_holds_for_random_power_maps(
+        sources in proptest::collection::vec((0u8..16, 0u8..8, 0u8..2, 0.1f64..8.0), 1..8),
+    ) {
+        let (layout, plan) = plan();
+        let cfg = tight();
+        let mut model = ThermalModel::new(&plan, &cfg);
+        for (x, y, l, w) in sources {
+            model.set_power(Coord::new(x, y, l), w);
+        }
+        let profile = model.solve(&cfg);
+        let mut sink_w = 0.0;
+        for y in 0..layout.height() {
+            for x in 0..layout.width() {
+                sink_w += (profile.at(Coord::new(x, y, 0)) - cfg.ambient_c) / cfg.r_sink;
+            }
+        }
+        let total = model.total_power();
+        prop_assert!(
+            (sink_w - total).abs() / total.max(1e-9) < 0.02,
+            "sink {sink_w} W vs dissipated {total} W"
+        );
+    }
+}

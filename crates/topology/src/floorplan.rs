@@ -1,0 +1,189 @@
+//! Physical floorplan for the thermal model.
+//!
+//! The thermal estimator needs physical dimensions and the kind of
+//! component occupying each tile. The paper gives the one physical anchor
+//! we need: the distance between two adjacent NoC routers is about
+//! **1500 µm** for a 64 KB cache bank implemented in 70 nm technology
+//! (§3), so each mesh tile is a 1.5 mm × 1.5 mm square. Inter-wafer
+//! distance is 10 µm (§3.1).
+
+use nim_types::Coord;
+
+use crate::layout::ChipLayout;
+use crate::placement::CpuSeat;
+
+/// Distance between adjacent routers for a 64 KB bank at 70 nm (µm).
+pub const TILE_PITCH_UM: f64 = 1500.0;
+
+/// Inter-wafer (layer-to-layer) distance in µm (paper §3.1).
+pub const INTER_WAFER_UM: f64 = 10.0;
+
+/// What occupies one mesh tile.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TileKind {
+    /// An L2 cache bank (clock-gated when idle).
+    Bank,
+    /// A CPU core with its private L1 (shares the tile with the bank's
+    /// router; power-wise the CPU dominates).
+    Cpu,
+}
+
+/// Physical floorplan: tile grid dimensions plus the component kind at
+/// every tile of every layer.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Floorplan {
+    width: u8,
+    height: u8,
+    layers: u8,
+    tile_um: f64,
+    kinds: Vec<TileKind>,
+}
+
+impl Floorplan {
+    /// Builds the floorplan for a layout with CPUs at the given seats.
+    pub fn new(layout: &ChipLayout, seats: &[CpuSeat]) -> Self {
+        let mut kinds = vec![TileKind::Bank; layout.num_nodes()];
+        for seat in seats {
+            kinds[layout.node_index(seat.coord)] = TileKind::Cpu;
+        }
+        Self {
+            width: layout.width(),
+            height: layout.height(),
+            layers: layout.layers(),
+            tile_um: TILE_PITCH_UM,
+            kinds,
+        }
+    }
+
+    /// Mesh width in tiles.
+    #[inline]
+    pub const fn width(&self) -> u8 {
+        self.width
+    }
+
+    /// Mesh height in tiles.
+    #[inline]
+    pub const fn height(&self) -> u8 {
+        self.height
+    }
+
+    /// Device layers.
+    #[inline]
+    pub const fn layers(&self) -> u8 {
+        self.layers
+    }
+
+    /// Edge length of one (square) tile in µm.
+    #[inline]
+    pub const fn tile_um(&self) -> f64 {
+        self.tile_um
+    }
+
+    /// Die width in µm.
+    #[inline]
+    pub fn die_width_um(&self) -> f64 {
+        f64::from(self.width) * self.tile_um
+    }
+
+    /// Die height in µm.
+    #[inline]
+    pub fn die_height_um(&self) -> f64 {
+        f64::from(self.height) * self.tile_um
+    }
+
+    /// The component kind at a tile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinate is outside the floorplan.
+    pub fn kind_at(&self, c: Coord) -> TileKind {
+        self.kinds[self.index(c)]
+    }
+
+    /// Dense tile index (same ordering as [`ChipLayout::node_index`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinate is outside the floorplan.
+    pub fn index(&self, c: Coord) -> usize {
+        assert!(
+            c.x < self.width && c.y < self.height && c.layer < self.layers,
+            "coordinate {c} outside floorplan"
+        );
+        (c.layer as usize * self.height as usize + c.y as usize) * self.width as usize
+            + c.x as usize
+    }
+
+    /// Total tiles.
+    #[inline]
+    pub fn num_tiles(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// Number of CPU tiles.
+    pub fn num_cpu_tiles(&self) -> usize {
+        self.kinds.iter().filter(|k| **k == TileKind::Cpu).count()
+    }
+
+    /// Iterates `(Coord, TileKind)` over every tile.
+    pub fn iter(&self) -> impl Iterator<Item = (Coord, TileKind)> + '_ {
+        (0..self.kinds.len()).map(move |i| {
+            let per_layer = self.width as usize * self.height as usize;
+            let layer = (i / per_layer) as u8;
+            let rem = i % per_layer;
+            let c = Coord::new(
+                (rem % self.width as usize) as u8,
+                (rem / self.width as usize) as u8,
+                layer,
+            );
+            (c, self.kinds[i])
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::placement::PlacementPolicy;
+    use nim_types::SystemConfig;
+
+    fn default_plan() -> Floorplan {
+        let layout = ChipLayout::new(&SystemConfig::default()).unwrap();
+        let seats = PlacementPolicy::MaximalOffset.place(&layout, 8).unwrap();
+        Floorplan::new(&layout, &seats)
+    }
+
+    #[test]
+    fn cpu_tiles_match_seats() {
+        let plan = default_plan();
+        assert_eq!(plan.num_cpu_tiles(), 8);
+        assert_eq!(plan.num_tiles(), 256);
+    }
+
+    #[test]
+    fn physical_dimensions_follow_the_tile_pitch() {
+        let plan = default_plan();
+        assert_eq!(plan.die_width_um(), 16.0 * 1500.0);
+        assert_eq!(plan.die_height_um(), 8.0 * 1500.0);
+        assert_eq!(plan.tile_um(), TILE_PITCH_UM);
+    }
+
+    #[test]
+    fn iter_visits_every_tile_once_in_index_order() {
+        let plan = default_plan();
+        let mut count = 0usize;
+        for (i, (c, kind)) in plan.iter().enumerate() {
+            assert_eq!(plan.index(c), i);
+            assert_eq!(plan.kind_at(c), kind);
+            count += 1;
+        }
+        assert_eq!(count, plan.num_tiles());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside floorplan")]
+    fn out_of_bounds_tile_panics() {
+        let plan = default_plan();
+        let _ = plan.kind_at(Coord::new(200, 0, 0));
+    }
+}

@@ -1,0 +1,289 @@
+//! Recording and replaying reference traces.
+//!
+//! The synthetic generator is deterministic, but recorded traces make
+//! experiments portable (e.g. replaying the exact same reference stream
+//! against modified cache policies) and allow externally captured traces
+//! to drive the simulator. The format is line-oriented text:
+//!
+//! ```text
+//! # nim-trace v1
+//! <cpu> <gap> <R|W|I> <hex-address>
+//! ```
+
+use std::io::{self, BufRead, Write};
+
+use nim_types::{AccessKind, Address, CpuId, TraceOp};
+
+/// Magic first line of a trace file.
+pub const TRACE_HEADER: &str = "# nim-trace v1";
+
+/// Writes `(cpu, op)` pairs as a portable text trace.
+///
+/// Accepts any [`Write`]r by value; pass `&mut writer` to keep using the
+/// writer afterwards.
+///
+/// ```
+/// use nim_workload::{TraceReader, TraceWriter};
+/// use nim_types::{AccessKind, Address, CpuId, TraceOp};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let op = TraceOp { gap: 3, kind: AccessKind::Read, addr: Address(0x40) };
+/// let mut writer = TraceWriter::new(Vec::new())?;
+/// writer.record(CpuId(0), op)?;
+/// let bytes = writer.finish()?;
+///
+/// let mut reader = TraceReader::new(bytes.as_slice())?;
+/// assert_eq!(reader.next_record()?, Some((CpuId(0), op)));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct TraceWriter<W: Write> {
+    out: W,
+    records: u64,
+}
+
+impl<W: Write> TraceWriter<W> {
+    /// Starts a trace, writing the header line.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the underlying writer.
+    pub fn new(mut out: W) -> io::Result<Self> {
+        writeln!(out, "{TRACE_HEADER}")?;
+        Ok(Self { out, records: 0 })
+    }
+
+    /// Appends one reference.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the underlying writer.
+    pub fn record(&mut self, cpu: CpuId, op: TraceOp) -> io::Result<()> {
+        let kind = match op.kind {
+            AccessKind::Read => 'R',
+            AccessKind::Write => 'W',
+            AccessKind::IFetch => 'I',
+        };
+        writeln!(self.out, "{} {} {} {:x}", cpu.0, op.gap, kind, op.addr.0)?;
+        self.records += 1;
+        Ok(())
+    }
+
+    /// References written so far.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Flushes and returns the underlying writer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the flush error.
+    pub fn finish(mut self) -> io::Result<W> {
+        self.out.flush()?;
+        Ok(self.out)
+    }
+}
+
+/// Error while parsing a trace.
+#[derive(Debug)]
+pub enum TraceReadError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Missing or wrong header line.
+    BadHeader(String),
+    /// A malformed record, with its line number.
+    BadRecord {
+        /// 1-based line number.
+        line: u64,
+        /// What went wrong.
+        reason: String,
+    },
+}
+
+impl core::fmt::Display for TraceReadError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            TraceReadError::Io(e) => write!(f, "i/o error: {e}"),
+            TraceReadError::BadHeader(h) => write!(f, "not a nim trace (header {h:?})"),
+            TraceReadError::BadRecord { line, reason } => {
+                write!(f, "bad record at line {line}: {reason}")
+            }
+        }
+    }
+}
+
+impl core::error::Error for TraceReadError {
+    fn source(&self) -> Option<&(dyn core::error::Error + 'static)> {
+        match self {
+            TraceReadError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for TraceReadError {
+    fn from(e: io::Error) -> Self {
+        TraceReadError::Io(e)
+    }
+}
+
+/// Reads a recorded trace back as `(cpu, op)` pairs.
+#[derive(Debug)]
+pub struct TraceReader<R: BufRead> {
+    input: R,
+    line: u64,
+}
+
+impl<R: BufRead> TraceReader<R> {
+    /// Opens a trace, checking the header. Accepts any [`BufRead`]er by
+    /// value; pass `&mut reader` to keep it.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceReadError::BadHeader`] if the first line is not
+    /// [`TRACE_HEADER`].
+    pub fn new(mut input: R) -> Result<Self, TraceReadError> {
+        let mut header = String::new();
+        input.read_line(&mut header)?;
+        if header.trim_end() != TRACE_HEADER {
+            return Err(TraceReadError::BadHeader(header.trim_end().to_string()));
+        }
+        Ok(Self { input, line: 1 })
+    }
+
+    /// Reads the next reference; `Ok(None)` at end of trace.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceReadError::BadRecord`] on malformed lines.
+    pub fn next_record(&mut self) -> Result<Option<(CpuId, TraceOp)>, TraceReadError> {
+        let mut buf = String::new();
+        loop {
+            buf.clear();
+            if self.input.read_line(&mut buf)? == 0 {
+                return Ok(None);
+            }
+            self.line += 1;
+            let text = buf.trim();
+            if text.is_empty() || text.starts_with('#') {
+                continue;
+            }
+            let bad = |reason: &str| TraceReadError::BadRecord {
+                line: self.line,
+                reason: reason.to_string(),
+            };
+            let mut fields = text.split_whitespace();
+            let cpu: u16 = fields
+                .next()
+                .ok_or_else(|| bad("missing cpu"))?
+                .parse()
+                .map_err(|_| bad("cpu is not a number"))?;
+            let gap: u32 = fields
+                .next()
+                .ok_or_else(|| bad("missing gap"))?
+                .parse()
+                .map_err(|_| bad("gap is not a number"))?;
+            let kind = match fields.next().ok_or_else(|| bad("missing kind"))? {
+                "R" => AccessKind::Read,
+                "W" => AccessKind::Write,
+                "I" => AccessKind::IFetch,
+                other => return Err(bad(&format!("unknown kind {other:?}"))),
+            };
+            let addr = u64::from_str_radix(
+                fields.next().ok_or_else(|| bad("missing address"))?,
+                16,
+            )
+            .map_err(|_| bad("address is not hex"))?;
+            if fields.next().is_some() {
+                return Err(bad("trailing fields"));
+            }
+            return Ok(Some((
+                CpuId(cpu),
+                TraceOp {
+                    gap,
+                    kind,
+                    addr: Address(addr),
+                },
+            )));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BenchmarkProfile, TraceGenerator};
+
+    #[test]
+    fn round_trip_preserves_every_record() {
+        let mut gen = TraceGenerator::new(&BenchmarkProfile::synthetic(), 4, 5);
+        let mut original = Vec::new();
+        let mut writer = TraceWriter::new(Vec::new()).unwrap();
+        for i in 0..500u16 {
+            let cpu = CpuId(i % 4);
+            let op = gen.next_op(cpu);
+            writer.record(cpu, op).unwrap();
+            original.push((cpu, op));
+        }
+        assert_eq!(writer.records(), 500);
+        let bytes = writer.finish().unwrap();
+
+        let mut reader = TraceReader::new(bytes.as_slice()).unwrap();
+        let mut replayed = Vec::new();
+        while let Some(rec) = reader.next_record().unwrap() {
+            replayed.push(rec);
+        }
+        assert_eq!(replayed, original);
+    }
+
+    #[test]
+    fn rejects_foreign_files() {
+        let err = TraceReader::new("not a trace\n1 2 R ff\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, TraceReadError::BadHeader(_)));
+    }
+
+    #[test]
+    fn reports_malformed_records_with_line_numbers() {
+        let text = format!("{TRACE_HEADER}\n0 1 R 40\n0 x R 40\n");
+        let mut reader = TraceReader::new(text.as_bytes()).unwrap();
+        assert!(reader.next_record().unwrap().is_some());
+        let err = reader.next_record().unwrap_err();
+        match err {
+            TraceReadError::BadRecord { line, reason } => {
+                assert_eq!(line, 3);
+                assert!(reason.contains("gap"));
+            }
+            other => panic!("wrong error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn skips_comments_and_blank_lines() {
+        let text = format!("{TRACE_HEADER}\n\n# comment\n2 7 W dead\n");
+        let mut reader = TraceReader::new(text.as_bytes()).unwrap();
+        let (cpu, op) = reader.next_record().unwrap().unwrap();
+        assert_eq!(cpu, CpuId(2));
+        assert_eq!(op.gap, 7);
+        assert_eq!(op.kind, AccessKind::Write);
+        assert_eq!(op.addr, Address(0xdead));
+        assert!(reader.next_record().unwrap().is_none());
+    }
+
+    #[test]
+    fn bad_kind_and_trailing_fields_are_rejected() {
+        let text = format!("{TRACE_HEADER}\n0 1 Q 40\n");
+        let mut r = TraceReader::new(text.as_bytes()).unwrap();
+        assert!(matches!(
+            r.next_record(),
+            Err(TraceReadError::BadRecord { .. })
+        ));
+        let text = format!("{TRACE_HEADER}\n0 1 R 40 junk\n");
+        let mut r = TraceReader::new(text.as_bytes()).unwrap();
+        assert!(matches!(
+            r.next_record(),
+            Err(TraceReadError::BadRecord { .. })
+        ));
+    }
+}

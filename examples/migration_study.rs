@@ -1,0 +1,59 @@
+//! Migration study: how much data movement does each scheme generate,
+//! and what does it cost in network traffic and energy?
+//!
+//! Reproduces the reasoning behind the paper's Figure 14: the 3D
+//! topology needs far fewer migrations than 2D because whole layers sit
+//! in each CPU's vicinity, and fewer movements mean less network traffic
+//! and lower L2 power.
+//!
+//! ```sh
+//! cargo run --release --example migration_study
+//! ```
+
+use std::error::Error;
+
+use network_in_memory::core::{Scheme, SystemBuilder};
+use network_in_memory::workload::BenchmarkProfile;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let bench = BenchmarkProfile::mgrid();
+    println!(
+        "migration behaviour on {} ({} L2 transactions sampled)\n",
+        bench.name, 20_000
+    );
+    println!(
+        "{:<14} {:>10} {:>12} {:>14} {:>14} {:>12}",
+        "scheme", "migrations", "per txn", "migr. flit-hops", "invalidations", "L2 mJ"
+    );
+    let mut base_migrations = None;
+    for scheme in [Scheme::CmpDnuca2d, Scheme::CmpDnuca, Scheme::CmpDnuca3d, Scheme::CmpSnuca3d] {
+        let report = SystemBuilder::new(scheme)
+            .seed(7)
+            .warmup_transactions(2_000)
+            .sampled_transactions(20_000)
+            .build()?
+            .run(&bench)?;
+        let migr = report.counters.migrations;
+        if scheme == Scheme::CmpDnuca2d {
+            base_migrations = Some(migr.max(1));
+        }
+        println!(
+            "{:<14} {:>10} {:>12.4} {:>14} {:>14} {:>12.4}",
+            scheme.label(),
+            migr,
+            report.migrations_per_transaction(),
+            report.network.flit_hops_by_class[network_in_memory::noc::TrafficClass::Migration.index()],
+            report.counters.invalidations,
+            report.energy().total_j() * 1e3,
+        );
+        if let Some(base) = base_migrations {
+            if scheme == Scheme::CmpDnuca3d {
+                println!(
+                    "  -> CMP-DNUCA-3D migrates {:.0}% as often as CMP-DNUCA-2D (paper Fig. 14)",
+                    migr as f64 / base as f64 * 100.0
+                );
+            }
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,51 @@
+//! Pillar sweep: vertical bandwidth vs L2 latency, and what each pillar
+//! costs in device area at different via pitches.
+//!
+//! Reproduces the paper's Figure 17 sweep together with the Table 2
+//! manufacturing trade-off that motivates it: coarse via pitches force
+//! fewer pillars, and fewer pillars mean more contention on the shared
+//! vertical links.
+//!
+//! ```sh
+//! cargo run --release --example pillar_sweep
+//! ```
+
+use std::error::Error;
+
+use network_in_memory::core::{Scheme, SystemBuilder};
+use network_in_memory::power::{pillar_area_um2, pillar_wires};
+use network_in_memory::workload::BenchmarkProfile;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let bench = BenchmarkProfile::art();
+    println!("CMP-DNUCA-3D on {}, sweeping the pillar count\n", bench.name);
+    println!(
+        "{:<8} {:>12} {:>16} {:>18} {:>20}",
+        "pillars", "avg L2 hit", "bus transfers", "contention cycles", "wiring area @5um"
+    );
+    for pillars in [8u16, 4, 2] {
+        let report = SystemBuilder::new(Scheme::CmpDnuca3d)
+            .pillars(pillars)
+            .seed(11)
+            .warmup_transactions(1_000)
+            .sampled_transactions(10_000)
+            .build()?
+            .run(&bench)?;
+        let wires = pillar_wires(128, 2);
+        let area = pillar_area_um2(wires, 5.0) * f64::from(pillars);
+        println!(
+            "{:<8} {:>12.2} {:>16} {:>18} {:>17.0} um2",
+            pillars,
+            report.avg_l2_hit_latency(),
+            report.bus_transfers,
+            report.bus_contention_cycles,
+            area,
+        );
+    }
+    println!(
+        "\nFewer pillars -> more vertical contention -> higher L2 latency\n\
+         (paper Fig. 17: 1-7 cycles from 8 pillars down to 2), while the\n\
+         through-silicon wiring area shrinks proportionally (Table 2)."
+    );
+    Ok(())
+}

@@ -1,0 +1,44 @@
+//! Quickstart: build one 3D network-in-memory system, run a benchmark,
+//! and print the headline metrics next to the 2D organisations.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use std::error::Error;
+
+use network_in_memory::core::{Scheme, SystemBuilder};
+use network_in_memory::workload::BenchmarkProfile;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let bench = BenchmarkProfile::swim();
+    println!("benchmark: {} (SPEC OMP profile)", bench.name);
+    println!(
+        "{:<14} {:>12} {:>8} {:>11} {:>10} {:>10}",
+        "scheme", "avg L2 hit", "IPC", "migrations", "miss rate", "energy mJ"
+    );
+    for scheme in Scheme::ALL {
+        let report = SystemBuilder::new(scheme)
+            .seed(42)
+            .warmup_transactions(2_000)
+            .sampled_transactions(20_000)
+            .build()?
+            .run(&bench)?;
+        println!(
+            "{:<14} {:>12.2} {:>8.4} {:>11} {:>10.4} {:>10.4}  s1 {:>6.1}/{:<6} s2 {:>6.1}/{:<6} net {:>5.1} cont {}",
+            scheme.label(),
+            report.avg_l2_hit_latency(),
+            report.ipc(),
+            report.counters.migrations,
+            report.l2_miss_rate(),
+            report.energy().total_j() * 1e3,
+            report.avg_step1_latency(),
+            report.counters.step1_hits,
+            report.avg_step2_latency(),
+            report.counters.step2_hits,
+            report.network.avg_latency(),
+            report.network.switch_contention,
+        );
+    }
+    Ok(())
+}

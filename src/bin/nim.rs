@@ -1,0 +1,258 @@
+//! `nim` — command-line front end for the network-in-memory simulator.
+//!
+//! ```sh
+//! nim run --scheme dnuca3d --bench swim --sample 20000
+//! nim compare --bench mgrid
+//! nim thermal
+//! nim list
+//! ```
+//!
+//! Argument parsing is deliberately dependency-free (the workspace only
+//! uses the pre-approved crates); see `nim help` for the full grammar.
+
+use std::error::Error;
+use std::process::ExitCode;
+
+use network_in_memory::core::{Scheme, SystemBuilder};
+use network_in_memory::core::experiments::table3_thermal;
+use network_in_memory::workload::BenchmarkProfile;
+
+const HELP: &str = "\
+nim — 3D chip-multiprocessor network-in-memory simulator (ISCA'06)
+
+USAGE:
+    nim <COMMAND> [OPTIONS]
+
+COMMANDS:
+    run        simulate one scheme on one benchmark
+    compare    simulate all four schemes on one benchmark
+    thermal    print the Table 3 thermal profiles
+    list       list benchmarks and schemes
+    help       show this message
+
+OPTIONS (run / compare):
+    --scheme <dnuca|dnuca2d|snuca3d|dnuca3d>   scheme (run only; default dnuca3d)
+    --bench <name>                             benchmark profile (default swim)
+    --layers <n>                               device layers (default 2)
+    --pillars <n>                              vertical pillars (default 8)
+    --l2-scale <1|2|4>                         L2 capacity factor (default 1)
+    --warmup <n>                               warm-up transactions (default 2000)
+    --sample <n>                               sampled transactions (default 20000)
+    --seed <n>                                 workload seed (default 42)
+";
+
+fn parse_scheme(s: &str) -> Result<Scheme, String> {
+    match s.to_ascii_lowercase().as_str() {
+        "dnuca" | "cmp-dnuca" => Ok(Scheme::CmpDnuca),
+        "dnuca2d" | "cmp-dnuca-2d" | "2d" => Ok(Scheme::CmpDnuca2d),
+        "snuca3d" | "cmp-snuca-3d" | "snuca" => Ok(Scheme::CmpSnuca3d),
+        "dnuca3d" | "cmp-dnuca-3d" | "3d" => Ok(Scheme::CmpDnuca3d),
+        other => Err(format!("unknown scheme '{other}'")),
+    }
+}
+
+#[derive(Debug)]
+struct Options {
+    scheme: Scheme,
+    bench: BenchmarkProfile,
+    layers: u8,
+    pillars: u16,
+    l2_scale: u32,
+    warmup: u64,
+    sample: u64,
+    seed: u64,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Self {
+            scheme: Scheme::CmpDnuca3d,
+            bench: BenchmarkProfile::swim(),
+            layers: 2,
+            pillars: 8,
+            l2_scale: 1,
+            warmup: 2_000,
+            sample: 20_000,
+            seed: 42,
+        }
+    }
+}
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--scheme" => opts.scheme = parse_scheme(&value()?)?,
+            "--bench" => {
+                let name = value()?;
+                opts.bench = BenchmarkProfile::by_name(&name)
+                    .ok_or_else(|| format!("unknown benchmark '{name}'"))?;
+            }
+            "--layers" => opts.layers = value()?.parse().map_err(|e| format!("--layers: {e}"))?,
+            "--pillars" => {
+                opts.pillars = value()?.parse().map_err(|e| format!("--pillars: {e}"))?
+            }
+            "--l2-scale" => {
+                opts.l2_scale = value()?.parse().map_err(|e| format!("--l2-scale: {e}"))?
+            }
+            "--warmup" => opts.warmup = value()?.parse().map_err(|e| format!("--warmup: {e}"))?,
+            "--sample" => opts.sample = value()?.parse().map_err(|e| format!("--sample: {e}"))?,
+            "--seed" => opts.seed = value()?.parse().map_err(|e| format!("--seed: {e}"))?,
+            other => return Err(format!("unknown option '{other}'")),
+        }
+    }
+    Ok(opts)
+}
+
+fn run_one(opts: &Options, scheme: Scheme) -> Result<(), Box<dyn Error>> {
+    let report = SystemBuilder::new(scheme)
+        .layers(opts.layers)
+        .pillars(opts.pillars)
+        .l2_scale(opts.l2_scale)
+        .warmup_transactions(opts.warmup)
+        .sampled_transactions(opts.sample)
+        .seed(opts.seed)
+        .build()?
+        .run(&opts.bench)?;
+    println!(
+        "{:<14} avg L2 hit {:>7.2} cy | IPC {:>6.4} | migrations {:>7} | miss {:>6.4} | L2 energy {:>8.4} mJ",
+        scheme.label(),
+        report.avg_l2_hit_latency(),
+        report.ipc(),
+        report.counters.migrations,
+        report.l2_miss_rate(),
+        report.energy().total_j() * 1e3,
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprint!("{HELP}");
+        return ExitCode::FAILURE;
+    };
+    let result: Result<(), Box<dyn Error>> = match command.as_str() {
+        "help" | "--help" | "-h" => {
+            print!("{HELP}");
+            Ok(())
+        }
+        "list" => {
+            println!("benchmarks (SPEC OMP, Table 5):");
+            for b in BenchmarkProfile::all() {
+                println!(
+                    "  {:<8} paper L2 transactions: {:>12}",
+                    b.name, b.paper_l2_transactions
+                );
+            }
+            println!("schemes:");
+            for s in Scheme::ALL {
+                println!("  {}", s.label());
+            }
+            Ok(())
+        }
+        "thermal" => (|| -> Result<(), Box<dyn Error>> {
+            println!(
+                "{:<26} {:>10} {:>10} {:>10}",
+                "configuration", "peak C", "avg C", "min C"
+            );
+            for row in table3_thermal()? {
+                println!(
+                    "{:<26} {:>10.2} {:>10.2} {:>10.2}",
+                    row.config, row.peak_c, row.avg_c, row.min_c
+                );
+            }
+            Ok(())
+        })(),
+        "run" => parse_options(&args[1..])
+            .map_err(Into::into)
+            .and_then(|opts| {
+                println!("benchmark: {}", opts.bench.name);
+                run_one(&opts, opts.scheme)
+            }),
+        "compare" => parse_options(&args[1..])
+            .map_err(Into::into)
+            .and_then(|opts| {
+                println!("benchmark: {}", opts.bench.name);
+                for scheme in Scheme::ALL {
+                    run_one(&opts, scheme)?;
+                }
+                Ok(())
+            }),
+        other => Err(format!("unknown command '{other}' (try `nim help`)").into()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults_apply_without_flags() {
+        let opts = parse_options(&[]).unwrap();
+        assert_eq!(opts.scheme, Scheme::CmpDnuca3d);
+        assert_eq!(opts.bench.name, "swim");
+        assert_eq!(opts.layers, 2);
+        assert_eq!(opts.pillars, 8);
+        assert_eq!(opts.sample, 20_000);
+    }
+
+    #[test]
+    fn flags_override_defaults() {
+        let opts = parse_options(&args(&[
+            "--scheme", "snuca3d", "--bench", "mgrid", "--layers", "4",
+            "--pillars", "4", "--l2-scale", "2", "--warmup", "10",
+            "--sample", "100", "--seed", "7",
+        ]))
+        .unwrap();
+        assert_eq!(opts.scheme, Scheme::CmpSnuca3d);
+        assert_eq!(opts.bench.name, "mgrid");
+        assert_eq!(opts.layers, 4);
+        assert_eq!(opts.pillars, 4);
+        assert_eq!(opts.l2_scale, 2);
+        assert_eq!(opts.warmup, 10);
+        assert_eq!(opts.sample, 100);
+        assert_eq!(opts.seed, 7);
+    }
+
+    #[test]
+    fn scheme_aliases_resolve() {
+        assert_eq!(parse_scheme("dnuca").unwrap(), Scheme::CmpDnuca);
+        assert_eq!(parse_scheme("CMP-DNUCA-2D").unwrap(), Scheme::CmpDnuca2d);
+        assert_eq!(parse_scheme("3d").unwrap(), Scheme::CmpDnuca3d);
+        assert!(parse_scheme("bogus").is_err());
+    }
+
+    #[test]
+    fn errors_are_descriptive() {
+        assert!(parse_options(&args(&["--bench", "doom"]))
+            .unwrap_err()
+            .contains("doom"));
+        assert!(parse_options(&args(&["--layers"]))
+            .unwrap_err()
+            .contains("needs a value"));
+        assert!(parse_options(&args(&["--bogus"]))
+            .unwrap_err()
+            .contains("bogus"));
+        assert!(parse_options(&args(&["--layers", "xyz"]))
+            .unwrap_err()
+            .contains("--layers"));
+    }
+}

@@ -1,0 +1,46 @@
+//! Network-in-Memory: a 3D chip-multiprocessor NUCA L2 simulator.
+//!
+//! This crate is the facade of the workspace reproducing *"Design and
+//! Management of 3D Chip Multiprocessors Using Network-in-Memory"*
+//! (Li et al., ISCA 2006). It re-exports every sub-crate under a stable
+//! module name so downstream users can depend on a single crate:
+//!
+//! * [`types`] — identifiers, geometry, addresses, [`types::SystemConfig`].
+//! * [`topology`] — the 3D mesh layout, clusters, pillars, CPU placement.
+//! * [`noc`] — the cycle-accurate wormhole NoC with dTDMA pillar buses.
+//! * [`cache`] — the NUCA L2: banks, tag arrays, search and migration.
+//! * [`coherence`] — directory-based MSI for the private L1s.
+//! * [`cpu`] — in-order cores and their split write-through L1s.
+//! * [`workload`] — SPEC OMP-like synthetic reference streams.
+//! * [`thermal`] — the steady-state 3D thermal estimator.
+//! * [`power`] — router/dTDMA/bank power, area, and via-pitch models.
+//! * [`core`] — system assembly, the four schemes, experiment drivers.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use network_in_memory::core::{Scheme, SystemBuilder};
+//! use network_in_memory::workload::BenchmarkProfile;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let report = SystemBuilder::new(Scheme::CmpDnuca3d)
+//!     .sampled_transactions(2_000)
+//!     .build()?
+//!     .run(&BenchmarkProfile::swim())?;
+//! assert!(report.avg_l2_hit_latency() > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use nim_cache as cache;
+pub use nim_coherence as coherence;
+pub use nim_core as core;
+pub use nim_cpu as cpu;
+pub use nim_noc as noc;
+pub use nim_power as power;
+pub use nim_thermal as thermal;
+pub use nim_topology as topology;
+pub use nim_types as types;
+pub use nim_workload as workload;

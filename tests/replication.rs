@@ -1,0 +1,63 @@
+//! Integration tests of the replication extension: read-shared lines get
+//! replicated into readers' local clusters, replicas serve hits, and
+//! writes invalidate them.
+
+use network_in_memory::core::{Scheme, SystemBuilder};
+use network_in_memory::workload::BenchmarkProfile;
+
+fn run(replication: bool, scheme: Scheme) -> network_in_memory::core::RunReport {
+    SystemBuilder::new(scheme)
+        .seed(5)
+        .warmup_transactions(500)
+        .sampled_transactions(6_000)
+        .replication(replication)
+        .build()
+        .unwrap()
+        .run(&BenchmarkProfile::swim()) // shared-heavy: replication's home turf
+        .unwrap()
+}
+
+#[test]
+fn replication_creates_replicas_only_when_enabled() {
+    let off = run(false, Scheme::CmpSnuca3d);
+    assert_eq!(off.counters.replicas_created, 0);
+    let on = run(true, Scheme::CmpSnuca3d);
+    assert!(
+        on.counters.replicas_created > 100,
+        "shared-heavy workload must replicate ({} created)",
+        on.counters.replicas_created
+    );
+}
+
+#[test]
+fn replication_improves_static_nuca_latency() {
+    // Without migration, replication is the only locality mechanism; on a
+    // shared-read-heavy workload it must pay for itself.
+    let off = run(false, Scheme::CmpSnuca3d);
+    let on = run(true, Scheme::CmpSnuca3d);
+    assert!(
+        on.avg_l2_hit_latency() < off.avg_l2_hit_latency(),
+        "replication {:.2} must beat no-replication {:.2}",
+        on.avg_l2_hit_latency(),
+        off.avg_l2_hit_latency()
+    );
+}
+
+#[test]
+fn writes_invalidate_replicas() {
+    let on = run(true, Scheme::CmpSnuca3d);
+    // Invalidation traffic includes replica drops; with ~10% stores on a
+    // replicated shared region there must be plenty.
+    assert!(
+        on.counters.invalidations > 0,
+        "stores to replicated lines must invalidate"
+    );
+}
+
+#[test]
+fn replication_composes_with_migration() {
+    let report = run(true, Scheme::CmpDnuca3d);
+    assert!(report.counters.replicas_created > 0);
+    assert!(report.counters.migrations > 0);
+    assert!(report.avg_l2_hit_latency() > 0.0);
+}

@@ -1,0 +1,145 @@
+//! End-to-end integration tests: build every scheme, run real workloads
+//! through the full stack (cores + L1 + directory + NUCA L2 + 3D NoC),
+//! and check the paper's structural claims.
+
+use network_in_memory::core::{Scheme, SystemBuilder};
+use network_in_memory::workload::BenchmarkProfile;
+
+fn quick(scheme: Scheme) -> SystemBuilder {
+    SystemBuilder::new(scheme)
+        .seed(42)
+        .warmup_transactions(150)
+        .sampled_transactions(1_200)
+}
+
+#[test]
+fn every_scheme_completes_and_reports_sane_metrics() {
+    let bench = BenchmarkProfile::synthetic();
+    for scheme in Scheme::ALL {
+        let report = quick(scheme).build().unwrap().run(&bench).unwrap();
+        assert_eq!(report.scheme, scheme);
+        // Warm-up and stop boundaries are detected once per cycle, and
+        // several transactions can complete within one cycle, so the
+        // window can be off by a few either way.
+        let window = report.counters.l2_transactions;
+        assert!((1_190..=1_210).contains(&window), "{scheme}: window {window}");
+        let lat = report.avg_l2_hit_latency();
+        assert!((5.0..250.0).contains(&lat), "{scheme}: latency {lat}");
+        let ipc = report.ipc();
+        assert!(ipc > 0.0 && ipc <= 1.0, "{scheme}: ipc {ipc}");
+        assert!(report.l2_miss_rate() < 0.5, "{scheme}: warm L2 misses a lot");
+        assert!(report.cycles > 0 && report.instructions > 0);
+    }
+}
+
+#[test]
+fn runs_are_deterministic_per_seed() {
+    let bench = BenchmarkProfile::swim();
+    let a = quick(Scheme::CmpDnuca3d).build().unwrap().run(&bench).unwrap();
+    let b = quick(Scheme::CmpDnuca3d).build().unwrap().run(&bench).unwrap();
+    assert_eq!(a.counters, b.counters);
+    assert_eq!(a.cycles, b.cycles);
+    assert_eq!(a.instructions, b.instructions);
+    let c = quick(Scheme::CmpDnuca3d)
+        .seed(43)
+        .build()
+        .unwrap()
+        .run(&bench)
+        .unwrap();
+    assert_ne!(a.counters, c.counters, "different seed, different run");
+}
+
+#[test]
+fn snuca_never_migrates_dnuca_does() {
+    let bench = BenchmarkProfile::mgrid();
+    let snuca = quick(Scheme::CmpSnuca3d).build().unwrap().run(&bench).unwrap();
+    assert_eq!(snuca.counters.migrations, 0, "static NUCA must not migrate");
+    let dnuca = quick(Scheme::CmpDnuca3d).build().unwrap().run(&bench).unwrap();
+    assert!(dnuca.counters.migrations > 0, "dynamic NUCA must migrate");
+}
+
+#[test]
+fn three_d_schemes_use_the_pillars_2d_does_not() {
+    let bench = BenchmarkProfile::art();
+    let d3 = quick(Scheme::CmpDnuca3d).build().unwrap().run(&bench).unwrap();
+    assert!(d3.bus_transfers > 0, "3D traffic must cross the buses");
+    let d2 = quick(Scheme::CmpDnuca2d).build().unwrap().run(&bench).unwrap();
+    assert_eq!(d2.bus_transfers, 0, "a 2D chip has no vertical buses");
+}
+
+#[test]
+fn four_layers_beat_two_layers_for_static_nuca() {
+    // Figure 18's headline at small scale: the distance reduction from
+    // extra layers is large and robust.
+    let bench = BenchmarkProfile::swim();
+    let l2 = quick(Scheme::CmpSnuca3d)
+        .layers(2)
+        .build()
+        .unwrap()
+        .run(&bench)
+        .unwrap();
+    let l4 = quick(Scheme::CmpSnuca3d)
+        .layers(4)
+        .build()
+        .unwrap()
+        .run(&bench)
+        .unwrap();
+    assert!(
+        l4.avg_l2_hit_latency() < l2.avg_l2_hit_latency(),
+        "4 layers {} must beat 2 layers {}",
+        l4.avg_l2_hit_latency(),
+        l2.avg_l2_hit_latency()
+    );
+}
+
+#[test]
+fn migration_3d_beats_static_3d() {
+    // Figure 13: CMP-DNUCA-3D gains over CMP-SNUCA-3D from migration.
+    let bench = BenchmarkProfile::swim();
+    let snuca = quick(Scheme::CmpSnuca3d).build().unwrap().run(&bench).unwrap();
+    let dnuca = quick(Scheme::CmpDnuca3d).build().unwrap().run(&bench).unwrap();
+    assert!(
+        dnuca.avg_l2_hit_latency() < snuca.avg_l2_hit_latency(),
+        "DNUCA-3D {} must beat SNUCA-3D {}",
+        dnuca.avg_l2_hit_latency(),
+        snuca.avg_l2_hit_latency()
+    );
+}
+
+#[test]
+fn three_d_migrates_far_less_than_2d() {
+    // Figure 14's headline: whole layers sit in each CPU's vicinity, so
+    // the 3D scheme needs far fewer migrations per transaction.
+    let bench = BenchmarkProfile::swim();
+    let d2 = quick(Scheme::CmpDnuca2d).build().unwrap().run(&bench).unwrap();
+    let d3 = quick(Scheme::CmpDnuca3d).build().unwrap().run(&bench).unwrap();
+    let ratio = d3.counters.migrations as f64 / d2.counters.migrations.max(1) as f64;
+    assert!(
+        ratio < 0.8,
+        "3D must migrate well under 2D's rate, got {ratio:.2}"
+    );
+}
+
+#[test]
+fn energy_tracks_activity() {
+    let bench = BenchmarkProfile::galgel();
+    let report = quick(Scheme::CmpDnuca3d).build().unwrap().run(&bench).unwrap();
+    let energy = report.energy();
+    assert!(energy.router_j > 0.0);
+    assert!(energy.bus_j > 0.0);
+    assert!(energy.bank_j > 0.0);
+    assert!(energy.tag_j > 0.0);
+    assert!(energy.total_j() > energy.router_j);
+}
+
+#[test]
+fn sampling_window_excludes_warmup() {
+    let bench = BenchmarkProfile::synthetic();
+    let with_warmup = quick(Scheme::CmpSnuca3d)
+        .warmup_transactions(400)
+        .build()
+        .unwrap()
+        .run(&bench)
+        .unwrap();
+    assert!((1_190..=1_210).contains(&with_warmup.counters.l2_transactions));
+}
