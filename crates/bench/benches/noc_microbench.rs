@@ -37,7 +37,8 @@ fn offered_load(layout: &ChipLayout, rate: f64, horizon: u64, seed: u64) -> f64 
         }
         net.tick();
     }
-    net.run_until_idle(2_000_000).expect("drains after injection stops");
+    net.run_until_idle(2_000_000)
+        .expect("drains after injection stops");
     net.stats().avg_latency()
 }
 

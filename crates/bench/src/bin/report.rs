@@ -65,7 +65,9 @@ fn main() -> Result<(), Box<dyn Error>> {
     }
 
     println!("\n## Figures 13 & 15 — L2 hit latency (cycles) and IPC\n");
-    println!("| benchmark | CMP-DNUCA | CMP-DNUCA-2D | CMP-SNUCA-3D | CMP-DNUCA-3D | IPC (same order) |");
+    println!(
+        "| benchmark | CMP-DNUCA | CMP-DNUCA-2D | CMP-SNUCA-3D | CMP-DNUCA-3D | IPC (same order) |"
+    );
     println!("|---|---|---|---|---|---|");
     let rows = fig13_l2_latency(&all, scale)?;
     for row in &rows {
@@ -112,14 +114,20 @@ fn main() -> Result<(), Box<dyn Error>> {
     println!("| benchmark | pillars | latency |");
     println!("|---|---|---|");
     for row in fig17_pillars(&representative, scale)? {
-        println!("| {} | {} | {:.2} |", row.benchmark, row.pillars, row.latency);
+        println!(
+            "| {} | {} | {:.2} |",
+            row.benchmark, row.pillars, row.latency
+        );
     }
 
     println!("\n## Figure 18 — layer count (CMP-SNUCA-3D)\n");
     println!("| benchmark | layers | latency |");
     println!("|---|---|---|");
     for row in fig18_layers(&representative, scale)? {
-        println!("| {} | {} | {:.2} |", row.benchmark, row.layers, row.latency);
+        println!(
+            "| {} | {} | {:.2} |",
+            row.benchmark, row.layers, row.latency
+        );
     }
     Ok(())
 }

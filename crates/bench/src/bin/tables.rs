@@ -23,7 +23,10 @@ fn main() -> Result<(), Box<dyn Error>> {
 
     println!();
     println!("## Table 2 — inter-wafer wiring area (170-wire pillar)");
-    println!("{:>10} {:>16} {:>18}", "pitch um", "area um2", "vs 5-port router");
+    println!(
+        "{:>10} {:>16} {:>18}",
+        "pitch um", "area um2", "vs 5-port router"
+    );
     for pitch in TABLE2_PITCHES_UM {
         println!(
             "{:>10} {:>16.1} {:>17.2}%",

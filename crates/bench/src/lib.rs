@@ -45,10 +45,7 @@ mod tests {
 
     #[test]
     fn representative_set_matches_the_paper() {
-        let names: Vec<_> = representative_benchmarks()
-            .iter()
-            .map(|b| b.name)
-            .collect();
+        let names: Vec<_> = representative_benchmarks().iter().map(|b| b.name).collect();
         assert_eq!(names, ["art", "galgel", "mgrid", "swim"]);
     }
 

@@ -19,6 +19,7 @@
 
 use std::collections::HashMap;
 
+use nim_obs::{Category, EventData, Obs};
 use nim_types::addr::L2Map;
 use nim_types::{ClusterId, L2Config, LineAddr};
 
@@ -97,6 +98,8 @@ pub struct NucaL2 {
     /// Read-only replicas: line → clusters holding extra copies.
     replicas: HashMap<LineAddr, Vec<ClusterId>>,
     stats: L2Stats,
+    /// Observability sink; disabled by default.
+    obs: Obs,
 }
 
 impl NucaL2 {
@@ -112,7 +115,15 @@ impl NucaL2 {
             migrating: HashMap::new(),
             replicas: HashMap::new(),
             stats: L2Stats::default(),
+            obs: Obs::disabled(),
         }
+    }
+
+    /// Attaches an observability handle; migration and eviction events
+    /// flow into it from now on (cycle stamps come from whichever
+    /// component drives [`Obs::set_now`], normally the network).
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
     }
 
     /// The address decomposition in use.
@@ -187,8 +198,14 @@ impl NucaL2 {
         let cl = self.resident.remove(&line)?;
         let removed = self.clusters[cl.index()].remove(&self.map, line);
         debug_assert!(removed, "resident map out of sync");
-        if self.migrating.remove(&line).is_some() {
+        if let Some(to) = self.migrating.remove(&line) {
             self.stats.migrations_aborted += 1;
+            self.obs
+                .emit(Category::Migration, || EventData::MigrationAbort {
+                    line: line.0,
+                    from: u32::from(cl.0),
+                    to: u32::from(to.0),
+                });
         }
         self.drop_replicas(line);
         Some(cl)
@@ -202,14 +219,8 @@ impl NucaL2 {
     /// See [`MigrationError`].
     ///
     /// [`commit_migration`]: Self::commit_migration
-    pub fn begin_migration(
-        &mut self,
-        line: LineAddr,
-        to: ClusterId,
-    ) -> Result<(), MigrationError> {
-        let from = self
-            .locate(line)
-            .ok_or(MigrationError::NotResident(line))?;
+    pub fn begin_migration(&mut self, line: LineAddr, to: ClusterId) -> Result<(), MigrationError> {
+        let from = self.locate(line).ok_or(MigrationError::NotResident(line))?;
         if from == to {
             return Err(MigrationError::SamePlace(line));
         }
@@ -217,6 +228,12 @@ impl NucaL2 {
             return Err(MigrationError::InFlight(line));
         }
         self.migrating.insert(line, to);
+        self.obs
+            .emit(Category::Migration, || EventData::MigrationStart {
+                line: line.0,
+                from: u32::from(from.0),
+                to: u32::from(to.0),
+            });
         Ok(())
     }
 
@@ -238,9 +255,7 @@ impl NucaL2 {
             .migrating
             .remove(&line)
             .ok_or(MigrationError::NotResident(line))?;
-        let from = self
-            .locate(line)
-            .ok_or(MigrationError::NotResident(line))?;
+        let from = self.locate(line).ok_or(MigrationError::NotResident(line))?;
         let removed = self.clusters[from.index()].remove(&self.map, line);
         debug_assert!(removed);
         // If the destination already holds a replica, the arriving
@@ -266,20 +281,29 @@ impl NucaL2 {
         };
         self.resident.insert(line, to);
         self.stats.migrations += 1;
+        self.obs
+            .emit(Category::Migration, || EventData::MigrationCommit {
+                line: line.0,
+                from: u32::from(from.0),
+                to: u32::from(to.0),
+            });
         if let Some(victim) = evicted {
             self.note_eviction(victim);
         }
-        Ok(MigrationOutcome {
-            from,
-            to,
-            evicted,
-        })
+        Ok(MigrationOutcome { from, to, evicted })
     }
 
     /// Abandons an in-flight migration (the line stays where it is).
     pub fn abort_migration(&mut self, line: LineAddr) {
-        if self.migrating.remove(&line).is_some() {
+        if let Some(to) = self.migrating.remove(&line) {
             self.stats.migrations_aborted += 1;
+            let from = self.locate(line).unwrap_or(to);
+            self.obs
+                .emit(Category::Migration, || EventData::MigrationAbort {
+                    line: line.0,
+                    from: u32::from(from.0),
+                    to: u32::from(to.0),
+                });
         }
     }
 
@@ -323,9 +347,20 @@ impl NucaL2 {
             return;
         }
         self.stats.evictions += 1;
-        self.resident.remove(&victim);
-        if self.migrating.remove(&victim).is_some() {
+        let cl = self.resident.remove(&victim);
+        self.obs.emit(Category::Bank, || EventData::Eviction {
+            line: victim.0,
+            cluster: cl.map_or(u32::MAX, |c| u32::from(c.0)),
+        });
+        if let Some(to) = self.migrating.remove(&victim) {
             self.stats.migrations_aborted += 1;
+            let from = cl.unwrap_or(to);
+            self.obs
+                .emit(Category::Migration, || EventData::MigrationAbort {
+                    line: victim.0,
+                    from: u32::from(from.0),
+                    to: u32::from(to.0),
+                });
         }
         self.drop_replicas(victim);
     }
@@ -401,8 +436,7 @@ impl NucaL2 {
     /// replica dropped while the request was in flight). Returns whether
     /// any copy was touched.
     pub fn touch_at(&mut self, line: LineAddr, cluster: ClusterId) -> bool {
-        let holds = self.locate(line) == Some(cluster)
-            || self.replicas_of(line).contains(&cluster);
+        let holds = self.locate(line) == Some(cluster) || self.replicas_of(line).contains(&cluster);
         if holds && self.clusters[cluster.index()].contains(&self.map, line) {
             self.clusters[cluster.index()].touch(&self.map, line);
             true
@@ -587,10 +621,13 @@ mod tests {
             l2.add_replica(line, ClusterId(2)),
             Err(MigrationError::SamePlace(_))
         ));
-        assert!(matches!(
-            l2.add_replica(line, ClusterId(1)),
-            Err(MigrationError::SamePlace(_)),
-        ), "the primary cluster already holds a copy");
+        assert!(
+            matches!(
+                l2.add_replica(line, ClusterId(1)),
+                Err(MigrationError::SamePlace(_)),
+            ),
+            "the primary cluster already holds a copy"
+        );
     }
 
     #[test]
@@ -634,8 +671,8 @@ mod tests {
         let shared = LineAddr(77 << 14); // home cluster 0
         l2.insert(shared);
         l2.add_replica(shared, ClusterId(1)).unwrap(); // fills way 16
-        // One more insert into the same set evicts pseudo-LRU — keep
-        // inserting until the replica is the victim.
+                                                       // One more insert into the same set evicts pseudo-LRU — keep
+                                                       // inserting until the replica is the victim.
         let mut i = 15u64;
         while l2.replica_count() == 1 && i < 40 {
             l2.insert(mk1(i));

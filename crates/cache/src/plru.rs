@@ -34,7 +34,7 @@ impl TreePlru {
     /// Panics if `ways` is not a power of two in `1..=32`.
     pub fn new(ways: u32) -> Self {
         assert!(
-            ways >= 1 && ways <= 32 && ways.is_power_of_two(),
+            (1..=32).contains(&ways) && ways.is_power_of_two(),
             "ways must be a power of two in 1..=32, got {ways}"
         );
         Self {

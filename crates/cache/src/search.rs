@@ -111,7 +111,7 @@ mod tests {
     fn flat_chip_has_no_vertical_probes() {
         let layout = ChipLayout::new(&SystemConfig::default().flattened()).unwrap();
         let plan = SearchPlan::new(&layout, ClusterId(5)); // interior of 4x4 grid
-        // local + up to 4 lateral, no vertical.
+                                                           // local + up to 4 lateral, no vertical.
         assert!(plan.step1.len() <= 5);
         for cl in &plan.step1 {
             assert_eq!(layout.cluster_layer(*cl), 0);
@@ -124,8 +124,7 @@ mod tests {
         let local = layout.cluster_at_grid(0, 1, 1);
         let plan = SearchPlan::new(&layout, local);
         let disc = 1 + layout.lateral_neighbors(local).len();
-        let remote = layout.num_clusters() as usize
-            - layout.clusters_per_layer() as usize;
+        let remote = layout.num_clusters() as usize - layout.clusters_per_layer() as usize;
         assert_eq!(
             plan.step1.len(),
             disc + remote,

@@ -9,6 +9,7 @@
 
 use std::collections::HashMap;
 
+use nim_obs::{Category, EventData, Obs};
 use nim_types::{CpuId, LineAddr};
 
 /// Global coherence state of one line across all L1s.
@@ -94,6 +95,8 @@ pub struct Directory {
     num_cpus: u32,
     /// Invalidation messages generated so far (for traffic accounting).
     pub invalidations_sent: u64,
+    /// Observability sink; disabled by default.
+    obs: Obs,
 }
 
 impl Directory {
@@ -120,7 +123,14 @@ impl Directory {
             protocol,
             num_cpus,
             invalidations_sent: 0,
+            obs: Obs::disabled(),
         }
+    }
+
+    /// Attaches an observability handle; invalidation events flow into
+    /// it from now on.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
     }
 
     /// Global state of a line.
@@ -194,6 +204,13 @@ impl Directory {
                     }
                     .sharer_list();
                     self.invalidations_sent += out.invalidations.len() as u64;
+                    for inv in &out.invalidations {
+                        self.obs
+                            .emit(Category::Coherence, || EventData::Invalidate {
+                                line: line.0,
+                                cpu: u32::from(inv.0),
+                            });
+                    }
                 }
                 entry.sharers = bit;
                 entry.state = match self.policy {
@@ -236,6 +253,13 @@ impl Directory {
             Some(e) => {
                 let list = e.sharer_list();
                 self.invalidations_sent += list.len() as u64;
+                if !list.is_empty() {
+                    self.obs
+                        .emit(Category::Coherence, || EventData::InvalidateAll {
+                            line: line.0,
+                            sharers: list.len() as u32,
+                        });
+                }
                 list
             }
             None => Vec::new(),

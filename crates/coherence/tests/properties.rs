@@ -58,9 +58,8 @@ fn check(policy: WritePolicy, ops: Vec<Op>) -> Result<(), TestCaseError> {
                 prop_assert!(dir.sharers(line(l)).is_empty());
             }
         }
-        dir.check_invariants().map_err(|e| {
-            TestCaseError::fail(format!("invariant violated: {e}"))
-        })?;
+        dir.check_invariants()
+            .map_err(|e| TestCaseError::fail(format!("invariant violated: {e}")))?;
         // Write-through never leaves a Modified line behind.
         if policy == WritePolicy::WriteThrough {
             for l in 0..16u8 {

@@ -392,11 +392,31 @@ pub struct Table3Row {
 pub fn table3_thermal() -> Result<Vec<Table3Row>, ExperimentError> {
     let rows: [(&'static str, u8, u16, PlacementPolicy); 7] = [
         ("2D, maximal offset", 1, 8, PlacementPolicy::Interior2d),
-        ("3D-2L, optimal offset", 2, 8, PlacementPolicy::MaximalOffset),
-        ("3D-2L, offset k=2", 2, 4, PlacementPolicy::Algorithm1 { k: 2 }),
-        ("3D-2L, offset k=1", 2, 4, PlacementPolicy::Algorithm1 { k: 1 }),
+        (
+            "3D-2L, optimal offset",
+            2,
+            8,
+            PlacementPolicy::MaximalOffset,
+        ),
+        (
+            "3D-2L, offset k=2",
+            2,
+            4,
+            PlacementPolicy::Algorithm1 { k: 2 },
+        ),
+        (
+            "3D-2L, offset k=1",
+            2,
+            4,
+            PlacementPolicy::Algorithm1 { k: 1 },
+        ),
         ("3D-2L, CPU stacking", 2, 8, PlacementPolicy::Stacked),
-        ("3D-4L, optimal offset", 4, 8, PlacementPolicy::MaximalOffset),
+        (
+            "3D-4L, optimal offset",
+            4,
+            8,
+            PlacementPolicy::MaximalOffset,
+        ),
         ("3D-4L, CPU stacking", 4, 8, PlacementPolicy::Stacked),
     ];
     let tcfg = ThermalConfig::default();
@@ -448,7 +468,10 @@ mod tests {
         let st4 = by("3D-4L, CPU stacking");
         // Peak ordering (Table 3).
         assert!(d2.peak_c < opt2.peak_c, "3D runs hotter than 2D");
-        assert!(opt2.peak_c <= k2.peak_c, "shared pillars no cooler than optimal");
+        assert!(
+            opt2.peak_c <= k2.peak_c,
+            "shared pillars no cooler than optimal"
+        );
         assert!(k2.peak_c <= k1.peak_c, "larger offset reduces the peak");
         assert!(k1.peak_c < st2.peak_c, "stacking creates hotspots");
         assert!(opt4.peak_c < st4.peak_c, "stacking is worst at 4 layers");

@@ -16,6 +16,7 @@ use nim_cache::{migration_target, NucaL2, SearchPlan};
 use nim_coherence::{DirAccess, Directory, WritePolicy};
 use nim_cpu::{CoreAction, InOrderCore, MemRequest};
 use nim_noc::{Delivered, Network, SendRequest, TrafficClass, VerticalMode};
+use nim_obs::{Category, EventData, Obs};
 use nim_topology::{ChipLayout, CpuSeat};
 use nim_types::{
     AccessKind, Address, ClusterId, Coord, CpuId, Cycle, LineAddr, PillarId, SystemConfig,
@@ -54,6 +55,9 @@ struct Txn {
     serve_step: u8,
     /// Search restarts after racing a migration.
     retries: u8,
+    /// Cluster that served the hit (`u16::MAX` until known) — feeds the
+    /// per-cluster hit matrix in the metrics registry.
+    serve_cluster: u16,
 }
 
 /// Configures and creates a [`System`].
@@ -81,6 +85,7 @@ pub struct SystemBuilder {
     vicinity_stop: bool,
     replication: bool,
     edge_memory: bool,
+    obs: Obs,
 }
 
 impl SystemBuilder {
@@ -96,6 +101,7 @@ impl SystemBuilder {
             vicinity_stop: true,
             replication: false,
             edge_memory: false,
+            obs: Obs::disabled(),
         }
     }
 
@@ -181,6 +187,15 @@ impl SystemBuilder {
         self
     }
 
+    /// Attaches an observability handle (see [`nim_obs::Obs`]): the
+    /// network, NUCA L2, directory, and the system's own transaction
+    /// machinery all emit trace events and metrics through it. The
+    /// default is a disabled handle costing one branch per site.
+    pub fn observability(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
+    }
+
     /// Builds the system.
     ///
     /// # Errors
@@ -195,8 +210,8 @@ impl SystemBuilder {
         };
         cfg.validate()?;
         let layout = ChipLayout::new(&cfg)?;
-        let share_pillars = cfg.network.layers > 1
-            && u32::from(layout.num_pillars()) < cfg.num_cpus;
+        let share_pillars =
+            cfg.network.layers > 1 && u32::from(layout.num_pillars()) < cfg.num_cpus;
         let policy = self.scheme.placement(share_pillars);
         let seats = policy.place(&layout, cfg.num_cpus)?;
         let plans = seats
@@ -209,7 +224,12 @@ impl SystemBuilder {
             cluster_cpus[layout.cluster_of(seat.coord).index()] |= 1 << seat.cpu.index();
             cpu_at.insert(seat.coord, seat.cpu);
         }
-        let net = Network::new(&layout, &cfg.network, VerticalMode::Pillars);
+        let mut net = Network::new(&layout, &cfg.network, VerticalMode::Pillars);
+        net.set_obs(self.obs.clone());
+        let mut l2 = NucaL2::new(&cfg.l2);
+        l2.set_obs(self.obs.clone());
+        let mut dir = Directory::new(cfg.num_cpus, WritePolicy::WriteThrough);
+        dir.set_obs(self.obs.clone());
         let cores = seats
             .iter()
             .map(|s| InOrderCore::new(s.cpu, &cfg.l1))
@@ -222,8 +242,8 @@ impl SystemBuilder {
             cluster_cpus,
             cpu_at,
             net,
-            l2: NucaL2::new(&cfg.l2),
-            dir: Directory::new(cfg.num_cpus, WritePolicy::WriteThrough),
+            l2,
+            dir,
             cores,
             txns: HashMap::new(),
             next_txn: 0,
@@ -245,6 +265,7 @@ impl SystemBuilder {
             vicinity_stop: self.vicinity_stop,
             replication: self.replication,
             edge_memory: self.edge_memory,
+            obs: self.obs,
         })
     }
 }
@@ -292,6 +313,7 @@ pub struct System {
     vicinity_stop: bool,
     replication: bool,
     edge_memory: bool,
+    obs: Obs,
 }
 
 impl System {
@@ -326,6 +348,12 @@ impl System {
     /// The on-chip network, for utilisation and congestion analysis.
     pub fn network(&self) -> &Network {
         &self.net
+    }
+
+    /// The observability handle attached at build time (disabled by
+    /// default) — export its trace or metrics after a run.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
     }
 
     /// Runs the benchmark until the sampling target is reached and
@@ -393,6 +421,9 @@ impl System {
             self.try_fast_forward();
             self.net.tick();
             let now = self.net.now();
+            if self.obs.sample_due(now.0) {
+                self.record_obs_sample(now.0);
+            }
             // Timed events due this cycle.
             while let Some(&Reverse((due, _, _))) = self.events.peek() {
                 if due > now.0 {
@@ -427,6 +458,7 @@ impl System {
         }
         let (start_counters, start_cycle, start_instr) =
             window_start.expect("sampling window started");
+        self.publish_obs_metrics();
         let bus = self.net.bus_stats();
         Ok(RunReport {
             scheme: self.scheme,
@@ -443,6 +475,90 @@ impl System {
 
     fn total_instructions(&self) -> u64 {
         self.cores.iter().map(|c| c.stats().instructions).sum()
+    }
+
+    /// Snapshots the live state the epoch sampler tracks: per-pillar bus
+    /// occupancy, per-cluster L2 occupancy, and the headline cumulative
+    /// counters. Called only when [`Obs::sample_due`] fires.
+    fn record_obs_sample(&mut self, now: u64) {
+        let mut pairs: Vec<(String, f64)> = Vec::new();
+        for (i, occ) in self.net.bus_occupancies().into_iter().enumerate() {
+            pairs.push((format!("pillar/{i}/occupancy"), occ as f64));
+        }
+        for cl in 0..self.layout.num_clusters() {
+            let occ = self.l2.cluster_occupancy(ClusterId(cl));
+            pairs.push((format!("cluster/{cl}/occupancy"), occ as f64));
+        }
+        pairs.push(("l2/hits".to_string(), self.counters.l2_hits as f64));
+        pairs.push(("l2/misses".to_string(), self.counters.l2_misses as f64));
+        pairs.push(("migrations".to_string(), self.counters.migrations as f64));
+        let net = self.net.stats();
+        pairs.push((
+            "net/packets_delivered".to_string(),
+            net.packets_delivered as f64,
+        ));
+        pairs.push(("net/flit_hops".to_string(), net.flit_hops as f64));
+        let refs: Vec<(&str, f64)> = pairs.iter().map(|(n, v)| (n.as_str(), *v)).collect();
+        self.obs.record_sample(now, &refs);
+    }
+
+    /// Publishes end-of-run totals into the metrics registry: the
+    /// per-router traversal map (the link-utilization heatmap source),
+    /// per-pillar bus statistics, L2 and transaction counters, and the
+    /// packet latency distribution.
+    fn publish_obs_metrics(&self) {
+        if !self.obs.is_enabled() {
+            return;
+        }
+        for (i, &n) in self.net.traversals().iter().enumerate() {
+            let c = self.layout.coord_of_index(i);
+            self.obs
+                .counter_set(&format!("noc/traversals/{}/{}/{}", c.x, c.y, c.layer), n);
+        }
+        for (i, b) in self.net.bus_stats().iter().enumerate() {
+            self.obs
+                .counter_set(&format!("pillar/{i}/transfers"), b.transfers);
+            self.obs
+                .counter_set(&format!("pillar/{i}/busy_cycles"), b.busy_cycles);
+            self.obs.counter_set(
+                &format!("pillar/{i}/contention_cycles"),
+                b.contention_cycles,
+            );
+            self.obs
+                .counter_set(&format!("pillar/{i}/peak_queued"), b.peak_queued);
+        }
+        let net = self.net.stats();
+        self.obs.counter_set("net/packets_sent", net.packets_sent);
+        self.obs
+            .counter_set("net/packets_delivered", net.packets_delivered);
+        self.obs.counter_set("net/flit_hops", net.flit_hops);
+        self.obs
+            .counter_set("net/switch_contention", net.switch_contention);
+        self.obs.counter_set("net/bus_transfers", net.bus_transfers);
+        self.obs
+            .histogram_set("net/latency_cycles", net.latency_histogram.clone());
+        let l2 = self.l2.stats();
+        self.obs.counter_set("l2/insertions", l2.insertions);
+        self.obs.counter_set("l2/evictions", l2.evictions);
+        self.obs.counter_set("l2/migrations", l2.migrations);
+        self.obs
+            .counter_set("l2/migrations_aborted", l2.migrations_aborted);
+        self.obs
+            .counter_set("l2/replicas_created", l2.replicas_created);
+        self.obs
+            .counter_set("l2/replicas_dropped", l2.replicas_dropped);
+        let c = &self.counters;
+        self.obs
+            .counter_set("sys/l2_transactions", c.l2_transactions);
+        self.obs.counter_set("sys/l2_hits", c.l2_hits);
+        self.obs.counter_set("sys/l2_misses", c.l2_misses);
+        self.obs.counter_set("sys/tag_accesses", c.tag_accesses);
+        self.obs.counter_set("sys/bank_accesses", c.bank_accesses);
+        self.obs.counter_set("sys/invalidations", c.invalidations);
+        self.obs.counter_set("sys/search_retries", c.search_retries);
+        self.obs.counter_set("sys/migrations", c.migrations);
+        self.obs
+            .gauge_set("sim/cycles_per_sec", self.obs.cycles_per_sec());
     }
 
     /// Installs the workload's working set before simulation, standing in
@@ -542,7 +658,8 @@ impl System {
 
     fn schedule(&mut self, now: Cycle, delay: u64, ev: TimedEvent) {
         self.next_seq += 1;
-        self.events.push(Reverse((now.0 + delay, self.next_seq, ev)));
+        self.events
+            .push(Reverse((now.0 + delay, self.next_seq, ev)));
     }
 
     fn send(
@@ -579,10 +696,15 @@ impl System {
     }
 
     /// Total latency until an access of the bank at `at` completes; the
-    /// SRAM bank performs one access at a time.
-    fn bank_delay(&mut self, at: Coord, now: Cycle) -> u64 {
+    /// SRAM bank performs one access at a time. `write` distinguishes
+    /// stores/fills/migration absorbs from reads in the trace.
+    fn bank_delay(&mut self, at: Coord, now: Cycle, write: bool) -> u64 {
         let idx = self.layout.node_index(at);
         self.bank_access_counts[idx] += 1;
+        self.obs.emit(Category::Bank, || EventData::BankAccess {
+            node: idx as u32,
+            write,
+        });
         let slot = &mut self.bank_busy[idx];
         let start = (*slot).max(now.0);
         let latency = u64::from(self.cfg.l2.bank_latency);
@@ -641,6 +763,7 @@ impl System {
                 was_miss: false,
                 serve_step: 0,
                 retries: 0,
+                serve_cluster: u16::MAX,
             },
         );
         if self.scheme.perfect_search() {
@@ -659,7 +782,11 @@ impl System {
             Some(cl) => {
                 let seat = *self.seat(t.cpu);
                 let bank = self.bank_coord(cl, t.line);
-                self.txns.get_mut(&id).expect("live txn").served = true;
+                {
+                    let txn = self.txns.get_mut(&id).expect("live txn");
+                    txn.served = true;
+                    txn.serve_cluster = cl.0;
+                }
                 match t.kind {
                     AccessKind::Read | AccessKind::IFetch => {
                         self.send(
@@ -733,6 +860,11 @@ impl System {
         remote_layers.sort_unstable();
         remote_layers.dedup();
         let remote_broadcast_targets = clusters.len() - direct.len();
+        self.obs.emit(Category::Search, || EventData::SearchStep {
+            txn: u64::from(id),
+            step,
+            targets: clusters.len() as u32,
+        });
         {
             let txn = self.txns.get_mut(&id).expect("live txn");
             txn.step = step;
@@ -744,14 +876,24 @@ impl System {
             if cl == local {
                 // The local tag array is directly connected (paper §4.1).
                 let delay = self.tag_delay(cl, now);
-                self.schedule(now, delay, TimedEvent::ProbeResolved { txn: id, cluster: cl });
+                self.schedule(
+                    now,
+                    delay,
+                    TimedEvent::ProbeResolved {
+                        txn: id,
+                        cluster: cl,
+                    },
+                );
             } else {
                 self.send(
                     seat.coord,
                     self.center(cl),
                     TrafficClass::Control,
                     1,
-                    Token::Probe { txn: id, cluster: cl },
+                    Token::Probe {
+                        txn: id,
+                        cluster: cl,
+                    },
                     seat.pillar,
                 );
             }
@@ -763,7 +905,11 @@ impl System {
                 self.layout.pillar_coord(pillar, layer),
                 TrafficClass::Control,
                 1,
-                Token::VerticalProbe { txn: id, layer, step },
+                Token::VerticalProbe {
+                    txn: id,
+                    layer,
+                    step,
+                },
                 seat.pillar,
             );
         }
@@ -774,6 +920,11 @@ impl System {
         let Some(t) = self.txns.get(&id).copied() else {
             return;
         };
+        self.obs.emit(Category::Search, || EventData::Probe {
+            txn: u64::from(id),
+            cluster: u32::from(cluster.0),
+            step: t.step,
+        });
         let visible = self.l2.locate(t.line);
         let hit = self.l2.has_copy_at(t.line, cluster);
         let seat = *self.seat(t.cpu);
@@ -787,13 +938,12 @@ impl System {
             // Serve from the probed cluster when its bank really holds a
             // copy (primary or replica); a probe that matched only an
             // in-flight migration entry serves from the current location.
-            let serving = if visible == Some(cluster)
-                || self.l2.replicas_of(t.line).contains(&cluster)
-            {
-                cluster
-            } else {
-                visible.expect("a hit implies residency")
-            };
+            let serving =
+                if visible == Some(cluster) || self.l2.replicas_of(t.line).contains(&cluster) {
+                    cluster
+                } else {
+                    visible.expect("a hit implies residency")
+                };
             self.serve_hit(id, origin, serving, now);
         } else if !t.served {
             // Miss: tell the requester (local tag arrays answer directly).
@@ -818,10 +968,15 @@ impl System {
     /// (reads) or tell the writer where to ship its store (writes).
     fn serve_hit(&mut self, id: TxnId, origin: Coord, serving: ClusterId, now: Cycle) {
         let t = self.txns[&id];
+        self.obs.emit(Category::Search, || EventData::ProbeHit {
+            txn: u64::from(id),
+            cluster: u32::from(serving.0),
+        });
         {
             let txn = self.txns.get_mut(&id).expect("live txn");
             txn.served = true;
             txn.serve_step = txn.step;
+            txn.serve_cluster = serving.0;
         }
         let seat = *self.seat(t.cpu);
         match t.kind {
@@ -848,7 +1003,10 @@ impl System {
                         seat.coord,
                         TrafficClass::Control,
                         1,
-                        Token::FoundForWrite { txn: id, cluster: serving },
+                        Token::FoundForWrite {
+                            txn: id,
+                            cluster: serving,
+                        },
                         seat.pillar,
                     );
                 }
@@ -881,7 +1039,11 @@ impl System {
             self.schedule(
                 now,
                 delay,
-                TimedEvent::VerticalClusterResolved { txn: id, cluster: cl, layer },
+                TimedEvent::VerticalClusterResolved {
+                    txn: id,
+                    cluster: cl,
+                    layer,
+                },
             );
         }
     }
@@ -890,13 +1052,7 @@ impl System {
     /// serve a hit, or answer with its own miss reply — every reply
     /// individually rides the pillar back, which is what loads the bus
     /// when few pillars serve many CPUs (Fig. 17).
-    fn vertical_cluster_resolved(
-        &mut self,
-        id: TxnId,
-        cluster: ClusterId,
-        _layer: u8,
-        now: Cycle,
-    ) {
+    fn vertical_cluster_resolved(&mut self, id: TxnId, cluster: ClusterId, _layer: u8, now: Cycle) {
         let Some(t) = self.txns.get(&id).copied() else {
             return;
         };
@@ -905,13 +1061,12 @@ impl System {
         }
         let visible = self.l2.locate(t.line);
         if self.l2.has_copy_at(t.line, cluster) {
-            let serving = if visible == Some(cluster)
-                || self.l2.replicas_of(t.line).contains(&cluster)
-            {
-                cluster
-            } else {
-                visible.expect("a hit implies residency")
-            };
+            let serving =
+                if visible == Some(cluster) || self.l2.replicas_of(t.line).contains(&cluster) {
+                    cluster
+                } else {
+                    visible.expect("a hit implies residency")
+                };
             self.serve_hit(id, self.center(cluster), serving, now);
             return;
         }
@@ -937,6 +1092,10 @@ impl System {
             return;
         }
         let t = *t;
+        self.obs.emit(Category::Search, || EventData::ProbeMiss {
+            txn: u64::from(id),
+            step: t.step,
+        });
         let step2_empty = self.plans[t.cpu.index()].step2.is_empty();
         if t.step == 1 && !step2_empty {
             self.issue_search_step(id, 2, now);
@@ -946,6 +1105,10 @@ impl System {
             // Lazy migration makes this a narrow window; retry the search
             // instead of falsely going to memory.
             self.counters.search_retries += 1;
+            self.obs.emit(Category::Search, || EventData::SearchRetry {
+                txn: u64::from(id),
+                attempt: u32::from(t.retries) + 1,
+            });
             self.txns.get_mut(&id).expect("live txn").retries += 1;
             self.issue_search_step(id, 1, now);
         } else {
@@ -967,10 +1130,11 @@ impl System {
             Some(waiters) => waiters.push(id),
             None => {
                 self.pending_fills.insert(line, vec![id]);
+                self.obs
+                    .emit(Category::Memory, || EventData::MemRequest { line: line.0 });
                 if self.edge_memory {
                     let seat = *self.seat(cpu);
-                    let mc =
-                        self.nearest_mc(self.bank_coord(self.l2.home_cluster(line), line));
+                    let mc = self.nearest_mc(self.bank_coord(self.l2.home_cluster(line), line));
                     self.send(
                         seat.coord,
                         self.mc_coords[mc],
@@ -1030,12 +1194,14 @@ impl System {
 
     /// The fill reached the home bank: absorb it, then serve the waiters.
     fn mem_fill_arrived(&mut self, line: LineAddr, at: Coord, now: Cycle) {
-        let delay = self.bank_delay(at, now);
+        let delay = self.bank_delay(at, now, true);
         self.schedule(now, delay, TimedEvent::MemoryFetched { line });
     }
 
     /// Off-chip memory delivered the line: place it and serve the waiters.
     fn memory_fetched(&mut self, line: LineAddr, now: Cycle) {
+        self.obs
+            .emit(Category::Memory, || EventData::MemFill { line: line.0 });
         let waiters = self.pending_fills.remove(&line).unwrap_or_default();
         if self.l2.locate(line).is_none() {
             let placed = self.l2.insert(line);
@@ -1054,7 +1220,7 @@ impl System {
                 AccessKind::Read | AccessKind::IFetch => {
                     // The fill serves the read directly from the bank.
                     self.counters.bank_accesses += 1;
-                    let delay = self.bank_delay(bank, now);
+                    let delay = self.bank_delay(bank, now, false);
                     self.schedule(now, delay, TimedEvent::BankReadDone { txn: id, at: bank });
                 }
                 AccessKind::Write => {
@@ -1064,7 +1230,10 @@ impl System {
                         seat.coord,
                         TrafficClass::Control,
                         1,
-                        Token::FoundForWrite { txn: id, cluster: serving },
+                        Token::FoundForWrite {
+                            txn: id,
+                            cluster: serving,
+                        },
                         seat.pillar,
                     );
                 }
@@ -1104,11 +1273,9 @@ impl System {
         };
         // A replica bank can serve the read directly.
         let here = self.layout.cluster_of(at);
-        if self.l2.replicas_of(t.line).contains(&here)
-            && self.bank_coord(here, t.line) == at
-        {
+        if self.l2.replicas_of(t.line).contains(&here) && self.bank_coord(here, t.line) == at {
             self.counters.bank_accesses += 1;
-            let delay = self.bank_delay(at, now);
+            let delay = self.bank_delay(at, now, false);
             self.schedule(now, delay, TimedEvent::BankReadDone { txn: id, at });
             return;
         }
@@ -1125,17 +1292,20 @@ impl System {
                     } else {
                         0
                     };
-                    let bank = self.bank_delay(at, now);
-                    self.schedule(
-                        now,
-                        tag + bank,
-                        TimedEvent::BankReadDone { txn: id, at },
-                    );
+                    let bank = self.bank_delay(at, now, false);
+                    self.schedule(now, tag + bank, TimedEvent::BankReadDone { txn: id, at });
                 } else {
                     // The line migrated while the request was in flight;
                     // chase it.
                     let via = self.via(t.cpu);
-                    self.send(at, target, TrafficClass::Control, 1, Token::BankFetch { txn: id }, via);
+                    self.send(
+                        at,
+                        target,
+                        TrafficClass::Control,
+                        1,
+                        Token::BankFetch { txn: id },
+                        via,
+                    );
                 }
             }
         }
@@ -1167,12 +1337,15 @@ impl System {
         };
         self.counters.bank_accesses += 1;
         let tag = if self.scheme.perfect_search() {
-            let cl = self.l2.locate(t.line).unwrap_or(self.l2.home_cluster(t.line));
+            let cl = self
+                .l2
+                .locate(t.line)
+                .unwrap_or(self.l2.home_cluster(t.line));
             self.tag_delay(cl, now)
         } else {
             0
         };
-        let bank = self.bank_delay(at, now);
+        let bank = self.bank_delay(at, now, true);
         self.schedule(now, tag + bank, TimedEvent::BankWritten { txn: id, at });
     }
 
@@ -1252,6 +1425,18 @@ impl System {
     fn finish_counters(&mut self, t: &Txn, now: Cycle) {
         let latency = now - t.issued;
         self.counters.l2_transactions += 1;
+        if self.obs.is_enabled() {
+            // Per-cluster hit/miss matrix: requester's local cluster
+            // crossed with the cluster that served (or "miss").
+            let local = self.plans[t.cpu.index()].local.0;
+            if t.was_miss {
+                self.obs.counter_add(&format!("l2/miss_from/{local}"), 1);
+            } else if t.serve_cluster != u16::MAX {
+                self.obs
+                    .counter_add(&format!("l2/hits/{local}/{}", t.serve_cluster), 1);
+            }
+            self.obs.histogram_record("l2/txn_latency", latency);
+        }
         if t.was_miss {
             self.counters.l2_misses += 1;
             self.counters.miss_latency_sum += latency;
@@ -1374,14 +1559,17 @@ impl System {
             dst,
             TrafficClass::Data,
             flits,
-            Token::ReplicaFill { line, cluster: local },
+            Token::ReplicaFill {
+                line,
+                cluster: local,
+            },
             self.via(cpu),
         );
     }
 
     /// A replica copy reached its new bank.
     fn replica_arrived(&mut self, line: LineAddr, cluster: ClusterId, at: Coord, now: Cycle) {
-        let delay = self.bank_delay(at, now);
+        let delay = self.bank_delay(at, now, true);
         self.schedule(now, delay, TimedEvent::ReplicaInstalled { line, cluster });
     }
 
@@ -1407,7 +1595,7 @@ impl System {
             Some(to) => self.bank_coord(to, line),
             None => return, // aborted in flight
         };
-        let delay = self.bank_delay(at, now);
+        let delay = self.bank_delay(at, now, true);
         self.schedule(now, delay, TimedEvent::MigrationDone { line });
     }
 
@@ -1430,17 +1618,17 @@ impl System {
     fn handle_event(&mut self, ev: TimedEvent, now: Cycle) {
         match ev {
             TimedEvent::ProbeResolved { txn, cluster } => self.resolve_probe(txn, cluster, now),
-            TimedEvent::VerticalClusterResolved { txn, cluster, layer } => {
-                self.vertical_cluster_resolved(txn, cluster, layer, now)
-            }
+            TimedEvent::VerticalClusterResolved {
+                txn,
+                cluster,
+                layer,
+            } => self.vertical_cluster_resolved(txn, cluster, layer, now),
             TimedEvent::BankReadDone { txn, at } => self.bank_read_done(txn, at, now),
             TimedEvent::BankWritten { txn, at } => self.bank_written(txn, at, now),
             TimedEvent::MemoryReady { line, mc } => self.memory_ready(line, mc, now),
             TimedEvent::MemoryFetched { line } => self.memory_fetched(line, now),
             TimedEvent::MigrationDone { line } => self.migration_done(line),
-            TimedEvent::ReplicaInstalled { line, cluster } => {
-                self.replica_installed(line, cluster)
-            }
+            TimedEvent::ReplicaInstalled { line, cluster } => self.replica_installed(line, cluster),
         }
     }
 
@@ -1450,7 +1638,11 @@ impl System {
                 let delay = self.tag_delay(cluster, now);
                 self.schedule(now, delay, TimedEvent::ProbeResolved { txn, cluster });
             }
-            Token::VerticalProbe { txn, layer: _, step } => {
+            Token::VerticalProbe {
+                txn,
+                layer: _,
+                step,
+            } => {
                 self.vertical_probe_arrived(txn, d.dst, step, now);
             }
             Token::ProbeMiss { txn } => self.probe_missed(txn, now),
@@ -1460,9 +1652,7 @@ impl System {
             Token::WriteData { txn } => self.write_data_arrived(txn, d.dst, now),
             Token::WriteAck { txn } => self.complete_write(txn, now),
             Token::MigrationMove { line } => self.migration_arrived(line, now),
-            Token::ReplicaFill { line, cluster } => {
-                self.replica_arrived(line, cluster, d.dst, now)
-            }
+            Token::ReplicaFill { line, cluster } => self.replica_arrived(line, cluster, d.dst, now),
             Token::MemRequest { line } => self.mem_request_arrived(line, d.dst, now),
             Token::MemFill { line } => self.mem_fill_arrived(line, d.dst, now),
             Token::Invalidate { line } => {

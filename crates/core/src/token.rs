@@ -142,7 +142,11 @@ pub(crate) enum TimedEvent {
     /// One tag array finished probing a pillar broadcast (fan-out from
     /// the pillar node charged per cluster; the misses of a layer are
     /// aggregated into a single reply).
-    VerticalClusterResolved { txn: TxnId, cluster: ClusterId, layer: u8 },
+    VerticalClusterResolved {
+        txn: TxnId,
+        cluster: ClusterId,
+        layer: u8,
+    },
     /// The bank at `at` finished a read for the transaction.
     BankReadDone { txn: TxnId, at: Coord },
     /// The bank at `at` finished a write for the transaction.

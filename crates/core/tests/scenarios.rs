@@ -23,8 +23,10 @@ fn trace_for(cpu: u16, ops: &[TraceOp]) -> ReplayTrace {
 }
 
 fn builder(sample: u64, cpus: u32) -> SystemBuilder {
-    let mut cfg = SystemConfig::default();
-    cfg.num_cpus = cpus;
+    let cfg = SystemConfig {
+        num_cpus: cpus,
+        ..SystemConfig::default()
+    };
     SystemBuilder::new(Scheme::CmpDnuca3d)
         .config(cfg)
         .prewarm(false)
@@ -56,7 +58,10 @@ fn a_same_line_reread_is_absorbed_by_the_l1() {
     let mut system = builder(2, 1).build().unwrap();
     let mut trace = trace_for(
         0,
-        &[op(AccessKind::Read, 0x1234_0000), op(AccessKind::Read, 0x1234_0008)],
+        &[
+            op(AccessKind::Read, 0x1234_0000),
+            op(AccessKind::Read, 0x1234_0008),
+        ],
     );
     let err = system.run_with_source("scenario", &mut trace).unwrap_err();
     assert!(
@@ -72,7 +77,10 @@ fn a_store_to_a_fetched_line_hits_the_l2() {
     // memory fetch.
     let mut system = builder(2, 1).build().unwrap();
     let addr = 0x1234_0000;
-    let mut trace = trace_for(0, &[op(AccessKind::Read, addr), op(AccessKind::Write, addr)]);
+    let mut trace = trace_for(
+        0,
+        &[op(AccessKind::Read, addr), op(AccessKind::Write, addr)],
+    );
     let report = system.run_with_source("scenario", &mut trace).unwrap();
     assert_eq!(report.counters.l2_misses, 1, "the cold read");
     assert_eq!(report.counters.l2_hits, 1, "the write-through store");
@@ -124,7 +132,10 @@ fn dried_up_traces_report_a_stall_not_a_hang() {
     let mut trace = trace_for(0, &[op(AccessKind::Read, 0xABC0)]);
     let start = std::time::Instant::now();
     let err = system.run_with_source("scenario", &mut trace).unwrap_err();
-    assert!(matches!(err, RunError::Stalled { completed: 1, .. }), "{err}");
+    assert!(
+        matches!(err, RunError::Stalled { completed: 1, .. }),
+        "{err}"
+    );
     assert!(
         start.elapsed().as_secs() < 10,
         "stall detection must be immediate, not a watchdog timeout"
@@ -154,5 +165,8 @@ fn repeated_reads_by_one_cpu_pull_the_line_home() {
         "repeated single-CPU access must migrate the line"
     );
     assert_eq!(report.counters.l2_misses, 3, "only the cold reads miss");
-    assert!(report.counters.l2_hits >= 55, "every later round hits the L2");
+    assert!(
+        report.counters.l2_hits >= 55,
+        "every later round hits the L2"
+    );
 }

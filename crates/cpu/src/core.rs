@@ -197,7 +197,10 @@ impl InOrderCore {
                     self.state = if op.gap == 1 {
                         State::MemReady { op }
                     } else {
-                        State::Gap { left: op.gap - 1, op }
+                        State::Gap {
+                            left: op.gap - 1,
+                            op,
+                        }
                     };
                     CoreAction::Progress
                 }
@@ -423,7 +426,10 @@ mod tests {
     #[test]
     fn read_miss_stalls_for_the_memory_latency() {
         let stats = run(vec![op(1, AccessKind::Read, 0x80)], 50);
-        assert_eq!(stats.data_stall_cycles, 49, "stalled from issue+1 to return");
+        assert_eq!(
+            stats.data_stall_cycles, 49,
+            "stalled from issue+1 to return"
+        );
         assert_eq!(stats.instructions, 2);
     }
 
@@ -477,9 +483,12 @@ mod tests {
     fn invalidation_forces_the_next_read_to_miss() {
         let mut core = core();
         let a = Address(0x40);
-        let mut ops = vec![op(0, AccessKind::Read, 0x40), op(0, AccessKind::Read, 0x40)]
-            .into_iter();
-        assert!(matches!(core.tick(&mut || ops.next()), CoreAction::Request(_)));
+        let mut ops =
+            vec![op(0, AccessKind::Read, 0x40), op(0, AccessKind::Read, 0x40)].into_iter();
+        assert!(matches!(
+            core.tick(&mut || ops.next()),
+            CoreAction::Request(_)
+        ));
         core.data_returned(a);
         assert!(core.invalidate(a.line(64)));
         let act = core.tick(&mut || ops.next());

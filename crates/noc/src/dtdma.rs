@@ -90,7 +90,6 @@ impl DtdmaBus {
     }
 
     /// Total flits queued across all interfaces.
-    #[allow(dead_code)] // exercised by tests; kept for diagnostics
     pub(crate) fn queued(&self) -> usize {
         self.ifaces.iter().map(|i| i.q.len()).sum()
     }

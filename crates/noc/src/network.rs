@@ -20,6 +20,7 @@
 
 use std::collections::VecDeque;
 
+use nim_obs::{Category, EventData, Obs};
 use nim_topology::ChipLayout;
 use nim_types::{Coord, Cycle, Dir, NetworkConfig, PacketId};
 
@@ -80,6 +81,14 @@ pub struct Network {
     /// Flit traversals through each router (node-indexed), for
     /// utilisation maps and hotspot analysis.
     traversals: Vec<u64>,
+    /// Observability sink; disabled by default (one branch per event).
+    obs: Obs,
+}
+
+/// A [`Coord`] as the `[x, y, layer]` triple trace events carry.
+#[inline]
+fn c3(c: Coord) -> [u16; 3] {
+    [u16::from(c.x), u16::from(c.y), u16::from(c.layer)]
 }
 
 impl Network {
@@ -137,11 +146,14 @@ impl Network {
             vcs,
             router_latency: u64::from(cfg.router_latency).max(1),
             bus_cycles_per_flit: u64::from(cfg.bus_cycles_per_flit()).max(1),
-            bus_ready_at: vec![0; if mode == VerticalMode::Pillars && layout.layers() > 1 {
-                layout.num_pillars() as usize
-            } else {
-                0
-            }],
+            bus_ready_at: vec![
+                0;
+                if mode == VerticalMode::Pillars && layout.layers() > 1 {
+                    layout.num_pillars() as usize
+                } else {
+                    0
+                }
+            ],
             routers,
             buses,
             bus_of_node,
@@ -158,7 +170,17 @@ impl Network {
             flits_in_flight: 0,
             stats: NetworkStats::default(),
             traversals: vec![0; n],
+            obs: Obs::disabled(),
         }
+    }
+
+    /// Attaches an observability handle; events and per-tick cycle
+    /// stamps flow into it from now on. The network drives
+    /// [`Obs::set_now`], so the same handle shared by other components
+    /// sees a consistent clock.
+    pub fn set_obs(&mut self, obs: Obs) {
+        obs.set_now(self.now.0);
+        self.obs = obs;
     }
 
     /// The current simulated time.
@@ -184,6 +206,13 @@ impl Network {
         self.buses.iter().map(|b| b.stats).collect()
     }
 
+    /// Flits currently queued at each pillar bus's transceiver
+    /// interfaces, indexed by pillar — the instantaneous occupancy the
+    /// epoch sampler snapshots.
+    pub fn bus_occupancies(&self) -> Vec<usize> {
+        self.buses.iter().map(|b| b.queued()).collect()
+    }
+
     /// Flit traversals through each router, indexed like
     /// [`ChipLayout::node_index`](nim_topology::ChipLayout::node_index) —
     /// the utilisation map behind congestion analysis.
@@ -201,8 +230,16 @@ impl Network {
     /// Panics if `req.flits == 0` or an endpoint is outside the mesh.
     pub fn send(&mut self, req: SendRequest) -> PacketId {
         assert!(req.flits >= 1, "packet must have at least one flit");
-        assert!(self.layout.contains(req.src), "source {} outside mesh", req.src);
-        assert!(self.layout.contains(req.dst), "destination {} outside mesh", req.dst);
+        assert!(
+            self.layout.contains(req.src),
+            "source {} outside mesh",
+            req.src
+        );
+        assert!(
+            self.layout.contains(req.dst),
+            "destination {} outside mesh",
+            req.dst
+        );
         let id = PacketId(self.next_pkt);
         self.next_pkt += 1;
         let node = self.layout.node_index(req.src);
@@ -215,6 +252,13 @@ impl Network {
         self.mark_inj(node);
         self.flits_in_flight += u64::from(req.flits);
         self.stats.packets_sent += 1;
+        self.obs.emit(Category::Packet, || EventData::PacketInject {
+            packet: id.0,
+            src: c3(req.src),
+            dst: c3(req.dst),
+            class: req.class.name(),
+            flits: req.flits,
+        });
         id
     }
 
@@ -259,11 +303,13 @@ impl Network {
     pub fn advance_idle(&mut self, cycles: u64) {
         assert!(self.is_idle(), "advance_idle with traffic in flight");
         self.now += cycles;
+        self.obs.set_now(self.now.0);
     }
 
     /// Advances the network by one clock cycle.
     pub fn tick(&mut self) {
         self.now += 1;
+        self.obs.set_now(self.now.0);
         let now = self.now;
         self.bus_phase(now);
         self.router_phase(now);
@@ -317,6 +363,11 @@ impl Network {
             }
             if eligible >= 2 {
                 self.buses[b].stats.contention_cycles += 1;
+                self.obs
+                    .emit(Category::Pillar, || EventData::BusContention {
+                        pillar: b as u32,
+                        waiting: eligible as u32,
+                    });
             }
             let rr = self.buses[b].rr;
             for off in 0..layers {
@@ -328,9 +379,7 @@ impl Network {
                     continue;
                 }
                 let (px, py) = self.buses[b].xy;
-                let dest_idx = self
-                    .layout
-                    .node_index(Coord::new(px, py, front.dst.layer));
+                let dest_idx = self.layout.node_index(Coord::new(px, py, front.dst.layer));
                 let vi = Dir::Vertical.index();
                 let port = self.routers[dest_idx].inputs[vi]
                     .as_ref()
@@ -345,7 +394,10 @@ impl Network {
                 let Some(vc) = vc_sel else {
                     continue;
                 };
-                let mut f = self.buses[b].ifaces[i].q.pop_front().expect("front checked");
+                let mut f = self.buses[b].ifaces[i]
+                    .q
+                    .pop_front()
+                    .expect("front checked");
                 f.arrived = now;
                 f.hops += 1;
                 self.routers[dest_idx].inputs[vi]
@@ -366,6 +418,11 @@ impl Network {
                 self.buses[b].stats.transfers += 1;
                 self.buses[b].stats.busy_cycles += self.bus_cycles_per_flit;
                 self.stats.bus_transfers += 1;
+                self.obs.emit(Category::Pillar, || EventData::BusGrant {
+                    pillar: b as u32,
+                    from_layer: i as u16,
+                    to_layer: u16::from(f.dst.layer),
+                });
                 self.buses[b].rr = (i + 1) % layers;
                 self.bus_ready_at[b] = now.0 + self.bus_cycles_per_flit;
                 break; // one flit per bus grant
@@ -512,6 +569,13 @@ impl Network {
                         hops: f.hops,
                     };
                     self.stats.record_delivery(&d);
+                    self.obs
+                        .emit(Category::Packet, || EventData::PacketDeliver {
+                            packet: d.packet.0,
+                            dst: c3(d.dst),
+                            latency: d.latency(),
+                            hops: u32::from(d.hops),
+                        });
                     self.outbox[n].push_back(d);
                     if !self.in_delivered[n] {
                         self.in_delivered[n] = true;
@@ -521,8 +585,8 @@ impl Network {
                 true
             }
             Dir::Vertical => {
-                let bus_idx = self.bus_of_node[n].expect("vertical output on non-pillar node")
-                    as usize;
+                let bus_idx =
+                    self.bus_of_node[n].expect("vertical output on non-pillar node") as usize;
                 let layer = self.routers[n].coord.layer;
                 if !self.buses[bus_idx].can_enqueue(layer) {
                     return false;
@@ -539,6 +603,11 @@ impl Network {
                 self.stats.flit_hops += 1;
                 self.stats.flit_hops_by_class[f.class.index()] += 1;
                 self.traversals[n] += 1;
+                let at = self.routers[n].coord;
+                self.obs.emit(Category::Hop, || EventData::FlitHop {
+                    at: c3(at),
+                    class: f.class.name(),
+                });
                 true
             }
             _ => {
@@ -588,6 +657,10 @@ impl Network {
                 self.stats.flit_hops += 1;
                 self.stats.flit_hops_by_class[f.class.index()] += 1;
                 self.traversals[n] += 1;
+                self.obs.emit(Category::Hop, || EventData::FlitHop {
+                    at: c3(c),
+                    class: f.class.name(),
+                });
                 true
             }
         }
@@ -768,8 +841,20 @@ mod tests {
         let p = PillarId(0);
         let (px, py) = layout.pillar_xy(p);
         // Two senders on different layers both crossing simultaneously.
-        send_one(&mut net, Coord::new(px, py, 0), Coord::new(px, py, 1), Some(p), 4);
-        send_one(&mut net, Coord::new(px, py, 1), Coord::new(px, py, 0), Some(p), 4);
+        send_one(
+            &mut net,
+            Coord::new(px, py, 0),
+            Coord::new(px, py, 1),
+            Some(p),
+            4,
+        );
+        send_one(
+            &mut net,
+            Coord::new(px, py, 1),
+            Coord::new(px, py, 0),
+            Some(p),
+            4,
+        );
         net.run_until_idle(300).expect("drains");
         assert_eq!(net.stats().packets_delivered, 2);
         assert!(net.bus_stats()[0].contention_cycles > 0);
@@ -868,14 +953,17 @@ mod tests {
             });
             sent += 1;
             // Interleave some ticks so injection queues overlap in time.
-            if sent % 7 == 0 {
+            if sent.is_multiple_of(7) {
                 net.tick();
             }
         }
         net.run_until_idle(100_000).expect("no deadlock under load");
         assert_eq!(net.stats().packets_delivered, sent);
         assert!(net.stats().avg_latency() > 0.0);
-        assert!(net.stats().switch_contention > 0, "load must cause contention");
+        assert!(
+            net.stats().switch_contention > 0,
+            "load must cause contention"
+        );
     }
 
     #[test]
@@ -898,6 +986,9 @@ mod tests {
         send_one(&mut net, Coord::new(0, 0, 0), Coord::new(0, 0, 3), None, 1);
         net.run_until_idle(100).expect("drains");
         let d = net.pop_delivered(Coord::new(0, 0, 3)).unwrap();
-        assert_eq!(d.hops, 3, "each layer crossing is a mesh hop in 3D-mesh mode");
+        assert_eq!(
+            d.hops, 3,
+            "each layer crossing is a mesh hop in 3D-mesh mode"
+        );
     }
 }

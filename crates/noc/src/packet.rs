@@ -80,6 +80,17 @@ impl TrafficClass {
             TrafficClass::Coherence => 3,
         }
     }
+
+    /// Stable lowercase name, used as a trace-event label.
+    #[inline]
+    pub const fn name(self) -> &'static str {
+        match self {
+            TrafficClass::Control => "control",
+            TrafficClass::Data => "data",
+            TrafficClass::Migration => "migration",
+            TrafficClass::Coherence => "coherence",
+        }
+    }
 }
 
 /// One flit in flight.

@@ -117,6 +117,10 @@ mod tests {
             Dir::Vertical,
         ];
         let r = Router::new(Coord::new(2, 2, 0), &dirs, &dirs, 3, 4);
-        assert_eq!(r.num_ports(), 6, "5-port mesh router + 1 vertical (paper §3.1)");
+        assert_eq!(
+            r.num_ports(),
+            6,
+            "5-port mesh router + 1 vertical (paper §3.1)"
+        );
     }
 }

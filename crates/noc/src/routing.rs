@@ -129,11 +129,17 @@ mod tests {
         let dst = Coord::new(0, 0, 1);
         // Standing on the pillar: go vertical.
         let at = Coord::new(px, py, 0);
-        assert_eq!(route(&l, VerticalMode::Pillars, at, dst, Some(p)), Dir::Vertical);
+        assert_eq!(
+            route(&l, VerticalMode::Pillars, at, dst, Some(p)),
+            Dir::Vertical
+        );
         // One hop west of the pillar: go east towards it, even though the
         // final destination is west.
         let at = Coord::new(px - 1, py, 0);
-        assert_eq!(route(&l, VerticalMode::Pillars, at, dst, Some(p)), Dir::East);
+        assert_eq!(
+            route(&l, VerticalMode::Pillars, at, dst, Some(p)),
+            Dir::East
+        );
     }
 
     #[test]
@@ -143,7 +149,10 @@ mod tests {
         let (px, py) = l.pillar_xy(p);
         let at = Coord::new(px, py, 1); // just got off the bus on layer 1
         let dst = Coord::new(0, 0, 1);
-        assert_eq!(route(&l, VerticalMode::Pillars, at, dst, Some(p)), Dir::West);
+        assert_eq!(
+            route(&l, VerticalMode::Pillars, at, dst, Some(p)),
+            Dir::West
+        );
     }
 
     #[test]

@@ -80,7 +80,10 @@ fn saturated_bus_shares_slots_fairly() {
         count[side] += 1;
     }
     assert_eq!(count, [n as u32, n as u32], "everything delivered");
-    let (a, b) = (latency[0] / f64::from(count[0]), latency[1] / f64::from(count[1]));
+    let (a, b) = (
+        latency[0] / f64::from(count[0]),
+        latency[1] / f64::from(count[1]),
+    );
     let ratio = a.max(b) / a.min(b);
     assert!(
         ratio < 1.25,
@@ -123,7 +126,11 @@ fn narrow_buses_serialise_each_flit() {
         half_cycles > full_cycles + 30,
         "a half-width bus must take noticeably longer: {full_cycles} vs {half_cycles}"
     );
-    assert_eq!(half_busy, 2 * full_busy, "each flit holds the bus twice as long");
+    assert_eq!(
+        half_busy,
+        2 * full_busy,
+        "each flit holds the bus twice as long"
+    );
 }
 
 #[test]

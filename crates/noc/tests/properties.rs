@@ -63,11 +63,13 @@ fn run_traffic(mode: VerticalMode, traffic: Vec<Traffic>) -> Result<(), TestCase
         *seen.entry((d.dst, d.token)).or_insert(0u32) += 1;
         let zero_load = match mode {
             VerticalMode::Mesh3d => u64::from(d.src.manhattan_3d(d.dst)),
-            VerticalMode::Pillars => u64::from(layout.hops(d.src, d.dst, None).min(
-                layout
-                    .nearest_pillar(d.src)
-                    .map_or(u32::MAX, |p| layout.hops(d.src, d.dst, Some(p))),
-            )),
+            VerticalMode::Pillars => u64::from(
+                layout.hops(d.src, d.dst, None).min(
+                    layout
+                        .nearest_pillar(d.src)
+                        .map_or(u32::MAX, |p| layout.hops(d.src, d.dst, Some(p))),
+                ),
+            ),
         };
         if d.latency() < zero_load {
             min_latency_ok = false;

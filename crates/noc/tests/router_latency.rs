@@ -30,10 +30,7 @@ fn zero_load_latency_is_linear_in_router_delay() {
         for latency in [1u32, 2, 4] {
             let measured = one_packet_latency(latency, hops, 1);
             let expected = 1 + u64::from(hops + 1) * u64::from(latency);
-            assert_eq!(
-                measured, expected,
-                "hops={hops} router_latency={latency}"
-            );
+            assert_eq!(measured, expected, "hops={hops} router_latency={latency}");
         }
     }
 }

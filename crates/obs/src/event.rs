@@ -1,0 +1,274 @@
+//! Typed trace events and their Chrome `trace_event` serialization.
+
+use std::fmt::Write as _;
+
+use crate::category::Category;
+use crate::json::push_json_string;
+
+/// One cycle-stamped trace event.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Event {
+    /// Simulation cycle at which the event occurred.
+    pub cycle: u64,
+    /// The typed payload.
+    pub data: EventData,
+}
+
+/// Event payloads, one variant per instrumented point in the simulator.
+///
+/// Fields are plain integers (node/cluster indices, line addresses) so
+/// the crate stays dependency-free; callers translate their own id
+/// types. Coordinates are `[x, y, z]` triples.
+#[derive(Clone, Debug, PartialEq)]
+pub enum EventData {
+    /// A packet entered the network.
+    PacketInject {
+        packet: u64,
+        src: [u16; 3],
+        dst: [u16; 3],
+        class: &'static str,
+        flits: u32,
+    },
+    /// A packet's tail flit was ejected at its destination.
+    PacketDeliver {
+        packet: u64,
+        dst: [u16; 3],
+        latency: u64,
+        hops: u32,
+    },
+    /// One flit crossed a router (high volume; off by default).
+    FlitHop { at: [u16; 3], class: &'static str },
+    /// A dTDMA pillar bus granted its slot to a layer interface.
+    BusGrant {
+        pillar: u32,
+        from_layer: u16,
+        to_layer: u16,
+    },
+    /// Multiple interfaces wanted the same dTDMA slot.
+    BusContention { pillar: u32, waiting: u32 },
+    /// A NUCA search step (1 = local cluster, 2 = pillar broadcast).
+    SearchStep { txn: u64, step: u8, targets: u32 },
+    /// A probe arrived at a candidate cluster.
+    Probe { txn: u64, cluster: u32, step: u8 },
+    /// A probe found the line.
+    ProbeHit { txn: u64, cluster: u32 },
+    /// Every probed cluster missed; the search widens or goes off-chip.
+    ProbeMiss { txn: u64, step: u8 },
+    /// The search restarted (line was mid-migration or contended).
+    SearchRetry { txn: u64, attempt: u32 },
+    /// A cache line began migrating between clusters.
+    MigrationStart { line: u64, from: u32, to: u32 },
+    /// A migration's data arrived and the move committed.
+    MigrationCommit { line: u64, from: u32, to: u32 },
+    /// A migration was abandoned (e.g. destination set filled).
+    MigrationAbort { line: u64, from: u32, to: u32 },
+    /// The directory invalidated one L1 copy.
+    Invalidate { line: u64, cpu: u32 },
+    /// The directory invalidated every sharer of a line.
+    InvalidateAll { line: u64, sharers: u32 },
+    /// A data-bank port serviced an access.
+    BankAccess { node: u32, write: bool },
+    /// A resident line was evicted from a cluster's set.
+    Eviction { line: u64, cluster: u32 },
+    /// A request left the chip for main memory.
+    MemRequest { line: u64 },
+    /// Main memory returned a line.
+    MemFill { line: u64 },
+    /// Free-form annotation (also exercises JSON escaping).
+    Note { label: String },
+}
+
+impl EventData {
+    /// The category this payload belongs to.
+    pub fn category(&self) -> Category {
+        match self {
+            EventData::PacketInject { .. } | EventData::PacketDeliver { .. } => Category::Packet,
+            EventData::FlitHop { .. } => Category::Hop,
+            EventData::BusGrant { .. } | EventData::BusContention { .. } => Category::Pillar,
+            EventData::SearchStep { .. }
+            | EventData::Probe { .. }
+            | EventData::ProbeHit { .. }
+            | EventData::ProbeMiss { .. }
+            | EventData::SearchRetry { .. } => Category::Search,
+            EventData::MigrationStart { .. }
+            | EventData::MigrationCommit { .. }
+            | EventData::MigrationAbort { .. } => Category::Migration,
+            EventData::Invalidate { .. } | EventData::InvalidateAll { .. } => Category::Coherence,
+            EventData::BankAccess { .. } | EventData::Eviction { .. } => Category::Bank,
+            EventData::MemRequest { .. } | EventData::MemFill { .. } => Category::Memory,
+            EventData::Note { .. } => Category::Meta,
+        }
+    }
+
+    /// Short event name (the trace `name` field).
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventData::PacketInject { .. } => "inject",
+            EventData::PacketDeliver { .. } => "deliver",
+            EventData::FlitHop { .. } => "hop",
+            EventData::BusGrant { .. } => "slot_grant",
+            EventData::BusContention { .. } => "contention",
+            EventData::SearchStep { .. } => "search_step",
+            EventData::Probe { .. } => "probe",
+            EventData::ProbeHit { .. } => "probe_hit",
+            EventData::ProbeMiss { .. } => "probe_miss",
+            EventData::SearchRetry { .. } => "search_retry",
+            EventData::MigrationStart { .. } => "migration_start",
+            EventData::MigrationCommit { .. } => "migration_commit",
+            EventData::MigrationAbort { .. } => "migration_abort",
+            EventData::Invalidate { .. } => "invalidate",
+            EventData::InvalidateAll { .. } => "invalidate_all",
+            EventData::BankAccess { .. } => "bank_access",
+            EventData::Eviction { .. } => "eviction",
+            EventData::MemRequest { .. } => "mem_request",
+            EventData::MemFill { .. } => "mem_fill",
+            EventData::Note { .. } => "note",
+        }
+    }
+
+    fn write_args(&self, out: &mut String) {
+        match self {
+            EventData::PacketInject {
+                packet,
+                src,
+                dst,
+                class,
+                flits,
+            } => {
+                let _ = write!(
+                    out,
+                    "\"packet\":{packet},\"src\":\"{},{},{}\",\"dst\":\"{},{},{}\",\"class\":\"{class}\",\"flits\":{flits}",
+                    src[0], src[1], src[2], dst[0], dst[1], dst[2]
+                );
+            }
+            EventData::PacketDeliver {
+                packet,
+                dst,
+                latency,
+                hops,
+            } => {
+                let _ = write!(
+                    out,
+                    "\"packet\":{packet},\"dst\":\"{},{},{}\",\"latency\":{latency},\"hops\":{hops}",
+                    dst[0], dst[1], dst[2]
+                );
+            }
+            EventData::FlitHop { at, class } => {
+                let _ = write!(
+                    out,
+                    "\"at\":\"{},{},{}\",\"class\":\"{class}\"",
+                    at[0], at[1], at[2]
+                );
+            }
+            EventData::BusGrant {
+                pillar,
+                from_layer,
+                to_layer,
+            } => {
+                let _ = write!(
+                    out,
+                    "\"pillar\":{pillar},\"from_layer\":{from_layer},\"to_layer\":{to_layer}"
+                );
+            }
+            EventData::BusContention { pillar, waiting } => {
+                let _ = write!(out, "\"pillar\":{pillar},\"waiting\":{waiting}");
+            }
+            EventData::SearchStep { txn, step, targets } => {
+                let _ = write!(out, "\"txn\":{txn},\"step\":{step},\"targets\":{targets}");
+            }
+            EventData::Probe { txn, cluster, step } => {
+                let _ = write!(out, "\"txn\":{txn},\"cluster\":{cluster},\"step\":{step}");
+            }
+            EventData::ProbeHit { txn, cluster } => {
+                let _ = write!(out, "\"txn\":{txn},\"cluster\":{cluster}");
+            }
+            EventData::ProbeMiss { txn, step } => {
+                let _ = write!(out, "\"txn\":{txn},\"step\":{step}");
+            }
+            EventData::SearchRetry { txn, attempt } => {
+                let _ = write!(out, "\"txn\":{txn},\"attempt\":{attempt}");
+            }
+            EventData::MigrationStart { line, from, to }
+            | EventData::MigrationCommit { line, from, to }
+            | EventData::MigrationAbort { line, from, to } => {
+                let _ = write!(out, "\"line\":{line},\"from\":{from},\"to\":{to}");
+            }
+            EventData::Invalidate { line, cpu } => {
+                let _ = write!(out, "\"line\":{line},\"cpu\":{cpu}");
+            }
+            EventData::InvalidateAll { line, sharers } => {
+                let _ = write!(out, "\"line\":{line},\"sharers\":{sharers}");
+            }
+            EventData::BankAccess { node, write } => {
+                let _ = write!(out, "\"node\":{node},\"write\":{write}");
+            }
+            EventData::Eviction { line, cluster } => {
+                let _ = write!(out, "\"line\":{line},\"cluster\":{cluster}");
+            }
+            EventData::MemRequest { line } | EventData::MemFill { line } => {
+                let _ = write!(out, "\"line\":{line}");
+            }
+            EventData::Note { label } => {
+                out.push_str("\"label\":");
+                push_json_string(out, label);
+            }
+        }
+    }
+}
+
+impl Event {
+    /// Appends this event as one Chrome `trace_event` instant-event JSON
+    /// object (no trailing newline or comma). `ts` is the simulation
+    /// cycle, mapped 1 cycle = 1 µs; `tid` is the category track.
+    pub fn write_chrome_json(&self, out: &mut String) {
+        let cat = self.data.category();
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"i\",\"ts\":{},\"pid\":0,\"tid\":{},\"s\":\"t\",\"args\":{{",
+            self.data.name(),
+            cat.name(),
+            self.cycle,
+            cat.index()
+        );
+        self.data.write_args(out);
+        out.push_str("}}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serializes_as_instant_event() {
+        let e = Event {
+            cycle: 42,
+            data: EventData::BusGrant {
+                pillar: 3,
+                from_layer: 0,
+                to_layer: 1,
+            },
+        };
+        let mut out = String::new();
+        e.write_chrome_json(&mut out);
+        assert_eq!(
+            out,
+            "{\"name\":\"slot_grant\",\"cat\":\"pillar\",\"ph\":\"i\",\"ts\":42,\"pid\":0,\
+             \"tid\":2,\"s\":\"t\",\"args\":{\"pillar\":3,\"from_layer\":0,\"to_layer\":1}}"
+        );
+    }
+
+    #[test]
+    fn note_labels_are_escaped() {
+        let e = Event {
+            cycle: 0,
+            data: EventData::Note {
+                label: "tab\t\"quote\"".to_string(),
+            },
+        };
+        let mut out = String::new();
+        e.write_chrome_json(&mut out);
+        assert!(out.contains("\\t"));
+        assert!(out.contains("\\\"quote\\\""));
+    }
+}

@@ -30,8 +30,8 @@ pub mod leakage;
 pub mod vias;
 
 pub use components::{
-    control_wires_per_layer, pillar_wires, table1, ComponentSpec, DTDMA_ARBITER,
-    DTDMA_TRANSCEIVER, GENERIC_ROUTER,
+    control_wires_per_layer, pillar_wires, table1, ComponentSpec, DTDMA_ARBITER, DTDMA_TRANSCEIVER,
+    GENERIC_ROUTER,
 };
 pub use energy::{ActivityCounts, EnergyBreakdown, EnergyModel};
 pub use leakage::{leakage_at, settle_tile, thermal_runaway_margin, LEAKAGE_DOUBLING_C};

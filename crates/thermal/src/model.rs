@@ -93,8 +93,7 @@ impl ThermalProfile {
             c.x < self.width && c.y < self.height && c.layer < self.layers,
             "coordinate {c} outside profile"
         );
-        let i = (c.layer as usize * self.height as usize + c.y as usize)
-            * self.width as usize
+        let i = (c.layer as usize * self.height as usize + c.y as usize) * self.width as usize
             + c.x as usize;
         self.temps[i]
     }
@@ -342,7 +341,9 @@ mod tests {
     use nim_types::SystemConfig;
 
     fn profile_for(layers: u8, policy: PlacementPolicy, pillars: u16) -> ThermalProfile {
-        let mut cfg = SystemConfig::default().with_layers(layers).with_pillars(pillars);
+        let mut cfg = SystemConfig::default()
+            .with_layers(layers)
+            .with_pillars(pillars);
         cfg.num_cpus = 8;
         let layout = ChipLayout::new(&cfg).unwrap();
         let seats = policy.place(&layout, 8).unwrap();
@@ -405,8 +406,10 @@ mod tests {
 
     #[test]
     fn hotspot_is_a_cpu_tile() {
-        let mut cfg = SystemConfig::default();
-        cfg.num_cpus = 8;
+        let cfg = SystemConfig {
+            num_cpus: 8,
+            ..SystemConfig::default()
+        };
         let layout = ChipLayout::new(&cfg).unwrap();
         let seats = PlacementPolicy::MaximalOffset.place(&layout, 8).unwrap();
         let plan = Floorplan::new(&layout, &seats);
@@ -431,8 +434,10 @@ mod tests {
 
     #[test]
     fn transient_converges_to_the_steady_state() {
-        let mut cfg = SystemConfig::default();
-        cfg.num_cpus = 8;
+        let cfg = SystemConfig {
+            num_cpus: 8,
+            ..SystemConfig::default()
+        };
         let layout = ChipLayout::new(&cfg).unwrap();
         let seats = PlacementPolicy::MaximalOffset.place(&layout, 8).unwrap();
         let plan = Floorplan::new(&layout, &seats);
@@ -456,20 +461,17 @@ mod tests {
         let tcfg = ThermalConfig::default();
         let model = ThermalModel::new(&plan, &tcfg);
         let steady = model.solve(&tcfg);
-        let later = model.solve_transient(
-            &tcfg,
-            &TransientConfig::default(),
-            0.05,
-            Some(&steady),
-        );
+        let later = model.solve_transient(&tcfg, &TransientConfig::default(), 0.05, Some(&steady));
         assert!((later.peak() - steady.peak()).abs() < 0.1);
         assert!((later.min() - steady.min()).abs() < 0.1);
     }
 
     #[test]
     fn transient_heats_monotonically_from_ambient() {
-        let mut cfg = SystemConfig::default();
-        cfg.num_cpus = 8;
+        let cfg = SystemConfig {
+            num_cpus: 8,
+            ..SystemConfig::default()
+        };
         let layout = ChipLayout::new(&cfg).unwrap();
         let seats = PlacementPolicy::MaximalOffset.place(&layout, 8).unwrap();
         let plan = Floorplan::new(&layout, &seats);
@@ -487,8 +489,10 @@ mod tests {
     fn energy_balance_roughly_holds() {
         // Total heat must leave through the sink: sum over layer-0 tiles
         // of (T - ambient)/R_sink equals total power.
-        let mut cfg = SystemConfig::default();
-        cfg.num_cpus = 8;
+        let cfg = SystemConfig {
+            num_cpus: 8,
+            ..SystemConfig::default()
+        };
         let layout = ChipLayout::new(&cfg).unwrap();
         let seats = PlacementPolicy::MaximalOffset.place(&layout, 8).unwrap();
         let plan = Floorplan::new(&layout, &seats);

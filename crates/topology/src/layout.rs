@@ -43,10 +43,16 @@ impl fmt::Display for TopologyError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TopologyError::ClustersPerLayer { clusters, layers } => {
-                write!(f, "{clusters} clusters do not divide across {layers} layers")
+                write!(
+                    f,
+                    "{clusters} clusters do not divide across {layers} layers"
+                )
             }
             TopologyError::TooManyPillars { pillars, available } => {
-                write!(f, "{pillars} pillars requested, only {available} interior positions")
+                write!(
+                    f,
+                    "{pillars} pillars requested, only {available} interior positions"
+                )
             }
             TopologyError::MeshTooLarge { width, height } => {
                 write!(f, "mesh {width}x{height} exceeds 8-bit coordinates")
@@ -76,7 +82,7 @@ impl From<nim_types::ConfigError> for TopologyError {
 fn balanced_factors(n: u32) -> (u32, u32) {
     debug_assert!(n > 0);
     let mut b = (n as f64).sqrt() as u32;
-    while b > 1 && n % b != 0 {
+    while b > 1 && !n.is_multiple_of(b) {
         b -= 1;
     }
     (n / b.max(1), b.max(1))
@@ -122,7 +128,7 @@ impl ChipLayout {
         cfg.validate()?;
         let layers = cfg.network.layers;
         let clusters = cfg.l2.clusters;
-        if clusters % u32::from(layers) != 0 {
+        if !clusters.is_multiple_of(u32::from(layers)) {
             return Err(TopologyError::ClustersPerLayer { clusters, layers });
         }
         let clusters_per_layer = clusters / u32::from(layers);
@@ -424,9 +430,7 @@ impl ChipLayout {
         self.pillars
             .iter()
             .enumerate()
-            .min_by_key(|(_, &(x, y))| {
-                c.manhattan_2d(Coord::new(x, y, c.layer))
-            })
+            .min_by_key(|(_, &(x, y))| c.manhattan_2d(Coord::new(x, y, c.layer)))
             .map(|(i, _)| PillarId::from_index(i))
     }
 
@@ -435,13 +439,17 @@ impl ChipLayout {
     pub fn memory_controller_coords(&self, n: u16) -> Vec<Coord> {
         let w = u32::from(self.width);
         let h = u32::from(self.height);
-        let perimeter = if w > 1 && h > 1 { 2 * (w + h) - 4 } else { w * h };
+        let perimeter = if w > 1 && h > 1 {
+            2 * (w + h) - 4
+        } else {
+            w * h
+        };
         (0..u32::from(n))
             .map(|i| {
                 // Offset by half a stride so controllers sit mid-edge
                 // rather than on corners.
-                let pos = (i * perimeter + perimeter / (2 * u32::from(n).max(1)))
-                    / u32::from(n).max(1);
+                let pos =
+                    (i * perimeter + perimeter / (2 * u32::from(n).max(1))) / u32::from(n).max(1);
                 let (x, y) = perimeter_point_pub(pos, w, h);
                 Coord::new(x as u8, y as u8, 0)
             })
@@ -635,11 +643,7 @@ mod tests {
                 assert_eq!(l.cluster_layer(n), l.cluster_layer(cl));
                 let (ax, ay) = l.cluster_grid_pos(cl);
                 let (bx, by) = l.cluster_grid_pos(n);
-                assert_eq!(
-                    (ax.abs_diff(bx) + ay.abs_diff(by)),
-                    1,
-                    "grid-adjacent"
-                );
+                assert_eq!((ax.abs_diff(bx) + ay.abs_diff(by)), 1, "grid-adjacent");
             }
         }
     }
@@ -717,8 +721,10 @@ mod tests {
 
     #[test]
     fn invalid_config_is_surfaced() {
-        let mut cfg = SystemConfig::default();
-        cfg.num_cpus = 0;
+        let cfg = SystemConfig {
+            num_cpus: 0,
+            ..SystemConfig::default()
+        };
         assert!(matches!(
             ChipLayout::new(&cfg),
             Err(TopologyError::Config(_))

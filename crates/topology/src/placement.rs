@@ -117,15 +117,9 @@ impl PlacementPolicy {
     /// # Errors
     ///
     /// See [`PlacementError`].
-    pub fn place(
-        self,
-        layout: &ChipLayout,
-        num_cpus: u32,
-    ) -> Result<Vec<CpuSeat>, PlacementError> {
+    pub fn place(self, layout: &ChipLayout, num_cpus: u32) -> Result<Vec<CpuSeat>, PlacementError> {
         let seats = match self {
-            _ if layout.layers() == 1 && self.needs_layers() => {
-                interior_2d(layout, num_cpus)
-            }
+            _ if layout.layers() == 1 && self.needs_layers() => interior_2d(layout, num_cpus),
             PlacementPolicy::MaximalOffset => maximal_offset(layout, num_cpus)?,
             PlacementPolicy::Algorithm1 { k } => algorithm1(layout, num_cpus, k)?,
             PlacementPolicy::Stacked => stacked(layout, num_cpus),
@@ -192,7 +186,7 @@ fn algorithm1(layout: &ChipLayout, num_cpus: u32, k: u8) -> Result<Vec<CpuSeat>,
         pillars,
         layers,
     };
-    if slots == 0 || num_cpus % slots != 0 {
+    if slots == 0 || !num_cpus.is_multiple_of(slots) {
         return Err(unsupported);
     }
     let c = num_cpus / slots;
@@ -219,7 +213,12 @@ fn algorithm1(layout: &ChipLayout, num_cpus: u32, k: u8) -> Result<Vec<CpuSeat>,
                 (0, 4) => vec![(2 * k, 0), (-2 * k, 0), (0, 2 * k), (0, -2 * k)],
                 (1, 4) => vec![(k, k), (k, -k), (-k, k), (-k, -k)],
                 (2, 4) => vec![(k, 0), (-k, 0), (0, k), (0, -k)],
-                (3, 4) => vec![(2 * k, 2 * k), (2 * k, -2 * k), (-2 * k, 2 * k), (-2 * k, -2 * k)],
+                (3, 4) => vec![
+                    (2 * k, 2 * k),
+                    (2 * k, -2 * k),
+                    (-2 * k, 2 * k),
+                    (-2 * k, -2 * k),
+                ],
                 _ => unreachable!("c validated above"),
             };
             for (dx, dy) in offsets {
@@ -241,7 +240,8 @@ fn stacked(layout: &ChipLayout, num_cpus: u32) -> Vec<CpuSeat> {
     let layers = u32::from(layout.layers());
     (0..num_cpus)
         .map(|i| {
-            let pillar = PillarId::from_index((i / layers) as usize % layout.num_pillars() as usize);
+            let pillar =
+                PillarId::from_index((i / layers) as usize % layout.num_pillars() as usize);
             let layer = (i % layers) as u8;
             CpuSeat {
                 cpu: CpuId::from_index(i as usize),
@@ -256,7 +256,11 @@ fn stacked(layout: &ChipLayout, num_cpus: u32) -> Vec<CpuSeat> {
 fn edges(layout: &ChipLayout, num_cpus: u32) -> Vec<CpuSeat> {
     let w = u32::from(layout.width());
     let h = u32::from(layout.height());
-    let perimeter = if w > 1 && h > 1 { 2 * (w + h) - 4 } else { w * h };
+    let perimeter = if w > 1 && h > 1 {
+        2 * (w + h) - 4
+    } else {
+        w * h
+    };
     (0..num_cpus)
         .map(|i| {
             let pos = (i * perimeter) / num_cpus.max(1);
@@ -277,11 +281,8 @@ fn perimeter_point(pos: u32, w: u32, h: u32) -> (u32, u32) {
 
 /// CPUs spread over the interior of layer 0, surrounded by cache banks.
 fn interior_2d(layout: &ChipLayout, num_cpus: u32) -> Vec<CpuSeat> {
-    let positions = crate::layout::spread_positions_pub(
-        num_cpus as u16,
-        layout.width(),
-        layout.height(),
-    );
+    let positions =
+        crate::layout::spread_positions_pub(num_cpus as u16, layout.width(), layout.height());
     positions
         .into_iter()
         .enumerate()
@@ -317,8 +318,7 @@ mod tests {
             seats.iter().map(|s| (s.coord.x, s.coord.y)).collect();
         assert_eq!(xy.len(), 8);
         // ...and both layers used.
-        let layers: std::collections::HashSet<_> =
-            seats.iter().map(|s| s.coord.layer).collect();
+        let layers: std::collections::HashSet<_> = seats.iter().map(|s| s.coord.layer).collect();
         assert_eq!(layers.len(), 2);
         // Every CPU on its own pillar, sitting exactly on it.
         for s in &seats {
@@ -348,7 +348,10 @@ mod tests {
             let p = s.pillar.unwrap();
             let (px, py) = layout.pillar_xy(p);
             let d = u32::from(s.coord.x.abs_diff(px)) + u32::from(s.coord.y.abs_diff(py));
-            assert!(d >= 1 && d <= 2, "at most two hops from the pillar (paper)");
+            assert!(
+                (1..=2).contains(&d),
+                "at most two hops from the pillar (paper)"
+            );
         }
     }
 
@@ -431,9 +434,10 @@ mod tests {
         let mut cfg = SystemConfig::default().with_layers(4).with_pillars(4);
         cfg.num_cpus = 16;
         let layout = ChipLayout::new(&cfg).unwrap();
-        let seats = PlacementPolicy::Algorithm1 { k: 1 }.place(&layout, 16).unwrap();
-        let layers: std::collections::HashSet<_> =
-            seats.iter().map(|s| s.coord.layer).collect();
+        let seats = PlacementPolicy::Algorithm1 { k: 1 }
+            .place(&layout, 16)
+            .unwrap();
+        let layers: std::collections::HashSet<_> = seats.iter().map(|s| s.coord.layer).collect();
         assert_eq!(layers.len(), 4);
     }
 

@@ -185,7 +185,11 @@ impl L2Map {
     pub fn compose(&self, tag: u64, set: u32, bank: u32) -> LineAddr {
         debug_assert!(set < self.sets_per_bank);
         debug_assert!(bank < self.banks_per_cluster);
-        LineAddr((tag << (self.bank_bits + self.set_bits)) | u64::from(set) << self.bank_bits | u64::from(bank))
+        LineAddr(
+            (tag << (self.bank_bits + self.set_bits))
+                | u64::from(set) << self.bank_bits
+                | u64::from(bank),
+        )
     }
 
     /// Global bank id for (`cluster`, bank-in-cluster) pairs.
@@ -237,6 +241,7 @@ mod tests {
     fn decomposition_fields_do_not_overlap() {
         let m = default_map();
         // bank uses bits [0,4), set bits [4,10), cluster bits [10,14).
+        #[allow(clippy::unusual_byte_groupings)] // grouped by bank/set/cluster fields
         let line = LineAddr(0b11_0101_110011_1010);
         assert_eq!(m.bank_in_cluster(line), 0b1010);
         assert_eq!(m.set_in_bank(line), 0b110011);

@@ -59,7 +59,10 @@ impl fmt::Display for ConfigError {
                 "a data packet carries {packet_bits} bits but a cache line is {line_bits} bits"
             ),
             ConfigError::TooManyCpus { cpus, seats } => {
-                write!(f, "{cpus} CPUs requested but placement has only {seats} seats")
+                write!(
+                    f,
+                    "{cpus} CPUs requested but placement has only {seats} seats"
+                )
             }
             ConfigError::TooManyLayers(layers) => {
                 write!(f, "{layers} layers exceed the 8-layer dTDMA bus limit")
@@ -170,7 +173,10 @@ impl L2Config {
     /// Panics if `factor` is not a power of two.
     #[must_use]
     pub fn scaled(&self, factor: u32) -> Self {
-        assert!(factor.is_power_of_two(), "scale factor must be a power of two");
+        assert!(
+            factor.is_power_of_two(),
+            "scale factor must be a power of two"
+        );
         Self {
             banks_per_cluster: self.banks_per_cluster * factor,
             ..*self
@@ -458,8 +464,10 @@ mod tests {
 
     #[test]
     fn validate_rejects_zero_cpus() {
-        let mut cfg = SystemConfig::default();
-        cfg.num_cpus = 0;
+        let cfg = SystemConfig {
+            num_cpus: 0,
+            ..SystemConfig::default()
+        };
         assert_eq!(cfg.validate(), Err(ConfigError::Zero("num_cpus")));
     }
 
@@ -483,7 +491,10 @@ mod tests {
     fn validate_rejects_overfull_pillars() {
         let mut cfg = SystemConfig::default().with_pillars(1).with_layers(2);
         cfg.num_cpus = 9;
-        assert!(matches!(cfg.validate(), Err(ConfigError::TooManyCpus { .. })));
+        assert!(matches!(
+            cfg.validate(),
+            Err(ConfigError::TooManyCpus { .. })
+        ));
     }
 
     #[test]

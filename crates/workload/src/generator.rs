@@ -230,8 +230,7 @@ impl TraceGenerator {
                 SHARED_BASE + line_base + state.rng.random_range(0..8u64) * 8
             } else {
                 if state.rng.random::<f64>() < 0.05 {
-                    state.shared_pos =
-                        state.rng.random_range(0..u64::from(p.shared_lines)) * LINE;
+                    state.shared_pos = state.rng.random_range(0..u64::from(p.shared_lines)) * LINE;
                 }
                 let addr = SHARED_BASE + state.shared_pos;
                 state.shared_pos = (state.shared_pos + 8) % shared_bytes;
@@ -356,9 +355,7 @@ mod tests {
             for _ in 0..2_000 {
                 let op = g.next_op(CpuId(c));
                 let a = op.addr.0;
-                let inside = |r: &Region| {
-                    a >= r.base && a < r.base + u64::from(r.lines) * LINE
-                };
+                let inside = |r: &Region| a >= r.base && a < r.base + u64::from(r.lines) * LINE;
                 assert!(
                     inside(&regions.hot)
                         || inside(&regions.stream)
@@ -372,7 +369,10 @@ mod tests {
 
     #[test]
     fn region_line_addrs_cover_the_region_exactly() {
-        let r = Region { base: 0x1000, lines: 4 };
+        let r = Region {
+            base: 0x1000,
+            lines: 4,
+        };
         let addrs: Vec<u64> = r.line_addrs().map(|a| a.0).collect();
         assert_eq!(addrs, vec![0x1000, 0x1040, 0x1080, 0x10c0]);
     }

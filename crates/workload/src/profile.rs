@@ -325,8 +325,7 @@ mod tests {
         // their L1 miss rates and L2 transaction volumes (Table 5).
         let heavy = ["mgrid", "swim", "wupwise"];
         let all = BenchmarkProfile::all();
-        let pressure =
-            |p: &BenchmarkProfile| p.mem_per_instr * (p.shared_frac + p.streaming_frac);
+        let pressure = |p: &BenchmarkProfile| p.mem_per_instr * (p.shared_frac + p.streaming_frac);
         let min_heavy = all
             .iter()
             .filter(|p| heavy.contains(&p.name))

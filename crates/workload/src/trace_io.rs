@@ -191,11 +191,9 @@ impl<R: BufRead> TraceReader<R> {
                 "I" => AccessKind::IFetch,
                 other => return Err(bad(&format!("unknown kind {other:?}"))),
             };
-            let addr = u64::from_str_radix(
-                fields.next().ok_or_else(|| bad("missing address"))?,
-                16,
-            )
-            .map_err(|_| bad("address is not hex"))?;
+            let addr =
+                u64::from_str_radix(fields.next().ok_or_else(|| bad("missing address"))?, 16)
+                    .map_err(|_| bad("address is not hex"))?;
             if fields.next().is_some() {
                 return Err(bad("trailing fields"));
             }

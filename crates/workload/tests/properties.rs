@@ -8,15 +8,15 @@ use proptest::prelude::*;
 
 fn arb_profile() -> impl Strategy<Value = BenchmarkProfile> {
     (
-        0.05f64..0.5,   // mem_per_instr
-        0.0f64..0.3,    // store_frac
-        0.0f64..0.05,   // ifetch_frac
-        0.0f64..0.5,    // streaming_frac
-        0.0f64..0.5,    // shared_frac
-        0.0f64..0.9,    // shared_reuse
-        6u32..10,       // hot_lines (log2)
-        8u32..14,       // footprint_lines (log2)
-        8u32..14,       // shared_lines (log2)
+        0.05f64..0.5, // mem_per_instr
+        0.0f64..0.3,  // store_frac
+        0.0f64..0.05, // ifetch_frac
+        0.0f64..0.5,  // streaming_frac
+        0.0f64..0.5,  // shared_frac
+        0.0f64..0.9,  // shared_reuse
+        6u32..10,     // hot_lines (log2)
+        8u32..14,     // footprint_lines (log2)
+        8u32..14,     // shared_lines (log2)
     )
         .prop_map(
             |(mem, store, ifetch, stream, shared, reuse, hot, fp, sh)| BenchmarkProfile {

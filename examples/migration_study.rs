@@ -26,7 +26,12 @@ fn main() -> Result<(), Box<dyn Error>> {
         "scheme", "migrations", "per txn", "migr. flit-hops", "invalidations", "L2 mJ"
     );
     let mut base_migrations = None;
-    for scheme in [Scheme::CmpDnuca2d, Scheme::CmpDnuca, Scheme::CmpDnuca3d, Scheme::CmpSnuca3d] {
+    for scheme in [
+        Scheme::CmpDnuca2d,
+        Scheme::CmpDnuca,
+        Scheme::CmpDnuca3d,
+        Scheme::CmpSnuca3d,
+    ] {
         let report = SystemBuilder::new(scheme)
             .seed(7)
             .warmup_transactions(2_000)
@@ -42,7 +47,8 @@ fn main() -> Result<(), Box<dyn Error>> {
             scheme.label(),
             migr,
             report.migrations_per_transaction(),
-            report.network.flit_hops_by_class[network_in_memory::noc::TrafficClass::Migration.index()],
+            report.network.flit_hops_by_class
+                [network_in_memory::noc::TrafficClass::Migration.index()],
             report.counters.invalidations,
             report.energy().total_j() * 1e3,
         );

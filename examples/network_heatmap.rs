@@ -2,9 +2,10 @@
 //! layer of the 3D chip, and how does traffic concentrate around the
 //! communication pillars?
 //!
-//! Runs CMP-DNUCA-3D on wupwise and renders per-router flit traversals
-//! as ASCII intensity maps, marking pillar sites (`+`) and CPU seats
-//! (`C` overlays the intensity).
+//! Runs CMP-DNUCA-3D on wupwise with an observability handle attached
+//! and renders the `noc/traversals/x/y/z` counters the system publishes
+//! into the metrics registry as ASCII intensity maps (`C` overlays CPU
+//! seats), plus the per-pillar dTDMA bus totals.
 //!
 //! ```sh
 //! cargo run --release --example network_heatmap
@@ -13,14 +14,17 @@
 use std::error::Error;
 
 use network_in_memory::core::{Scheme, SystemBuilder};
+use network_in_memory::obs::{Obs, ObsConfig};
 use network_in_memory::types::Coord;
 use network_in_memory::workload::BenchmarkProfile;
 
 fn main() -> Result<(), Box<dyn Error>> {
+    let obs = Obs::new(ObsConfig::default());
     let mut system = SystemBuilder::new(Scheme::CmpDnuca3d)
         .seed(21)
         .warmup_transactions(1_000)
         .sampled_transactions(15_000)
+        .observability(obs.clone())
         .build()?;
     let report = system.run(&BenchmarkProfile::wupwise())?;
     println!(
@@ -28,10 +32,16 @@ fn main() -> Result<(), Box<dyn Error>> {
         report.network.packets_delivered, report.network.flit_hops, report.bus_transfers
     );
 
+    // The run published per-router link utilisation into the metrics
+    // registry; render the heat map from those counters alone.
     let layout = system.layout().clone();
     let seats: Vec<Coord> = system.seats().iter().map(|s| s.coord).collect();
-    let traversals = system.network().traversals();
-    let peak = traversals.iter().copied().max().unwrap_or(1).max(1);
+    let traversal = |c: Coord| obs.counter(&format!("noc/traversals/{}/{}/{}", c.x, c.y, c.layer));
+    let peak = (0..layout.num_nodes())
+        .map(|i| traversal(layout.coord_of_index(i)))
+        .max()
+        .unwrap_or(1)
+        .max(1);
     let ramp = [' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'];
 
     for layer in 0..layout.layers() {
@@ -44,7 +54,7 @@ fn main() -> Result<(), Box<dyn Error>> {
                     row.push('C');
                     continue;
                 }
-                let t = traversals[layout.node_index(c)];
+                let t = traversal(c);
                 let idx = (t as f64 / peak as f64 * (ramp.len() - 1) as f64).round() as usize;
                 row.push(ramp[idx.min(ramp.len() - 1)]);
             }
@@ -53,8 +63,17 @@ fn main() -> Result<(), Box<dyn Error>> {
         }
         println!();
     }
+    println!("pillar buses (dTDMA):");
+    for p in 0..system.config().network.pillars {
+        println!(
+            "    pillar {p}: {:>7} transfers, {:>7} contention cycles, peak queue {}",
+            obs.counter(&format!("pillar/{p}/transfers")),
+            obs.counter(&format!("pillar/{p}/contention_cycles")),
+            obs.counter(&format!("pillar/{p}/peak_queued")),
+        );
+    }
     println!(
-        "busiest router carries {peak} flit traversals; traffic concentrates\n\
+        "\nbusiest router carries {peak} flit traversals; traffic concentrates\n\
          around the CPU/pillar sites — the congestion the placement rules of\n\
          §3.3 (pillars far apart, CPUs offset) are designed to spread out."
     );

@@ -18,7 +18,10 @@ use network_in_memory::workload::BenchmarkProfile;
 
 fn main() -> Result<(), Box<dyn Error>> {
     let bench = BenchmarkProfile::art();
-    println!("CMP-DNUCA-3D on {}, sweeping the pillar count\n", bench.name);
+    println!(
+        "CMP-DNUCA-3D on {}, sweeping the pillar count\n",
+        bench.name
+    );
     println!(
         "{:<8} {:>12} {:>16} {:>18} {:>20}",
         "pillars", "avg L2 hit", "bus transfers", "contention cycles", "wiring area @5um"

@@ -60,7 +60,10 @@ fn main() -> Result<(), Box<dyn Error>> {
     }
     let activity = model.solve(&tcfg);
 
-    println!("\n{:<22} {:>10} {:>10} {:>10}", "power model", "peak C", "avg C", "min C");
+    println!(
+        "\n{:<22} {:>10} {:>10} {:>10}",
+        "power model", "peak C", "avg C", "min C"
+    );
     println!(
         "{:<22} {:>10.2} {:>10.2} {:>10.2}",
         "uniform (Table 3)",

@@ -14,7 +14,11 @@ use network_in_memory::thermal::{ThermalConfig, ThermalModel, ThermalProfile};
 use network_in_memory::topology::{ChipLayout, Floorplan, PlacementPolicy};
 use network_in_memory::types::{Coord, SystemConfig};
 
-fn solve(layers: u8, pillars: u16, policy: PlacementPolicy) -> Result<ThermalProfile, Box<dyn Error>> {
+fn solve(
+    layers: u8,
+    pillars: u16,
+    policy: PlacementPolicy,
+) -> Result<ThermalProfile, Box<dyn Error>> {
     let cfg = SystemConfig::default()
         .with_layers(layers)
         .with_pillars(pillars);
@@ -43,8 +47,18 @@ fn main() -> Result<(), Box<dyn Error>> {
     println!("Thermal impact of CPU placement (8 x 8 W cores, Table 3 study)\n");
     let configs: [(&str, u8, u16, PlacementPolicy); 4] = [
         ("2D, interior", 1, 8, PlacementPolicy::Interior2d),
-        ("3D-2L, maximal offset", 2, 8, PlacementPolicy::MaximalOffset),
-        ("3D-2L, Algorithm 1 (k=1)", 2, 4, PlacementPolicy::Algorithm1 { k: 1 }),
+        (
+            "3D-2L, maximal offset",
+            2,
+            8,
+            PlacementPolicy::MaximalOffset,
+        ),
+        (
+            "3D-2L, Algorithm 1 (k=1)",
+            2,
+            4,
+            PlacementPolicy::Algorithm1 { k: 1 },
+        ),
         ("3D-2L, CPU stacking", 2, 8, PlacementPolicy::Stacked),
     ];
     println!(

@@ -11,10 +11,13 @@
 //! uses the pre-approved crates); see `nim help` for the full grammar.
 
 use std::error::Error;
+use std::fs::File;
+use std::io::BufWriter;
 use std::process::ExitCode;
 
-use network_in_memory::core::{Scheme, SystemBuilder};
 use network_in_memory::core::experiments::table3_thermal;
+use network_in_memory::core::{Scheme, SystemBuilder};
+use network_in_memory::obs::{CategoryMask, Obs, ObsConfig};
 use network_in_memory::workload::BenchmarkProfile;
 
 const HELP: &str = "\
@@ -39,6 +42,17 @@ OPTIONS (run / compare):
     --warmup <n>                               warm-up transactions (default 2000)
     --sample <n>                               sampled transactions (default 20000)
     --seed <n>                                 workload seed (default 42)
+
+OBSERVABILITY (run only; all off by default):
+    --trace-out <path>        write a Chrome trace_event JSON file
+                              (load it at https://ui.perfetto.dev)
+    --trace-filter <cats>     categories to trace: 'all', 'none', or a
+                              comma list of packet,hop,pillar,search,
+                              migration,coherence,bank,memory,meta;
+                              prefix '-' subtracts from all (default:
+                              all except the per-flit 'hop' firehose)
+    --metrics-out <path>      write final metrics + epoch samples JSON
+    --sample-every <cycles>   snapshot metrics every N cycles (0 = off)
 ";
 
 fn parse_scheme(s: &str) -> Result<Scheme, String> {
@@ -61,6 +75,10 @@ struct Options {
     warmup: u64,
     sample: u64,
     seed: u64,
+    trace_out: Option<String>,
+    trace_filter: CategoryMask,
+    metrics_out: Option<String>,
+    sample_every: u64,
 }
 
 impl Default for Options {
@@ -74,7 +92,27 @@ impl Default for Options {
             warmup: 2_000,
             sample: 20_000,
             seed: 42,
+            trace_out: None,
+            trace_filter: CategoryMask::default_trace(),
+            metrics_out: None,
+            sample_every: 0,
         }
+    }
+}
+
+impl Options {
+    /// Builds the observability handle the flags ask for — a disabled
+    /// handle (one branch per instrumentation point) when no flag is set.
+    fn obs(&self) -> Obs {
+        if self.trace_out.is_none() && self.metrics_out.is_none() && self.sample_every == 0 {
+            return Obs::disabled();
+        }
+        Obs::new(ObsConfig {
+            trace: self.trace_out.is_some(),
+            mask: self.trace_filter,
+            sample_every: self.sample_every,
+            ..ObsConfig::default()
+        })
     }
 }
 
@@ -104,13 +142,24 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--warmup" => opts.warmup = value()?.parse().map_err(|e| format!("--warmup: {e}"))?,
             "--sample" => opts.sample = value()?.parse().map_err(|e| format!("--sample: {e}"))?,
             "--seed" => opts.seed = value()?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--trace-out" => opts.trace_out = Some(value()?),
+            "--trace-filter" => {
+                opts.trace_filter =
+                    CategoryMask::parse(&value()?).map_err(|e| format!("--trace-filter: {e}"))?
+            }
+            "--metrics-out" => opts.metrics_out = Some(value()?),
+            "--sample-every" => {
+                opts.sample_every = value()?
+                    .parse()
+                    .map_err(|e| format!("--sample-every: {e}"))?
+            }
             other => return Err(format!("unknown option '{other}'")),
         }
     }
     Ok(opts)
 }
 
-fn run_one(opts: &Options, scheme: Scheme) -> Result<(), Box<dyn Error>> {
+fn run_one(opts: &Options, scheme: Scheme, obs: Obs) -> Result<(), Box<dyn Error>> {
     let report = SystemBuilder::new(scheme)
         .layers(opts.layers)
         .pillars(opts.pillars)
@@ -118,6 +167,7 @@ fn run_one(opts: &Options, scheme: Scheme) -> Result<(), Box<dyn Error>> {
         .warmup_transactions(opts.warmup)
         .sampled_transactions(opts.sample)
         .seed(opts.seed)
+        .observability(obs.clone())
         .build()?
         .run(&opts.bench)?;
     println!(
@@ -129,6 +179,23 @@ fn run_one(opts: &Options, scheme: Scheme) -> Result<(), Box<dyn Error>> {
         report.l2_miss_rate(),
         report.energy().total_j() * 1e3,
     );
+    if let Some(path) = &opts.trace_out {
+        let mut w = BufWriter::new(File::create(path).map_err(|e| format!("{path}: {e}"))?);
+        obs.export_trace(&mut w)?;
+        eprintln!(
+            "trace: {} events ({} dropped) -> {path}",
+            obs.event_count(),
+            obs.dropped_events()
+        );
+    }
+    if let Some(path) = &opts.metrics_out {
+        let mut w = BufWriter::new(File::create(path).map_err(|e| format!("{path}: {e}"))?);
+        obs.export_metrics(&mut w)?;
+        eprintln!("metrics -> {path}");
+    }
+    if obs.is_enabled() && obs.sample_every() > 0 {
+        eprintln!("simulated {:.0} cycles/sec", obs.cycles_per_sec());
+    }
     Ok(())
 }
 
@@ -174,14 +241,16 @@ fn main() -> ExitCode {
             .map_err(Into::into)
             .and_then(|opts| {
                 println!("benchmark: {}", opts.bench.name);
-                run_one(&opts, opts.scheme)
+                run_one(&opts, opts.scheme, opts.obs())
             }),
         "compare" => parse_options(&args[1..])
             .map_err(Into::into)
             .and_then(|opts| {
                 println!("benchmark: {}", opts.bench.name);
+                // Tracing a 4-scheme sweep into one file would interleave
+                // unrelated runs; observability is a `run` concern.
                 for scheme in Scheme::ALL {
-                    run_one(&opts, scheme)?;
+                    run_one(&opts, scheme, Obs::disabled())?;
                 }
                 Ok(())
             }),
@@ -217,9 +286,22 @@ mod tests {
     #[test]
     fn flags_override_defaults() {
         let opts = parse_options(&args(&[
-            "--scheme", "snuca3d", "--bench", "mgrid", "--layers", "4",
-            "--pillars", "4", "--l2-scale", "2", "--warmup", "10",
-            "--sample", "100", "--seed", "7",
+            "--scheme",
+            "snuca3d",
+            "--bench",
+            "mgrid",
+            "--layers",
+            "4",
+            "--pillars",
+            "4",
+            "--l2-scale",
+            "2",
+            "--warmup",
+            "10",
+            "--sample",
+            "100",
+            "--seed",
+            "7",
         ]))
         .unwrap();
         assert_eq!(opts.scheme, Scheme::CmpSnuca3d);
@@ -230,6 +312,33 @@ mod tests {
         assert_eq!(opts.warmup, 10);
         assert_eq!(opts.sample, 100);
         assert_eq!(opts.seed, 7);
+    }
+
+    #[test]
+    fn observability_flags_parse() {
+        let opts = parse_options(&args(&[
+            "--trace-out",
+            "t.json",
+            "--trace-filter",
+            "packet,pillar",
+            "--metrics-out",
+            "m.json",
+            "--sample-every",
+            "1000",
+        ]))
+        .unwrap();
+        assert_eq!(opts.trace_out.as_deref(), Some("t.json"));
+        assert_eq!(opts.metrics_out.as_deref(), Some("m.json"));
+        assert_eq!(opts.sample_every, 1_000);
+        assert!(opts.obs().is_enabled());
+        assert!(parse_options(&args(&["--trace-filter", "bogus"]))
+            .unwrap_err()
+            .contains("--trace-filter"));
+    }
+
+    #[test]
+    fn obs_defaults_to_disabled() {
+        assert!(!parse_options(&[]).unwrap().obs().is_enabled());
     }
 
     #[test]

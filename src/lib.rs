@@ -7,6 +7,7 @@
 //!
 //! * [`types`] — identifiers, geometry, addresses, [`types::SystemConfig`].
 //! * [`topology`] — the 3D mesh layout, clusters, pillars, CPU placement.
+//! * [`obs`] — cycle-stamped event tracing, metrics, epoch sampling.
 //! * [`noc`] — the cycle-accurate wormhole NoC with dTDMA pillar buses.
 //! * [`cache`] — the NUCA L2: banks, tag arrays, search and migration.
 //! * [`coherence`] — directory-based MSI for the private L1s.
@@ -39,6 +40,7 @@ pub use nim_coherence as coherence;
 pub use nim_core as core;
 pub use nim_cpu as cpu;
 pub use nim_noc as noc;
+pub use nim_obs as obs;
 pub use nim_power as power;
 pub use nim_thermal as thermal;
 pub use nim_topology as topology;

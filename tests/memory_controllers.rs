@@ -10,12 +10,18 @@ fn edge_memory_misses_cost_more_than_the_flat_model() {
     // One cold read; with controllers the miss additionally pays the
     // round trip to the chip edge.
     let run = |edge: bool| {
-        let mut cfg = SystemConfig::default();
-        cfg.num_cpus = 1;
+        let cfg = SystemConfig {
+            num_cpus: 1,
+            ..SystemConfig::default()
+        };
         let mut trace = ReplayTrace::default();
         trace.push(
             CpuId(0),
-            TraceOp { gap: 1, kind: AccessKind::Read, addr: Address(0x1234_0000) },
+            TraceOp {
+                gap: 1,
+                kind: AccessKind::Read,
+                addr: Address(0x1234_0000),
+            },
         );
         SystemBuilder::new(Scheme::CmpDnuca3d)
             .config(cfg)
@@ -49,10 +55,12 @@ fn channel_bandwidth_serialises_back_to_back_misses() {
     // A burst of cold misses all landing on the same controller must
     // drain one per `memory_interval`, so the LAST miss waits longer
     // than the first.
-    let mut cfg = SystemConfig::default();
-    cfg.num_cpus = 1;
-    cfg.memory_controllers = 1;
-    cfg.memory_interval = 64;
+    let cfg = SystemConfig {
+        num_cpus: 1,
+        memory_controllers: 1,
+        memory_interval: 64,
+        ..SystemConfig::default()
+    };
     let n = 8u64;
     let mut trace = ReplayTrace::default();
     for i in 0..n {

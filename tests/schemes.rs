@@ -22,12 +22,18 @@ fn every_scheme_completes_and_reports_sane_metrics() {
         // several transactions can complete within one cycle, so the
         // window can be off by a few either way.
         let window = report.counters.l2_transactions;
-        assert!((1_190..=1_210).contains(&window), "{scheme}: window {window}");
+        assert!(
+            (1_190..=1_210).contains(&window),
+            "{scheme}: window {window}"
+        );
         let lat = report.avg_l2_hit_latency();
         assert!((5.0..250.0).contains(&lat), "{scheme}: latency {lat}");
         let ipc = report.ipc();
         assert!(ipc > 0.0 && ipc <= 1.0, "{scheme}: ipc {ipc}");
-        assert!(report.l2_miss_rate() < 0.5, "{scheme}: warm L2 misses a lot");
+        assert!(
+            report.l2_miss_rate() < 0.5,
+            "{scheme}: warm L2 misses a lot"
+        );
         assert!(report.cycles > 0 && report.instructions > 0);
     }
 }
@@ -35,8 +41,16 @@ fn every_scheme_completes_and_reports_sane_metrics() {
 #[test]
 fn runs_are_deterministic_per_seed() {
     let bench = BenchmarkProfile::swim();
-    let a = quick(Scheme::CmpDnuca3d).build().unwrap().run(&bench).unwrap();
-    let b = quick(Scheme::CmpDnuca3d).build().unwrap().run(&bench).unwrap();
+    let a = quick(Scheme::CmpDnuca3d)
+        .build()
+        .unwrap()
+        .run(&bench)
+        .unwrap();
+    let b = quick(Scheme::CmpDnuca3d)
+        .build()
+        .unwrap()
+        .run(&bench)
+        .unwrap();
     assert_eq!(a.counters, b.counters);
     assert_eq!(a.cycles, b.cycles);
     assert_eq!(a.instructions, b.instructions);
@@ -52,18 +66,34 @@ fn runs_are_deterministic_per_seed() {
 #[test]
 fn snuca_never_migrates_dnuca_does() {
     let bench = BenchmarkProfile::mgrid();
-    let snuca = quick(Scheme::CmpSnuca3d).build().unwrap().run(&bench).unwrap();
+    let snuca = quick(Scheme::CmpSnuca3d)
+        .build()
+        .unwrap()
+        .run(&bench)
+        .unwrap();
     assert_eq!(snuca.counters.migrations, 0, "static NUCA must not migrate");
-    let dnuca = quick(Scheme::CmpDnuca3d).build().unwrap().run(&bench).unwrap();
+    let dnuca = quick(Scheme::CmpDnuca3d)
+        .build()
+        .unwrap()
+        .run(&bench)
+        .unwrap();
     assert!(dnuca.counters.migrations > 0, "dynamic NUCA must migrate");
 }
 
 #[test]
 fn three_d_schemes_use_the_pillars_2d_does_not() {
     let bench = BenchmarkProfile::art();
-    let d3 = quick(Scheme::CmpDnuca3d).build().unwrap().run(&bench).unwrap();
+    let d3 = quick(Scheme::CmpDnuca3d)
+        .build()
+        .unwrap()
+        .run(&bench)
+        .unwrap();
     assert!(d3.bus_transfers > 0, "3D traffic must cross the buses");
-    let d2 = quick(Scheme::CmpDnuca2d).build().unwrap().run(&bench).unwrap();
+    let d2 = quick(Scheme::CmpDnuca2d)
+        .build()
+        .unwrap()
+        .run(&bench)
+        .unwrap();
     assert_eq!(d2.bus_transfers, 0, "a 2D chip has no vertical buses");
 }
 
@@ -96,8 +126,16 @@ fn four_layers_beat_two_layers_for_static_nuca() {
 fn migration_3d_beats_static_3d() {
     // Figure 13: CMP-DNUCA-3D gains over CMP-SNUCA-3D from migration.
     let bench = BenchmarkProfile::swim();
-    let snuca = quick(Scheme::CmpSnuca3d).build().unwrap().run(&bench).unwrap();
-    let dnuca = quick(Scheme::CmpDnuca3d).build().unwrap().run(&bench).unwrap();
+    let snuca = quick(Scheme::CmpSnuca3d)
+        .build()
+        .unwrap()
+        .run(&bench)
+        .unwrap();
+    let dnuca = quick(Scheme::CmpDnuca3d)
+        .build()
+        .unwrap()
+        .run(&bench)
+        .unwrap();
     assert!(
         dnuca.avg_l2_hit_latency() < snuca.avg_l2_hit_latency(),
         "DNUCA-3D {} must beat SNUCA-3D {}",
@@ -111,8 +149,16 @@ fn three_d_migrates_far_less_than_2d() {
     // Figure 14's headline: whole layers sit in each CPU's vicinity, so
     // the 3D scheme needs far fewer migrations per transaction.
     let bench = BenchmarkProfile::swim();
-    let d2 = quick(Scheme::CmpDnuca2d).build().unwrap().run(&bench).unwrap();
-    let d3 = quick(Scheme::CmpDnuca3d).build().unwrap().run(&bench).unwrap();
+    let d2 = quick(Scheme::CmpDnuca2d)
+        .build()
+        .unwrap()
+        .run(&bench)
+        .unwrap();
+    let d3 = quick(Scheme::CmpDnuca3d)
+        .build()
+        .unwrap()
+        .run(&bench)
+        .unwrap();
     let ratio = d3.counters.migrations as f64 / d2.counters.migrations.max(1) as f64;
     assert!(
         ratio < 0.8,
@@ -123,7 +169,11 @@ fn three_d_migrates_far_less_than_2d() {
 #[test]
 fn energy_tracks_activity() {
     let bench = BenchmarkProfile::galgel();
-    let report = quick(Scheme::CmpDnuca3d).build().unwrap().run(&bench).unwrap();
+    let report = quick(Scheme::CmpDnuca3d)
+        .build()
+        .unwrap()
+        .run(&bench)
+        .unwrap();
     let energy = report.energy();
     assert!(energy.router_j > 0.0);
     assert!(energy.bus_j > 0.0);

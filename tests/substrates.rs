@@ -25,7 +25,9 @@ fn network_serves_every_cluster_center_from_every_seat() {
     // policy must be routable and drain.
     let cfg = SystemConfig::default();
     let layout = ChipLayout::new(&cfg).unwrap();
-    let seats = PlacementPolicy::MaximalOffset.place(&layout, cfg.num_cpus).unwrap();
+    let seats = PlacementPolicy::MaximalOffset
+        .place(&layout, cfg.num_cpus)
+        .unwrap();
     let mut net = Network::new(&layout, &cfg.network, VerticalMode::Pillars);
     let mut sent = 0u64;
     for seat in &seats {

@@ -1,0 +1,156 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the small API surface the workspace benches use —
+//! [`Criterion`], [`BenchmarkGroup`], [`Bencher::iter`], and the
+//! `criterion_group!` / `criterion_main!` macros — as a minimal
+//! wall-clock harness: each routine is warmed up once, then timed over a
+//! fixed number of batches, reporting min/mean per-iteration times.
+//! There is no statistical analysis, plotting, or HTML report.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// The top-level harness handle.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Criterion {
+    /// Benchmarks one routine.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, 10, &mut f);
+        self
+    }
+
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group {name}:");
+        BenchmarkGroup {
+            _parent: self,
+            sample_size: 10,
+        }
+    }
+}
+
+/// A group of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed batches each routine runs.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Benchmarks one routine within the group.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, self.sample_size, &mut f);
+        self
+    }
+
+    /// Ends the group (accepted for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Passed to each routine; call [`Bencher::iter`] with the code to time.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, recording one sample of `iters_per_sample` calls.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let iters = self.iters_per_sample.max(1);
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.samples.push(start.elapsed());
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, samples: usize, f: &mut F) {
+    // Calibration pass: also serves as warm-up.
+    let mut b = Bencher {
+        samples: Vec::new(),
+        iters_per_sample: 1,
+    };
+    let cal_start = Instant::now();
+    f(&mut b);
+    let cal = cal_start.elapsed();
+    // Aim for ~20 ms per sample so fast routines are resolvable.
+    let per_iter = cal.as_nanos().max(1);
+    let iters = (20_000_000 / per_iter).clamp(1, 1_000_000) as u64;
+    let mut b = Bencher {
+        samples: Vec::new(),
+        iters_per_sample: iters,
+    };
+    for _ in 0..samples {
+        f(&mut b);
+    }
+    let per: Vec<f64> = b
+        .samples
+        .iter()
+        .map(|d| d.as_secs_f64() / iters as f64)
+        .collect();
+    let min = per.iter().copied().fold(f64::INFINITY, f64::min);
+    let mean = per.iter().sum::<f64>() / per.len().max(1) as f64;
+    println!(
+        "  {name:<40} min {:>12} mean {:>12} ({} samples x {} iters)",
+        fmt_time(min),
+        fmt_time(mean),
+        per.len(),
+        iters
+    );
+}
+
+fn fmt_time(secs: f64) -> String {
+    if !secs.is_finite() {
+        "n/a".to_string()
+    } else if secs < 1e-6 {
+        format!("{:.1} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} us", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+/// Declares a bench group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,110 @@
+//! Deterministic case generation and runner-facing types.
+
+/// A discarded case (failed filter or `prop_assume!`).
+#[derive(Clone, Copy, Debug)]
+pub struct Rejection(pub &'static str);
+
+/// Why one test case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// The case was discarded; the runner retries with fresh inputs.
+    Reject(String),
+    /// The case failed; the runner panics with this message.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// A failure carrying `msg`.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A rejection carrying `msg`.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+impl core::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            TestCaseError::Reject(m) => write!(f, "rejected: {m}"),
+            TestCaseError::Fail(m) => write!(f, "failed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Runner configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Accepted cases to run per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+
+    /// The case count after applying the `PROPTEST_CASES` override.
+    pub fn effective_cases(&self) -> u32 {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(self.cases)
+            .max(1)
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// The generation RNG: SplitMix64, seeded from the test's name so every
+/// run of a given test draws the same case sequence.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// A generator seeded deterministically from `name` (FNV-1a).
+    pub fn deterministic(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        Self { state: h }
+    }
+
+    /// The next 64 uniform bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, bound)`; `bound` of 0 yields 0.
+    #[inline]
+    pub fn below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            return 0;
+        }
+        (((self.next_u64() as u128).wrapping_mul(bound as u128)) >> 64) as u64
+    }
+
+    /// Uniform in `[0, 1)`.
+    #[inline]
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
