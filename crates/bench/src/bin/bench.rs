@@ -1,0 +1,97 @@
+//! Machine-readable parallel-sweep benchmark.
+//!
+//! Runs the Figure-13 grid (every benchmark × every scheme) twice — once
+//! with one worker, once with `NIM_JOBS` (default: all cores) — and
+//! writes `BENCH_sweep.json` with cycles simulated, wall seconds,
+//! cycles/sec, and the jobs=N speedup over jobs=1, plus a `deterministic`
+//! flag asserting the two sweeps produced identical reports.
+//!
+//! ```sh
+//! NIM_SCALE=quick NIM_JOBS=4 cargo run --release -p nim-bench --bin bench
+//! ```
+//!
+//! The output path defaults to `BENCH_sweep.json` in the current
+//! directory; pass a path as the first argument to override it.
+
+use std::error::Error;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use nim_bench::scale_from_env;
+use nim_core::experiments::{run_cells, ExperimentScale, SweepSpec};
+use nim_core::parallel::{configured_jobs, set_jobs_override};
+use nim_core::{RunReport, Scheme};
+use nim_workload::BenchmarkProfile;
+
+fn timed_sweep(
+    jobs: usize,
+    benchmarks: &[BenchmarkProfile],
+    scale: ExperimentScale,
+    specs: &[SweepSpec],
+) -> Result<(Vec<RunReport>, f64), Box<dyn Error>> {
+    set_jobs_override(Some(jobs));
+    let start = Instant::now();
+    let reports = run_cells(benchmarks, scale, specs);
+    let wall = start.elapsed().as_secs_f64();
+    set_jobs_override(None);
+    Ok((reports?, wall))
+}
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_sweep.json".to_string());
+    let scale = scale_from_env(true);
+    let scale_name = if scale == ExperimentScale::quick() {
+        "quick"
+    } else {
+        "full"
+    };
+    let benchmarks = BenchmarkProfile::all();
+    let mut specs = Vec::new();
+    for bi in 0..benchmarks.len() {
+        for &scheme in &Scheme::ALL {
+            specs.push(SweepSpec::new(scheme, bi));
+        }
+    }
+    let jobs = configured_jobs();
+    eprintln!(
+        "# bench: {} cells at scale {scale_name}, jobs=1 then jobs={jobs}",
+        specs.len()
+    );
+
+    let (baseline, wall_1) = timed_sweep(1, &benchmarks, scale, &specs)?;
+    let (parallel, wall_n) = timed_sweep(jobs, &benchmarks, scale, &specs)?;
+
+    // RunReport intentionally has no PartialEq; the Debug form covers
+    // every field, so equal strings mean bit-identical sweeps.
+    let deterministic = format!("{baseline:?}") == format!("{parallel:?}");
+    let cycles: u64 = parallel.iter().map(|r| r.cycles).sum();
+    let cps_1 = cycles as f64 / wall_1.max(1e-9);
+    let cps_n = cycles as f64 / wall_n.max(1e-9);
+    let speedup = wall_1 / wall_n.max(1e-9);
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"scale\": \"{scale_name}\",");
+    let _ = writeln!(json, "  \"warmup_transactions\": {},", scale.warmup);
+    let _ = writeln!(json, "  \"sampled_transactions\": {},", scale.sample);
+    let _ = writeln!(json, "  \"jobs\": {jobs},");
+    let _ = writeln!(json, "  \"cells\": {},", specs.len());
+    let _ = writeln!(json, "  \"cycles_simulated\": {cycles},");
+    let _ = writeln!(json, "  \"wall_secs_1\": {wall_1:.6},");
+    let _ = writeln!(json, "  \"wall_secs_n\": {wall_n:.6},");
+    let _ = writeln!(json, "  \"cycles_per_sec_1\": {cps_1:.1},");
+    let _ = writeln!(json, "  \"cycles_per_sec_n\": {cps_n:.1},");
+    let _ = writeln!(json, "  \"speedup\": {speedup:.3},");
+    let _ = writeln!(json, "  \"deterministic\": {deterministic}");
+    json.push_str("}\n");
+
+    std::fs::write(&out_path, &json)?;
+    print!("{json}");
+    eprintln!("# wrote {out_path}");
+    if !deterministic {
+        return Err("parallel sweep diverged from the sequential sweep".into());
+    }
+    Ok(())
+}

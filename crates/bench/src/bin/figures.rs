@@ -19,8 +19,10 @@ fn main() -> Result<(), Box<dyn Error>> {
     let all = BenchmarkProfile::all();
     let representative = representative_benchmarks();
     eprintln!(
-        "# scale: warmup {} / sample {} transactions per run",
-        scale.warmup, scale.sample
+        "# scale: warmup {} / sample {} transactions per run; {} sweep jobs",
+        scale.warmup,
+        scale.sample,
+        nim_core::parallel::configured_jobs()
     );
 
     println!("## Figure 13 — average L2 hit latency (cycles)");

@@ -17,11 +17,9 @@
 //! [`NucaL2::add_replica`]; the primary copy remains authoritative
 //! ([`NucaL2::locate`]) and writers must [`NucaL2::drop_replicas`].
 
-use std::collections::HashMap;
-
 use nim_obs::{Category, EventData, Obs};
 use nim_types::addr::L2Map;
-use nim_types::{ClusterId, L2Config, LineAddr};
+use nim_types::{ClusterId, FxHashMap, L2Config, LineAddr};
 
 use crate::cluster::Cluster;
 
@@ -91,12 +89,14 @@ pub struct L2Stats {
 pub struct NucaL2 {
     map: L2Map,
     clusters: Vec<Cluster>,
-    /// Authoritative line → committed cluster map.
-    resident: HashMap<LineAddr, ClusterId>,
+    /// Authoritative line → committed cluster map. [`FxHashMap`] because
+    /// [`NucaL2::locate`] sits on the per-transaction hot path and the
+    /// keys are trusted line addresses.
+    resident: FxHashMap<LineAddr, ClusterId>,
     /// Lines mid-migration: line → destination cluster.
-    migrating: HashMap<LineAddr, ClusterId>,
+    migrating: FxHashMap<LineAddr, ClusterId>,
     /// Read-only replicas: line → clusters holding extra copies.
-    replicas: HashMap<LineAddr, Vec<ClusterId>>,
+    replicas: FxHashMap<LineAddr, Vec<ClusterId>>,
     stats: L2Stats,
     /// Observability sink; disabled by default.
     obs: Obs,
@@ -111,9 +111,9 @@ impl NucaL2 {
             clusters: (0..l2.clusters)
                 .map(|i| Cluster::new(ClusterId(i as u16), &map, l2.ways))
                 .collect(),
-            resident: HashMap::new(),
-            migrating: HashMap::new(),
-            replicas: HashMap::new(),
+            resident: FxHashMap::default(),
+            migrating: FxHashMap::default(),
+            replicas: FxHashMap::default(),
             stats: L2Stats::default(),
             obs: Obs::disabled(),
         }

@@ -7,10 +7,8 @@
 //! functional core: who may cache what, and which messages each access
 //! must generate. Transport and timing belong to `nim-core`.
 
-use std::collections::HashMap;
-
 use nim_obs::{Category, EventData, Obs};
-use nim_types::{CpuId, LineAddr};
+use nim_types::{CpuId, FxHashMap, LineAddr};
 
 /// Global coherence state of one line across all L1s.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -89,7 +87,9 @@ impl Entry {
 /// uses 8).
 #[derive(Clone, Debug)]
 pub struct Directory {
-    entries: HashMap<LineAddr, Entry>,
+    /// [`FxHashMap`]: looked up on every L1 fill/store completion with
+    /// trusted line-address keys — SipHash is wasted work here.
+    entries: FxHashMap<LineAddr, Entry>,
     policy: WritePolicy,
     protocol: Protocol,
     num_cpus: u32,
@@ -118,7 +118,7 @@ impl Directory {
     pub fn with_protocol(num_cpus: u32, policy: WritePolicy, protocol: Protocol) -> Self {
         assert!(num_cpus <= 64, "sharer bitset supports at most 64 CPUs");
         Self {
-            entries: HashMap::new(),
+            entries: FxHashMap::default(),
             policy,
             protocol,
             num_cpus,

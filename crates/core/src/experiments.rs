@@ -29,6 +29,7 @@ use nim_types::SystemConfig;
 use nim_workload::BenchmarkProfile;
 
 use crate::error::{BuildError, RunError};
+use crate::parallel::par_map;
 use crate::report::RunReport;
 use crate::scheme::Scheme;
 use crate::system::SystemBuilder;
@@ -120,6 +121,107 @@ fn run_one(
 }
 
 // ---------------------------------------------------------------------------
+// The parallel sweep cell — every driver fans out through this.
+// ---------------------------------------------------------------------------
+
+/// One independent simulation cell of a sweep: a scheme, a benchmark, and
+/// optional configuration overrides. Cells are `Copy` descriptions — the
+/// system itself is built (and dropped) inside the worker that claims the
+/// cell, so nothing crosses threads but the spec and its [`RunReport`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SweepSpec {
+    /// Scheme to simulate.
+    pub scheme: Scheme,
+    /// Index into the benchmark slice handed to [`run_cells`].
+    pub benchmark: usize,
+    /// Device-layer override (3D schemes only).
+    pub layers: Option<u8>,
+    /// Vertical-pillar-count override.
+    pub pillars: Option<u16>,
+    /// Power-of-two L2 capacity scale override (Fig. 16).
+    pub l2_scale: Option<u32>,
+}
+
+impl SweepSpec {
+    /// A cell with the paper's default configuration.
+    pub fn new(scheme: Scheme, benchmark: usize) -> Self {
+        Self {
+            scheme,
+            benchmark,
+            layers: None,
+            pillars: None,
+            l2_scale: None,
+        }
+    }
+
+    /// Overrides the device-layer count.
+    pub fn layers(mut self, layers: u8) -> Self {
+        self.layers = Some(layers);
+        self
+    }
+
+    /// Overrides the pillar count.
+    pub fn pillars(mut self, pillars: u16) -> Self {
+        self.pillars = Some(pillars);
+        self
+    }
+
+    /// Overrides the L2 capacity scale factor.
+    pub fn l2_scale(mut self, factor: u32) -> Self {
+        self.l2_scale = Some(factor);
+        self
+    }
+
+    fn run(
+        &self,
+        benchmarks: &[BenchmarkProfile],
+        scale: ExperimentScale,
+    ) -> Result<RunReport, ExperimentError> {
+        run_one(self.scheme, &benchmarks[self.benchmark], scale, |mut b| {
+            if let Some(l) = self.layers {
+                b = b.layers(l);
+            }
+            if let Some(p) = self.pillars {
+                b = b.pillars(p);
+            }
+            if let Some(f) = self.l2_scale {
+                b = b.l2_scale(f);
+            }
+            b
+        })
+    }
+}
+
+/// Runs every cell across [`crate::parallel::configured_jobs`] worker
+/// threads and returns the per-cell outcomes **in cell order** — the
+/// ordering (and, because each cell is a seeded, self-contained
+/// simulation, every value) is bit-identical to running the cells
+/// sequentially, for any thread count.
+pub fn run_cells_raw(
+    benchmarks: &[BenchmarkProfile],
+    scale: ExperimentScale,
+    specs: &[SweepSpec],
+) -> Vec<Result<RunReport, ExperimentError>> {
+    par_map(specs, |_, spec| spec.run(benchmarks, scale))
+}
+
+/// Like [`run_cells_raw`], but fails with the first (in cell order)
+/// error — the same error a sequential runner would have stopped at.
+///
+/// # Errors
+///
+/// Returns the first cell's [`ExperimentError`] in cell order.
+pub fn run_cells(
+    benchmarks: &[BenchmarkProfile],
+    scale: ExperimentScale,
+    specs: &[SweepSpec],
+) -> Result<Vec<RunReport>, ExperimentError> {
+    run_cells_raw(benchmarks, scale, specs)
+        .into_iter()
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
 // Figure 13 / Figure 15 — four schemes over the benchmarks.
 // ---------------------------------------------------------------------------
 
@@ -147,19 +249,17 @@ pub fn fig13_l2_latency(
     benchmarks: &[BenchmarkProfile],
     scale: ExperimentScale,
 ) -> Result<Vec<SchemeComparisonRow>, ExperimentError> {
-    benchmarks
+    let specs: Vec<SweepSpec> = (0..benchmarks.len())
+        .flat_map(|bi| Scheme::ALL.iter().map(move |&s| SweepSpec::new(s, bi)))
+        .collect();
+    let mut reports = run_cells(benchmarks, scale, &specs)?.into_iter();
+    Ok(benchmarks
         .iter()
-        .map(|bench| {
-            let reports = Scheme::ALL
-                .iter()
-                .map(|&s| run_one(s, bench, scale, |b| b))
-                .collect::<Result<Vec<_>, _>>()?;
-            Ok(SchemeComparisonRow {
-                benchmark: bench.name.to_string(),
-                reports,
-            })
+        .map(|bench| SchemeComparisonRow {
+            benchmark: bench.name.to_string(),
+            reports: reports.by_ref().take(Scheme::ALL.len()).collect(),
         })
-        .collect()
+        .collect())
 }
 
 /// Figure 15 reuses the same runs as Figure 13 (IPC is read from the same
@@ -192,20 +292,26 @@ pub fn fig14_migrations(
     benchmarks: &[BenchmarkProfile],
     scale: ExperimentScale,
 ) -> Result<Vec<Fig14Row>, ExperimentError> {
-    benchmarks
+    const SCHEMES: [Scheme; 3] = [Scheme::CmpDnuca2d, Scheme::CmpDnuca, Scheme::CmpDnuca3d];
+    let specs: Vec<SweepSpec> = (0..benchmarks.len())
+        .flat_map(|bi| SCHEMES.iter().map(move |&s| SweepSpec::new(s, bi)))
+        .collect();
+    let reports = run_cells(benchmarks, scale, &specs)?;
+    Ok(benchmarks
         .iter()
-        .map(|bench| {
-            let base = run_one(Scheme::CmpDnuca2d, bench, scale, |b| b)?;
-            let dnuca = run_one(Scheme::CmpDnuca, bench, scale, |b| b)?;
-            let d3 = run_one(Scheme::CmpDnuca3d, bench, scale, |b| b)?;
+        .zip(reports.chunks_exact(SCHEMES.len()))
+        .map(|(bench, chunk)| {
+            let [base, dnuca, d3] = chunk else {
+                unreachable!("chunks_exact yields {} reports", SCHEMES.len())
+            };
             let denom = base.counters.migrations.max(1) as f64;
-            Ok(Fig14Row {
+            Fig14Row {
                 benchmark: bench.name.to_string(),
                 cmp_dnuca: dnuca.counters.migrations as f64 / denom,
                 cmp_dnuca_3d: d3.counters.migrations as f64 / denom,
-            })
+            }
         })
-        .collect()
+        .collect())
 }
 
 // ---------------------------------------------------------------------------
@@ -230,18 +336,25 @@ pub fn fig16_cache_size(
     benchmarks: &[BenchmarkProfile],
     scale: ExperimentScale,
 ) -> Result<Vec<Fig16Row>, ExperimentError> {
-    let mut rows = Vec::new();
-    for bench in benchmarks {
-        for factor in [1u32, 2, 4] {
-            let d2 = run_one(Scheme::CmpDnuca2d, bench, scale, |b| b.l2_scale(factor))?;
-            let d3 = run_one(Scheme::CmpDnuca3d, bench, scale, |b| b.l2_scale(factor))?;
-            rows.push(Fig16Row {
-                benchmark: bench.name.to_string(),
-                l2_mb: 16 * factor,
-                latency_2d: d2.avg_l2_hit_latency(),
-                latency_3d: d3.avg_l2_hit_latency(),
-            });
+    const FACTORS: [u32; 3] = [1, 2, 4];
+    let mut specs = Vec::new();
+    for bi in 0..benchmarks.len() {
+        for factor in FACTORS {
+            specs.push(SweepSpec::new(Scheme::CmpDnuca2d, bi).l2_scale(factor));
+            specs.push(SweepSpec::new(Scheme::CmpDnuca3d, bi).l2_scale(factor));
         }
+    }
+    let reports = run_cells(benchmarks, scale, &specs)?;
+    let mut rows = Vec::with_capacity(benchmarks.len() * FACTORS.len());
+    for (i, pair) in reports.chunks_exact(2).enumerate() {
+        let bench = &benchmarks[i / FACTORS.len()];
+        let factor = FACTORS[i % FACTORS.len()];
+        rows.push(Fig16Row {
+            benchmark: bench.name.to_string(),
+            l2_mb: 16 * factor,
+            latency_2d: pair[0].avg_l2_hit_latency(),
+            latency_3d: pair[1].avg_l2_hit_latency(),
+        });
     }
     Ok(rows)
 }
@@ -268,18 +381,24 @@ pub fn fig17_pillars(
     benchmarks: &[BenchmarkProfile],
     scale: ExperimentScale,
 ) -> Result<Vec<Fig17Row>, ExperimentError> {
-    let mut rows = Vec::new();
-    for bench in benchmarks {
-        for pillars in [8u16, 4, 2] {
-            let report = run_one(Scheme::CmpDnuca3d, bench, scale, |b| b.pillars(pillars))?;
-            rows.push(Fig17Row {
-                benchmark: bench.name.to_string(),
-                pillars,
-                latency: report.avg_l2_hit_latency(),
-            });
-        }
-    }
-    Ok(rows)
+    const PILLARS: [u16; 3] = [8, 4, 2];
+    let specs: Vec<SweepSpec> = (0..benchmarks.len())
+        .flat_map(|bi| {
+            PILLARS
+                .iter()
+                .map(move |&p| SweepSpec::new(Scheme::CmpDnuca3d, bi).pillars(p))
+        })
+        .collect();
+    let reports = run_cells(benchmarks, scale, &specs)?;
+    Ok(specs
+        .iter()
+        .zip(&reports)
+        .map(|(spec, report)| Fig17Row {
+            benchmark: benchmarks[spec.benchmark].name.to_string(),
+            pillars: spec.pillars.expect("every fig17 cell sets pillars"),
+            latency: report.avg_l2_hit_latency(),
+        })
+        .collect())
 }
 
 // ---------------------------------------------------------------------------
@@ -303,18 +422,24 @@ pub fn fig18_layers(
     benchmarks: &[BenchmarkProfile],
     scale: ExperimentScale,
 ) -> Result<Vec<Fig18Row>, ExperimentError> {
-    let mut rows = Vec::new();
-    for bench in benchmarks {
-        for layers in [2u8, 4] {
-            let report = run_one(Scheme::CmpSnuca3d, bench, scale, |b| b.layers(layers))?;
-            rows.push(Fig18Row {
-                benchmark: bench.name.to_string(),
-                layers,
-                latency: report.avg_l2_hit_latency(),
-            });
-        }
-    }
-    Ok(rows)
+    const LAYERS: [u8; 2] = [2, 4];
+    let specs: Vec<SweepSpec> = (0..benchmarks.len())
+        .flat_map(|bi| {
+            LAYERS
+                .iter()
+                .map(move |&l| SweepSpec::new(Scheme::CmpSnuca3d, bi).layers(l))
+        })
+        .collect();
+    let reports = run_cells(benchmarks, scale, &specs)?;
+    Ok(specs
+        .iter()
+        .zip(&reports)
+        .map(|(spec, report)| Fig18Row {
+            benchmark: benchmarks[spec.benchmark].name.to_string(),
+            layers: spec.layers.expect("every fig18 cell sets layers"),
+            latency: report.avg_l2_hit_latency(),
+        })
+        .collect())
 }
 
 // ---------------------------------------------------------------------------
@@ -343,19 +468,25 @@ pub fn sweep_design_space(
     pillars: &[u16],
     scale: ExperimentScale,
 ) -> Result<Vec<SweepCell>, ExperimentError> {
+    let benchmarks = std::slice::from_ref(bench);
+    let specs: Vec<SweepSpec> = layers
+        .iter()
+        .flat_map(|&l| {
+            pillars
+                .iter()
+                .map(move |&p| SweepSpec::new(scheme, 0).layers(l).pillars(p))
+        })
+        .collect();
     let mut cells = Vec::new();
-    for &l in layers {
-        for &p in pillars {
-            let result = run_one(scheme, bench, scale, |b| b.layers(l).pillars(p));
-            match result {
-                Ok(report) => cells.push(SweepCell {
-                    layers: l,
-                    pillars: p,
-                    report,
-                }),
-                Err(ExperimentError::Build(_)) => continue, // unbuildable cell
-                Err(e) => return Err(e),
-            }
+    for (spec, result) in specs.iter().zip(run_cells_raw(benchmarks, scale, &specs)) {
+        match result {
+            Ok(report) => cells.push(SweepCell {
+                layers: spec.layers.expect("every sweep cell sets layers"),
+                pillars: spec.pillars.expect("every sweep cell sets pillars"),
+                report,
+            }),
+            Err(ExperimentError::Build(_)) => continue, // unbuildable cell
+            Err(e) => return Err(e),
         }
     }
     Ok(cells)
@@ -420,25 +551,25 @@ pub fn table3_thermal() -> Result<Vec<Table3Row>, ExperimentError> {
         ("3D-4L, CPU stacking", 4, 8, PlacementPolicy::Stacked),
     ];
     let tcfg = ThermalConfig::default();
-    rows.into_iter()
-        .map(|(label, layers, pillars, policy)| {
-            let cfg = SystemConfig::default()
-                .with_layers(layers)
-                .with_pillars(pillars);
-            let layout = ChipLayout::new(&cfg).map_err(BuildError::from)?;
-            let seats = policy
-                .place(&layout, cfg.num_cpus)
-                .map_err(BuildError::from)?;
-            let plan = Floorplan::new(&layout, &seats);
-            let profile = ThermalModel::new(&plan, &tcfg).solve(&tcfg);
-            Ok(Table3Row {
-                config: label,
-                peak_c: profile.peak(),
-                avg_c: profile.avg(),
-                min_c: profile.min(),
-            })
+    par_map(&rows, |_, &(label, layers, pillars, policy)| {
+        let cfg = SystemConfig::default()
+            .with_layers(layers)
+            .with_pillars(pillars);
+        let layout = ChipLayout::new(&cfg).map_err(BuildError::from)?;
+        let seats = policy
+            .place(&layout, cfg.num_cpus)
+            .map_err(BuildError::from)?;
+        let plan = Floorplan::new(&layout, &seats);
+        let profile = ThermalModel::new(&plan, &tcfg).solve(&tcfg);
+        Ok(Table3Row {
+            config: label,
+            peak_c: profile.peak(),
+            avg_c: profile.avg(),
+            min_c: profile.min(),
         })
-        .collect()
+    })
+    .into_iter()
+    .collect()
 }
 
 #[cfg(test)]

@@ -11,6 +11,8 @@
 //! * [`SystemBuilder`] / [`System`] — build and run one configuration.
 //! * [`RunReport`] — avg L2 hit latency, IPC, migrations, energy.
 //! * [`experiments`] — one driver per table/figure (Table 3, Figs 13–18).
+//! * [`parallel`] — the deterministic `NIM_JOBS`-wide sweep executor the
+//!   experiment drivers fan out on.
 //!
 //! # Examples
 //!
@@ -34,6 +36,7 @@
 
 mod error;
 pub mod experiments;
+pub mod parallel;
 mod report;
 mod scheme;
 mod system;

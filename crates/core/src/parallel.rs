@@ -1,0 +1,189 @@
+//! Deterministic parallel execution of independent simulation jobs.
+//!
+//! The paper's evaluation is a design-space sweep: every `(scheme,
+//! benchmark, configuration)` cell is a fully independent, deterministic
+//! simulation, so the sweep is embarrassingly parallel. [`par_map`] runs
+//! such a job list across threads while keeping the *output* bit-identical
+//! to a sequential run:
+//!
+//! * jobs are claimed from a shared [`AtomicUsize`] cursor (no work
+//!   stealing, no channels — claiming is one `fetch_add`);
+//! * every worker tags its results with the job index and the results are
+//!   merged back into a pre-sized slot vector, so output ordering never
+//!   depends on thread interleaving;
+//! * each job's simulation is seeded and self-contained, so the values
+//!   themselves cannot depend on scheduling either.
+//!
+//! The thread count comes from the `NIM_JOBS` environment variable
+//! (default: [`std::thread::available_parallelism`]); `NIM_JOBS=1`
+//! byte-for-byte reproduces the sequential runner by executing every job
+//! inline on the calling thread. Tools that need to compare parallel and
+//! sequential runs in-process (the `bench` binary, the determinism test)
+//! can pin the count with [`set_jobs_override`] instead of mutating the
+//! environment.
+//!
+//! ```
+//! use nim_core::parallel::par_map;
+//!
+//! let squares = par_map(&[1u64, 2, 3, 4], |_, &x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16]);
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::thread;
+
+/// Process-wide override for the worker count; 0 means "not set, consult
+/// `NIM_JOBS` / `available_parallelism`".
+static JOBS_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Pins the worker count for subsequent [`par_map`] calls, bypassing the
+/// `NIM_JOBS` environment variable; `None` restores env-driven behaviour.
+/// Intended for benchmarks and tests that compare `jobs = 1` against
+/// `jobs = N` within one process.
+pub fn set_jobs_override(jobs: Option<usize>) {
+    JOBS_OVERRIDE.store(jobs.unwrap_or(0), Ordering::SeqCst);
+}
+
+/// The worker count [`par_map`] will use: the [`set_jobs_override`] value
+/// if set, else `NIM_JOBS` if parseable and non-zero, else
+/// [`std::thread::available_parallelism`] (1 if even that is unknown).
+pub fn configured_jobs() -> usize {
+    let forced = JOBS_OVERRIDE.load(Ordering::SeqCst);
+    if forced > 0 {
+        return forced;
+    }
+    if let Ok(v) = std::env::var("NIM_JOBS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Maps `f` over `items` with [`configured_jobs`] worker threads,
+/// returning the results in item order — deterministically equal to the
+/// sequential `items.iter().enumerate().map(|(i, it)| f(i, it))`.
+///
+/// `f` receives the job index and the item. Jobs are claimed atomically;
+/// with one worker (or one item) everything runs inline on the calling
+/// thread with no threads spawned.
+///
+/// # Panics
+///
+/// Propagates the first worker panic after all threads have stopped.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let workers = configured_jobs().min(items.len());
+    if workers <= 1 {
+        return items.iter().enumerate().map(|(i, it)| f(i, it)).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
+    slots.resize_with(items.len(), || None);
+    thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut produced: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        produced.push((i, f(i, &items[i])));
+                    }
+                    produced
+                })
+            })
+            .collect();
+        for handle in handles {
+            match handle.join() {
+                Ok(produced) => {
+                    for (i, r) in produced {
+                        debug_assert!(slots[i].is_none(), "job {i} claimed twice");
+                        slots[i] = Some(r);
+                    }
+                }
+                Err(panic) => std::panic::resume_unwind(panic),
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every job index claimed exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Runs `body` with a pinned worker count, restoring the override
+    /// afterwards even on panic.
+    fn with_jobs<R>(jobs: usize, body: impl FnOnce() -> R) -> R {
+        struct Reset;
+        impl Drop for Reset {
+            fn drop(&mut self) {
+                set_jobs_override(None);
+            }
+        }
+        let _reset = Reset;
+        set_jobs_override(Some(jobs));
+        body()
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<u32> = par_map(&[], |_, x: &u32| *x);
+        assert!(empty.is_empty());
+        assert_eq!(par_map(&[9u32], |i, x| (i, *x)), vec![(0, 9)]);
+    }
+
+    #[test]
+    fn parallel_output_matches_sequential_order() {
+        let items: Vec<u64> = (0..257).collect();
+        let seq = with_jobs(1, || par_map(&items, |i, &x| x * 31 + i as u64));
+        let par = with_jobs(4, || par_map(&items, |i, &x| x * 31 + i as u64));
+        assert_eq!(seq, par);
+        assert_eq!(seq[10], 10 * 31 + 10);
+    }
+
+    #[test]
+    fn every_index_is_passed_exactly_once() {
+        let items: Vec<usize> = (0..100).collect();
+        let out = with_jobs(8, || {
+            par_map(&items, |i, &x| {
+                assert_eq!(i, x);
+                i
+            })
+        });
+        assert_eq!(out, items);
+    }
+
+    #[test]
+    fn worker_panics_propagate() {
+        let items: Vec<u32> = (0..16).collect();
+        let result = std::panic::catch_unwind(|| {
+            with_jobs(4, || {
+                par_map(&items, |_, &x| {
+                    if x == 7 {
+                        panic!("boom at {x}");
+                    }
+                    x
+                })
+            })
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn override_beats_env() {
+        with_jobs(3, || assert_eq!(configured_jobs(), 3));
+    }
+}

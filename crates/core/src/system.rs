@@ -10,7 +10,7 @@
 //! cores computing, network empty) without losing cycle accuracy.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::BinaryHeap;
 
 use nim_cache::{migration_target, NucaL2, SearchPlan};
 use nim_coherence::{DirAccess, Directory, WritePolicy};
@@ -19,7 +19,8 @@ use nim_noc::{Delivered, Network, SendRequest, TrafficClass, VerticalMode};
 use nim_obs::{Category, EventData, Obs};
 use nim_topology::{ChipLayout, CpuSeat};
 use nim_types::{
-    AccessKind, Address, ClusterId, Coord, CpuId, Cycle, LineAddr, PillarId, SystemConfig,
+    AccessKind, Address, ClusterId, Coord, CpuId, Cycle, FxHashMap, LineAddr, PillarId,
+    SystemConfig,
 };
 use nim_workload::{cpu_regions, shared_region, BenchmarkProfile, TraceGenerator, TraceSource};
 
@@ -34,6 +35,30 @@ const WATCHDOG_CYCLES: u64 = 2_000_000;
 /// Cycles between successive probe initiations at one (pipelined) tag
 /// array — concurrent searches crowding a cluster's tag array queue up.
 const TAG_INITIATION: u64 = 2;
+
+/// Reused buffers for the per-epoch observability snapshot: the column
+/// names are formatted once per run and the value/occupancy vectors are
+/// recycled, so steady-state sampling allocates nothing per epoch.
+#[derive(Clone, Debug, Default)]
+struct SampleBuf {
+    /// Column names, laid out as: one per pillar, one per cluster, then
+    /// the fixed counter names. Empty until the first sample.
+    names: Vec<String>,
+    /// Values aligned with `names`, rewritten every epoch.
+    values: Vec<f64>,
+    /// Scratch for [`Network::bus_occupancies_into`].
+    occ: Vec<usize>,
+}
+
+/// The fixed (non-indexed) columns of the epoch sample, appended after
+/// the per-pillar and per-cluster occupancy columns.
+const SAMPLE_COUNTERS: [&str; 5] = [
+    "l2/hits",
+    "l2/misses",
+    "migrations",
+    "net/packets_delivered",
+    "net/flit_hops",
+];
 
 /// One in-flight L2 transaction.
 #[derive(Clone, Copy, Debug)]
@@ -219,7 +244,7 @@ impl SystemBuilder {
             .map(|s| SearchPlan::new(&layout, layout.cluster_of(s.coord)))
             .collect();
         let mut cluster_cpus = vec![0u64; layout.num_clusters() as usize];
-        let mut cpu_at = HashMap::new();
+        let mut cpu_at = FxHashMap::default();
         for seat in &seats {
             cluster_cpus[layout.cluster_of(seat.coord).index()] |= 1 << seat.cpu.index();
             cpu_at.insert(seat.coord, seat.cpu);
@@ -245,12 +270,12 @@ impl SystemBuilder {
             l2,
             dir,
             cores,
-            txns: HashMap::new(),
+            txns: FxHashMap::default(),
             next_txn: 0,
             events: BinaryHeap::new(),
             next_seq: 0,
-            pending_fills: HashMap::new(),
-            last_accessor: HashMap::new(),
+            pending_fills: FxHashMap::default(),
+            last_accessor: FxHashMap::default(),
             tag_busy: vec![0; layout.num_clusters() as usize],
             bank_busy: vec![0; layout.num_nodes()],
             bank_access_counts: vec![0; layout.num_nodes()],
@@ -258,6 +283,7 @@ impl SystemBuilder {
             mc_ready: vec![0; cfg.memory_controllers as usize],
             layout,
             counters: Counters::default(),
+            sample_buf: SampleBuf::default(),
             seed: self.seed,
             warmup: self.warmup,
             sample: self.sample,
@@ -280,18 +306,21 @@ pub struct System {
     plans: Vec<SearchPlan>,
     /// Bitmask of CPUs seated in each cluster.
     cluster_cpus: Vec<u64>,
-    cpu_at: HashMap<Coord, CpuId>,
+    cpu_at: FxHashMap<Coord, CpuId>,
     net: Network,
     l2: NucaL2,
     dir: Directory,
     cores: Vec<InOrderCore>,
-    txns: HashMap<TxnId, Txn>,
+    /// Live transactions. Keyed by the simulation's own dense ids, so the
+    /// map (like every other per-transaction map here) runs on
+    /// [`FxHashMap`] — SipHash dominated the lookup cost on this path.
+    txns: FxHashMap<TxnId, Txn>,
     next_txn: TxnId,
     events: BinaryHeap<Reverse<(u64, u64, TimedEvent)>>,
     next_seq: u64,
-    pending_fills: HashMap<LineAddr, Vec<TxnId>>,
+    pending_fills: FxHashMap<LineAddr, Vec<TxnId>>,
     /// CPU that last accessed each line (drives the migration trigger).
-    last_accessor: HashMap<LineAddr, CpuId>,
+    last_accessor: FxHashMap<LineAddr, CpuId>,
     /// Cycle until which each cluster's tag array is occupied (tag
     /// arrays accept one new probe every [`TAG_INITIATION`] cycles).
     tag_busy: Vec<u64>,
@@ -306,6 +335,8 @@ pub struct System {
     /// (channel-bandwidth limit).
     mc_ready: Vec<u64>,
     counters: Counters,
+    /// Reused epoch-sampling buffers (names formatted once per run).
+    sample_buf: SampleBuf,
     seed: u64,
     warmup: u64,
     sample: u64,
@@ -458,8 +489,9 @@ impl System {
         }
         let (start_counters, start_cycle, start_instr) =
             window_start.expect("sampling window started");
-        self.publish_obs_metrics();
-        let bus = self.net.bus_stats();
+        let mut bus = Vec::new();
+        self.net.bus_stats_into(&mut bus);
+        self.publish_obs_metrics(&bus);
         Ok(RunReport {
             scheme: self.scheme,
             benchmark: benchmark.to_string(),
@@ -479,53 +511,67 @@ impl System {
 
     /// Snapshots the live state the epoch sampler tracks: per-pillar bus
     /// occupancy, per-cluster L2 occupancy, and the headline cumulative
-    /// counters. Called only when [`Obs::sample_due`] fires.
+    /// counters. Called only when [`Obs::sample_due`] fires. The column
+    /// names are formatted once on the first epoch; afterwards every
+    /// snapshot reuses [`SampleBuf`]'s vectors and allocates nothing.
     fn record_obs_sample(&mut self, now: u64) {
-        let mut pairs: Vec<(String, f64)> = Vec::new();
-        for (i, occ) in self.net.bus_occupancies().into_iter().enumerate() {
-            pairs.push((format!("pillar/{i}/occupancy"), occ as f64));
+        self.net.bus_occupancies_into(&mut self.sample_buf.occ);
+        let SampleBuf { names, values, occ } = &mut self.sample_buf;
+        if names.is_empty() {
+            for i in 0..occ.len() {
+                names.push(format!("pillar/{i}/occupancy"));
+            }
+            for cl in 0..self.layout.num_clusters() {
+                names.push(format!("cluster/{cl}/occupancy"));
+            }
+            names.extend(SAMPLE_COUNTERS.iter().map(|n| (*n).to_string()));
         }
+        values.clear();
+        values.extend(occ.iter().map(|&o| o as f64));
         for cl in 0..self.layout.num_clusters() {
-            let occ = self.l2.cluster_occupancy(ClusterId(cl));
-            pairs.push((format!("cluster/{cl}/occupancy"), occ as f64));
+            values.push(self.l2.cluster_occupancy(ClusterId(cl)) as f64);
         }
-        pairs.push(("l2/hits".to_string(), self.counters.l2_hits as f64));
-        pairs.push(("l2/misses".to_string(), self.counters.l2_misses as f64));
-        pairs.push(("migrations".to_string(), self.counters.migrations as f64));
         let net = self.net.stats();
-        pairs.push((
-            "net/packets_delivered".to_string(),
-            net.packets_delivered as f64,
-        ));
-        pairs.push(("net/flit_hops".to_string(), net.flit_hops as f64));
-        let refs: Vec<(&str, f64)> = pairs.iter().map(|(n, v)| (n.as_str(), *v)).collect();
-        self.obs.record_sample(now, &refs);
+        values.push(self.counters.l2_hits as f64);
+        values.push(self.counters.l2_misses as f64);
+        values.push(self.counters.migrations as f64);
+        values.push(net.packets_delivered as f64);
+        values.push(net.flit_hops as f64);
+        self.obs
+            .record_sample_cols(now, &self.sample_buf.names, &self.sample_buf.values);
     }
 
     /// Publishes end-of-run totals into the metrics registry: the
     /// per-router traversal map (the link-utilization heatmap source),
-    /// per-pillar bus statistics, L2 and transaction counters, and the
-    /// packet latency distribution.
-    fn publish_obs_metrics(&self) {
+    /// per-pillar bus statistics (passed in by the caller, which already
+    /// collected them for the [`RunReport`]), L2 and transaction
+    /// counters, and the packet latency distribution. Formatted metric
+    /// names share one reused `String` buffer.
+    fn publish_obs_metrics(&self, bus: &[nim_noc::BusStats]) {
         if !self.obs.is_enabled() {
             return;
         }
+        use std::fmt::Write as _;
+        let mut name = String::new();
         for (i, &n) in self.net.traversals().iter().enumerate() {
             let c = self.layout.coord_of_index(i);
-            self.obs
-                .counter_set(&format!("noc/traversals/{}/{}/{}", c.x, c.y, c.layer), n);
+            name.clear();
+            let _ = write!(name, "noc/traversals/{}/{}/{}", c.x, c.y, c.layer);
+            self.obs.counter_set(&name, n);
         }
-        for (i, b) in self.net.bus_stats().iter().enumerate() {
-            self.obs
-                .counter_set(&format!("pillar/{i}/transfers"), b.transfers);
-            self.obs
-                .counter_set(&format!("pillar/{i}/busy_cycles"), b.busy_cycles);
-            self.obs.counter_set(
-                &format!("pillar/{i}/contention_cycles"),
-                b.contention_cycles,
-            );
-            self.obs
-                .counter_set(&format!("pillar/{i}/peak_queued"), b.peak_queued);
+        for (i, b) in bus.iter().enumerate() {
+            name.clear();
+            let _ = write!(name, "pillar/{i}/transfers");
+            self.obs.counter_set(&name, b.transfers);
+            name.clear();
+            let _ = write!(name, "pillar/{i}/busy_cycles");
+            self.obs.counter_set(&name, b.busy_cycles);
+            name.clear();
+            let _ = write!(name, "pillar/{i}/contention_cycles");
+            self.obs.counter_set(&name, b.contention_cycles);
+            name.clear();
+            let _ = write!(name, "pillar/{i}/peak_queued");
+            self.obs.counter_set(&name, b.peak_queued);
         }
         let net = self.net.stats();
         self.obs.counter_set("net/packets_sent", net.packets_sent);

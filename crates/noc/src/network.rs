@@ -203,14 +203,34 @@ impl Network {
 
     /// Per-bus statistics, indexed by pillar.
     pub fn bus_stats(&self) -> Vec<BusStats> {
-        self.buses.iter().map(|b| b.stats).collect()
+        let mut out = Vec::new();
+        self.bus_stats_into(&mut out);
+        out
+    }
+
+    /// Clears `buf` and fills it with per-bus statistics, indexed by
+    /// pillar — the allocation-free variant callers on a sampling path
+    /// use with a reused buffer (mirrors
+    /// [`Network::drain_delivered_into`]).
+    pub fn bus_stats_into(&self, buf: &mut Vec<BusStats>) {
+        buf.clear();
+        buf.extend(self.buses.iter().map(|b| b.stats));
     }
 
     /// Flits currently queued at each pillar bus's transceiver
     /// interfaces, indexed by pillar — the instantaneous occupancy the
     /// epoch sampler snapshots.
     pub fn bus_occupancies(&self) -> Vec<usize> {
-        self.buses.iter().map(|b| b.queued()).collect()
+        let mut out = Vec::new();
+        self.bus_occupancies_into(&mut out);
+        out
+    }
+
+    /// Clears `buf` and fills it with the per-pillar queued-flit counts;
+    /// see [`Network::bus_stats_into`].
+    pub fn bus_occupancies_into(&self, buf: &mut Vec<usize>) {
+        buf.clear();
+        buf.extend(self.buses.iter().map(|b| b.queued()));
     }
 
     /// Flit traversals through each router, indexed like

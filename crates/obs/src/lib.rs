@@ -272,6 +272,21 @@ impl Obs {
         }
     }
 
+    /// Records one snapshot at `now` from parallel `names`/`values`
+    /// slices and arms the next aligned epoch — the allocation-lean
+    /// sibling of [`Obs::record_sample`] for callers that precompute
+    /// their column names once and reuse a values buffer every epoch.
+    pub fn record_sample_cols(&self, now: u64, names: &[String], values: &[f64]) {
+        if let Some(inner) = &self.inner {
+            if inner.sample_every == 0 {
+                return;
+            }
+            inner.sampler.borrow_mut().record_cols(now, names, values);
+            let every = inner.sample_every;
+            inner.next_sample.set((now / every + 1) * every);
+        }
+    }
+
     /// Simulated cycles per wall-clock second measured by the sampler.
     pub fn cycles_per_sec(&self) -> f64 {
         self.inner

@@ -79,6 +79,38 @@ impl EpochSampler {
         });
     }
 
+    /// Records one snapshot from parallel `names`/`values` slices whose
+    /// layout is the same every epoch — the allocation-lean path for
+    /// callers that precompute their column names once (the simulator's
+    /// per-epoch sampler). After the first call registers the columns,
+    /// each subsequent epoch is a single `memcpy`-style copy with no
+    /// string comparisons.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `names` and `values` lengths differ.
+    pub fn record_cols(&mut self, cycle: u64, names: &[String], values: &[f64]) {
+        assert_eq!(names.len(), values.len(), "column/value length mismatch");
+        let aligned = self.columns.len() == names.len()
+            && self.columns.iter().zip(names).all(|(c, n)| c == n);
+        if aligned {
+            self.rows.push(SampleRow {
+                cycle,
+                wall_secs: self.started.elapsed().as_secs_f64(),
+                values: values.to_vec(),
+            });
+            return;
+        }
+        // First call (or an interleaved pair-based caller changed the
+        // layout): fall back to name matching.
+        let pairs: Vec<(&str, f64)> = names
+            .iter()
+            .map(String::as_str)
+            .zip(values.iter().copied())
+            .collect();
+        self.record(cycle, &pairs);
+    }
+
     /// Simulated cycles per wall-clock second between the first and last
     /// snapshot (0 with fewer than two rows or no elapsed time).
     pub fn cycles_per_sec(&self) -> f64 {

@@ -12,6 +12,7 @@
 //! * [`addr`] — physical addresses and NUCA line-address decomposition.
 //! * [`time`] — the [`Cycle`] newtype used for all simulated time.
 //! * [`config`] — [`SystemConfig`], the paper's Table 4 parameters.
+//! * [`hash`] — [`FxHashMap`], the de-SipHashed map for hot-path keys.
 //!
 //! # Examples
 //!
@@ -29,6 +30,7 @@
 pub mod addr;
 pub mod config;
 pub mod geom;
+pub mod hash;
 pub mod id;
 pub mod time;
 pub mod trace;
@@ -36,6 +38,7 @@ pub mod trace;
 pub use addr::{Address, LineAddr};
 pub use config::{ConfigError, L1Config, L2Config, NetworkConfig, SystemConfig};
 pub use geom::{Coord, Dir};
+pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use id::{BankId, ClusterId, CpuId, PacketId, PillarId};
 pub use time::Cycle;
 pub use trace::{AccessKind, TraceOp};

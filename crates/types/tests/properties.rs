@@ -1,7 +1,10 @@
-//! Property-based tests for address decomposition and geometry.
+//! Property-based tests for address decomposition, geometry, and the
+//! FxHash map used on the simulator's hot paths.
+
+use std::collections::HashMap;
 
 use nim_types::addr::L2Map;
-use nim_types::{Address, Coord, Dir, LineAddr};
+use nim_types::{Address, Coord, Dir, FxHashMap, LineAddr};
 use proptest::prelude::*;
 
 fn arb_geometry() -> impl Strategy<Value = (u32, u32, u32)> {
@@ -96,6 +99,31 @@ proptest! {
         let d = Dir::ALL[dir_idx];
         if let Some((nx, ny)) = d.step(x, y, w, h) {
             prop_assert!(nx < w && ny < h);
+        }
+    }
+
+    #[test]
+    fn fxhash_map_agrees_with_std_hashmap(
+        ops in proptest::collection::vec(
+            (any::<u8>(), any::<u64>(), any::<u32>()),
+            0..200,
+        ),
+    ) {
+        let mut fx: FxHashMap<u64, u32> = FxHashMap::default();
+        let mut reference: HashMap<u64, u32> = HashMap::new();
+        for &(op, raw_key, val) in &ops {
+            // Half the keys collapse into a small range so overwrites,
+            // hits, and removals actually occur alongside misses.
+            let key = if op & 1 == 0 { raw_key % 16 } else { raw_key };
+            match op % 3 {
+                0 => prop_assert_eq!(fx.insert(key, val), reference.insert(key, val)),
+                1 => prop_assert_eq!(fx.remove(&key), reference.remove(&key)),
+                _ => prop_assert_eq!(fx.get(&key), reference.get(&key)),
+            }
+            prop_assert_eq!(fx.len(), reference.len());
+        }
+        for (k, v) in &reference {
+            prop_assert_eq!(fx.get(k), Some(v));
         }
     }
 }
