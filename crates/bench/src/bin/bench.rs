@@ -23,6 +23,17 @@ use nim_core::parallel::{configured_jobs, set_jobs_override};
 use nim_core::{RunReport, Scheme};
 use nim_workload::BenchmarkProfile;
 
+/// Pulls `"cycles_per_sec_1": <number>` out of a previously written
+/// sweep JSON, so successive runs record before/after throughput
+/// without needing a JSON dependency.
+fn prev_cycles_per_sec(path: &str) -> Option<f64> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let key = "\"cycles_per_sec_1\":";
+    let rest = text[text.find(key)? + key.len()..].trim_start();
+    let end = rest.find([',', '\n', '}'])?;
+    rest[..end].trim().parse().ok()
+}
+
 fn timed_sweep(
     jobs: usize,
     benchmarks: &[BenchmarkProfile],
@@ -60,6 +71,7 @@ fn main() -> Result<(), Box<dyn Error>> {
         specs.len()
     );
 
+    let prev_cps_1 = prev_cycles_per_sec(&out_path);
     let (baseline, wall_1) = timed_sweep(1, &benchmarks, scale, &specs)?;
     let (parallel, wall_n) = timed_sweep(jobs, &benchmarks, scale, &specs)?;
 
@@ -84,6 +96,16 @@ fn main() -> Result<(), Box<dyn Error>> {
     let _ = writeln!(json, "  \"cycles_per_sec_1\": {cps_1:.1},");
     let _ = writeln!(json, "  \"cycles_per_sec_n\": {cps_n:.1},");
     let _ = writeln!(json, "  \"speedup\": {speedup:.3},");
+    // Before/after throughput relative to whatever sweep last wrote this
+    // file (absent on a first run).
+    if let Some(prev) = prev_cps_1 {
+        let _ = writeln!(json, "  \"prev_cycles_per_sec_1\": {prev:.1},");
+        let _ = writeln!(
+            json,
+            "  \"speedup_vs_prev\": {:.3},",
+            cps_1 / prev.max(1e-9)
+        );
+    }
     let _ = writeln!(json, "  \"deterministic\": {deterministic}");
     json.push_str("}\n");
 

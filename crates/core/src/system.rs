@@ -110,6 +110,7 @@ pub struct SystemBuilder {
     vicinity_stop: bool,
     replication: bool,
     edge_memory: bool,
+    skip: bool,
     obs: Obs,
 }
 
@@ -126,6 +127,7 @@ impl SystemBuilder {
             vicinity_stop: true,
             replication: false,
             edge_memory: false,
+            skip: std::env::var_os("NIM_NO_SKIP").is_none(),
             obs: Obs::disabled(),
         }
     }
@@ -212,6 +214,18 @@ impl SystemBuilder {
         self
     }
 
+    /// Whether the main loop may batch-advance the clock through spans
+    /// it can prove are dead (no network phase fires, no timed event is
+    /// due, no core needs a tick). On by default; the `NIM_NO_SKIP`
+    /// environment variable (any value) flips the default off, forcing
+    /// the naive one-tick-per-cycle loop. Results are bit-identical
+    /// either way — skipping only elides cycles in which nothing
+    /// observable happens (`noc_skip_equivalence` asserts this).
+    pub fn horizon_skipping(mut self, on: bool) -> Self {
+        self.skip = on;
+        self
+    }
+
     /// Attaches an observability handle (see [`nim_obs::Obs`]): the
     /// network, NUCA L2, directory, and the system's own transaction
     /// machinery all emit trace events and metrics through it. The
@@ -291,6 +305,7 @@ impl SystemBuilder {
             vicinity_stop: self.vicinity_stop,
             replication: self.replication,
             edge_memory: self.edge_memory,
+            skip: self.skip,
             obs: self.obs,
         })
     }
@@ -344,6 +359,8 @@ pub struct System {
     vicinity_stop: bool,
     replication: bool,
     edge_memory: bool,
+    /// Dead-cycle elision enabled (see [`SystemBuilder::horizon_skipping`]).
+    skip: bool,
     obs: Obs,
 }
 
@@ -470,8 +487,14 @@ impl System {
                     self.handle_delivered(d, now);
                 }
             }
-            // Cores.
+            // Cores. Halted cores are skipped outright: `tick` on a
+            // halted core is a no-op (it returns before touching stats),
+            // so eliding the call is bit-identical and keeps drained
+            // cores from costing a call per cycle for the rest of a run.
             for i in 0..self.cores.len() {
+                if self.cores[i].is_halted() {
+                    continue;
+                }
                 let cpu = CpuId::from_index(i);
                 let action = self.cores[i].tick(&mut || source.next_for(cpu));
                 if let CoreAction::Request(req) = action {
@@ -758,8 +781,30 @@ impl System {
         (start - now.0) + latency
     }
 
+    /// Batch-advances the clock through a span it can prove is dead:
+    /// every core is mid-gap, halted, or waiting on memory
+    /// ([`InOrderCore::next_wakeup`]), no timed event comes due, and the
+    /// network's own horizon ([`Network::next_event_at`]) says no phase
+    /// would fire — even with traffic still buffered in flight. The skip
+    /// lands one cycle *before* the earliest of the three horizons, so
+    /// the very next `tick` replays exactly the cycle the naive loop
+    /// would have reached. Core wakeups are checked first because they
+    /// are the cheapest bound and, under steady load, the one that is
+    /// almost always zero.
     fn try_fast_forward(&mut self) {
-        if !self.net.is_idle() {
+        if !self.skip || self.net.has_deliveries() {
+            return;
+        }
+        let core_bound = self
+            .cores
+            .iter()
+            .map(|c| match c.next_wakeup() {
+                u64::MAX => u64::MAX,
+                wake => wake - 1,
+            })
+            .min()
+            .unwrap_or(0);
+        if core_bound == 0 {
             return;
         }
         let now = self.net.now().0;
@@ -770,23 +815,32 @@ impl System {
         if event_bound == 0 {
             return;
         }
-        let core_bound = self
-            .cores
-            .iter()
-            .map(InOrderCore::skippable_cycles)
-            .min()
-            .unwrap_or(0);
-        let delta = event_bound.min(core_bound);
+        let net_bound = match self.net.next_event_at() {
+            Some(t) => t.0 - (now + 1),
+            None => u64::MAX,
+        };
+        let delta = core_bound.min(event_bound).min(net_bound);
         if delta == 0 || delta == u64::MAX {
-            // Either a core needs attention next cycle, or everything is
-            // blocked with no pending event (the watchdog will catch a
-            // genuine deadlock).
+            // Either something needs attention next cycle, or everything
+            // is blocked with no pending horizon (the watchdog will catch
+            // a genuine deadlock).
             return;
         }
         for core in &mut self.cores {
             core.skip(delta);
         }
-        self.net.advance_idle(delta);
+        self.net.advance_to(Cycle(now + delta));
+        // The naive loop records a sample row at every armed boundary it
+        // ticks across; replay those rows so the sampler output is
+        // bit-identical. No sampled column changes inside a dead span,
+        // so each catch-up row carries the same values the per-cycle
+        // loop would have snapshotted.
+        while let Some(boundary) = self.obs.next_sample_at() {
+            if boundary > now + delta {
+                break;
+            }
+            self.record_obs_sample(boundary);
+        }
     }
 
     // ----- transaction lifecycle ------------------------------------------

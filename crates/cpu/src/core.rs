@@ -324,6 +324,19 @@ impl InOrderCore {
         }
     }
 
+    /// Relative cycle offset of the next tick this core actually needs:
+    /// `1` when it must be ticked next cycle, `skippable_cycles() + 1`
+    /// while computing through a burst, and `u64::MAX` when it wakes only
+    /// on external input (halted, or blocked on the memory system). The
+    /// driver loop fuses this with the network horizon and its event heap
+    /// to find the next cycle anything in the system acts.
+    pub fn next_wakeup(&self) -> u64 {
+        match self.skippable_cycles() {
+            u64::MAX => u64::MAX,
+            s => s + 1,
+        }
+    }
+
     /// Fast-forwards `n` cycles (callers must respect
     /// [`skippable_cycles`](Self::skippable_cycles)).
     ///
@@ -518,6 +531,20 @@ mod tests {
         }
         assert!(done, "store issues after the gap completes");
         assert_eq!(core.stats().instructions, 51);
+    }
+
+    #[test]
+    fn next_wakeup_mirrors_skippable_cycles() {
+        let mut core = core();
+        assert_eq!(core.next_wakeup(), 1, "fresh core must be ticked");
+        let mut ops = vec![op(50, AccessKind::Write, 0)].into_iter();
+        core.tick(&mut || ops.next()); // enters the gap
+        assert_eq!(core.next_wakeup(), 49, "acts on the transition tick");
+        let mut none = || None;
+        while !core.is_halted() {
+            core.tick(&mut none);
+        }
+        assert_eq!(core.next_wakeup(), u64::MAX, "halted cores never wake");
     }
 
     #[test]

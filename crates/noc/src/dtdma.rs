@@ -12,11 +12,9 @@
 //! interface buffer; the network moves flits router → interface, and the
 //! bus arbiter moves them interface → destination layer's pillar router.
 
-use std::collections::VecDeque;
-
 use nim_types::PillarId;
 
-use crate::packet::Flit;
+use crate::packet::{Flit, FlitArena, FlitFifo};
 
 /// Counters kept per pillar bus.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -35,8 +33,7 @@ pub struct BusStats {
 /// One transceiver interface: the per-layer queue feeding the bus.
 #[derive(Clone, Debug)]
 pub(crate) struct Iface {
-    pub q: VecDeque<Flit>,
-    pub cap: usize,
+    pub q: FlitFifo,
     /// Destination-side VC bound by the in-transfer packet (set by its
     /// head flit, cleared by its tail), so multi-flit packets land in a
     /// single VC even when the arbiter interleaves transmitters.
@@ -58,14 +55,19 @@ pub(crate) struct DtdmaBus {
 }
 
 impl DtdmaBus {
-    pub(crate) fn new(pillar: PillarId, xy: (u8, u8), layers: u8, iface_cap: usize) -> Self {
+    pub(crate) fn new(
+        arena: &mut FlitArena,
+        pillar: PillarId,
+        xy: (u8, u8),
+        layers: u8,
+        iface_cap: usize,
+    ) -> Self {
         Self {
             pillar,
             xy,
             ifaces: (0..layers)
                 .map(|_| Iface {
-                    q: VecDeque::with_capacity(iface_cap),
-                    cap: iface_cap,
+                    q: FlitFifo::new(arena, iface_cap),
                     bound_vc: None,
                 })
                 .collect(),
@@ -77,14 +79,13 @@ impl DtdmaBus {
     /// Whether the interface on `layer` can take one more flit.
     #[inline]
     pub(crate) fn can_enqueue(&self, layer: u8) -> bool {
-        let iface = &self.ifaces[layer as usize];
-        iface.q.len() < iface.cap
+        !self.ifaces[layer as usize].q.is_full()
     }
 
     /// Queues a flit at the `layer` interface (router → transceiver).
-    pub(crate) fn enqueue(&mut self, layer: u8, flit: Flit) {
+    pub(crate) fn enqueue(&mut self, arena: &mut FlitArena, layer: u8, flit: Flit) {
         debug_assert!(self.can_enqueue(layer));
-        self.ifaces[layer as usize].q.push_back(flit);
+        self.ifaces[layer as usize].q.push_back(arena, flit);
         let queued: u64 = self.ifaces.iter().map(|i| i.q.len() as u64).sum();
         self.stats.peak_queued = self.stats.peak_queued.max(queued);
     }
@@ -118,10 +119,11 @@ mod tests {
 
     #[test]
     fn enqueue_respects_capacity() {
-        let mut bus = DtdmaBus::new(PillarId(0), (2, 2), 2, 2);
+        let mut arena = FlitArena::default();
+        let mut bus = DtdmaBus::new(&mut arena, PillarId(0), (2, 2), 2, 2);
         assert!(bus.can_enqueue(0));
-        bus.enqueue(0, flit());
-        bus.enqueue(0, flit());
+        bus.enqueue(&mut arena, 0, flit());
+        bus.enqueue(&mut arena, 0, flit());
         assert!(!bus.can_enqueue(0));
         assert!(bus.can_enqueue(1), "interfaces are independent");
         assert_eq!(bus.queued(), 2);
@@ -130,7 +132,8 @@ mod tests {
 
     #[test]
     fn one_interface_per_layer() {
-        let bus = DtdmaBus::new(PillarId(3), (1, 1), 4, 4);
+        let mut arena = FlitArena::default();
+        let bus = DtdmaBus::new(&mut arena, PillarId(3), (1, 1), 4, 4);
         assert_eq!(bus.ifaces.len(), 4);
         assert_eq!(bus.pillar, PillarId(3));
     }

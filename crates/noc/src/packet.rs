@@ -126,6 +126,124 @@ pub struct Flit {
     pub hops: u16,
 }
 
+impl Flit {
+    /// Filler for arena slots no live flit occupies.
+    pub(crate) const VACANT: Flit = Flit {
+        pkt: PacketId(u64::MAX),
+        kind: FlitKind::HeadTail,
+        src: Coord::new(0, 0, 0),
+        dst: Coord::new(0, 0, 0),
+        via: None,
+        class: TrafficClass::Control,
+        token: 0,
+        injected: Cycle::ZERO,
+        arrived: Cycle::ZERO,
+        hops: 0,
+    };
+}
+
+/// Pooled backing store for every flit FIFO in the network.
+///
+/// Router VCs and pillar transceiver queues each own a fixed-size window
+/// of one contiguous slab, so the per-cycle hot path reads cache-adjacent
+/// slots instead of chasing one heap allocation per queue, and bursts
+/// never reallocate.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct FlitArena {
+    slots: Vec<Flit>,
+}
+
+impl FlitArena {
+    /// Reserves `cap` contiguous slots and returns their base index.
+    fn alloc(&mut self, cap: usize) -> u32 {
+        let base = self.slots.len();
+        self.slots.resize(base + cap, Flit::VACANT);
+        u32::try_from(base).expect("flit arena exceeds u32 slots")
+    }
+}
+
+/// A bounded flit FIFO: a ring over a fixed [`FlitArena`] window.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct FlitFifo {
+    base: u32,
+    cap: u16,
+    head: u16,
+    len: u16,
+}
+
+impl FlitFifo {
+    /// Creates a FIFO of `cap` flits backed by freshly reserved arena
+    /// slots.
+    pub(crate) fn new(arena: &mut FlitArena, cap: usize) -> Self {
+        assert!((1..=1 << 14).contains(&cap), "unreasonable FIFO depth");
+        Self {
+            base: arena.alloc(cap),
+            cap: cap as u16,
+            head: 0,
+            len: 0,
+        }
+    }
+
+    #[inline]
+    pub(crate) fn len(&self) -> usize {
+        usize::from(self.len)
+    }
+
+    #[cfg(test)]
+    pub(crate) fn capacity(&self) -> usize {
+        usize::from(self.cap)
+    }
+
+    #[inline]
+    pub(crate) fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    #[inline]
+    pub(crate) fn is_full(&self) -> bool {
+        self.len == self.cap
+    }
+
+    #[inline]
+    fn slot(&self, i: u16) -> usize {
+        self.base as usize + usize::from((self.head + i) % self.cap)
+    }
+
+    /// Appends a flit.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) when full — callers check
+    /// [`is_full`](Self::is_full) first.
+    pub(crate) fn push_back(&mut self, arena: &mut FlitArena, flit: Flit) {
+        debug_assert!(!self.is_full(), "push into full flit FIFO");
+        let s = self.slot(self.len);
+        arena.slots[s] = flit;
+        self.len += 1;
+    }
+
+    /// The oldest queued flit, if any.
+    #[inline]
+    pub(crate) fn front<'a>(&self, arena: &'a FlitArena) -> Option<&'a Flit> {
+        if self.len == 0 {
+            None
+        } else {
+            Some(&arena.slots[self.slot(0)])
+        }
+    }
+
+    /// Removes and returns the oldest queued flit.
+    pub(crate) fn pop_front(&mut self, arena: &FlitArena) -> Option<Flit> {
+        if self.len == 0 {
+            return None;
+        }
+        let f = arena.slots[self.slot(0)];
+        self.head = (self.head + 1) % self.cap;
+        self.len -= 1;
+        Some(f)
+    }
+}
+
 /// A request to inject one packet into the network.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct SendRequest {
@@ -202,6 +320,41 @@ mod tests {
         for (i, c) in TrafficClass::ALL.iter().enumerate() {
             assert_eq!(c.index(), i);
         }
+    }
+
+    #[test]
+    fn flit_fifo_wraps_and_respects_capacity() {
+        let mut arena = FlitArena::default();
+        let mut q = FlitFifo::new(&mut arena, 2);
+        let mut f = Flit::VACANT;
+        assert!(q.is_empty() && !q.is_full());
+        assert_eq!(q.capacity(), 2);
+        for round in 0..5u64 {
+            f.token = round;
+            q.push_back(&mut arena, f);
+            f.token = round + 100;
+            q.push_back(&mut arena, f);
+            assert!(q.is_full());
+            assert_eq!(q.len(), 2);
+            assert_eq!(q.front(&arena).unwrap().token, round);
+            assert_eq!(q.pop_front(&arena).unwrap().token, round);
+            assert_eq!(q.pop_front(&arena).unwrap().token, round + 100);
+            assert_eq!(q.pop_front(&arena), None);
+        }
+    }
+
+    #[test]
+    fn arena_windows_are_disjoint() {
+        let mut arena = FlitArena::default();
+        let mut a = FlitFifo::new(&mut arena, 4);
+        let mut b = FlitFifo::new(&mut arena, 4);
+        let mut f = Flit::VACANT;
+        f.token = 1;
+        a.push_back(&mut arena, f);
+        f.token = 2;
+        b.push_back(&mut arena, f);
+        assert_eq!(a.front(&arena).unwrap().token, 1);
+        assert_eq!(b.front(&arena).unwrap().token, 2);
     }
 
     #[test]

@@ -15,6 +15,7 @@
 
 use nim_types::{Coord, Dir, PacketId};
 
+use crate::packet::FlitArena;
 use crate::vc::InputPort;
 
 /// An output port held by an in-flight packet (wormhole: once a head flit
@@ -48,6 +49,7 @@ pub(crate) struct Router {
 impl Router {
     /// Creates a router with the given input/output ports.
     pub(crate) fn new(
+        arena: &mut FlitArena,
         coord: Coord,
         in_dirs: &[Dir],
         out_dirs: &[Dir],
@@ -56,7 +58,7 @@ impl Router {
     ) -> Self {
         let mut inputs: [Option<InputPort>; Dir::COUNT] = Default::default();
         for d in in_dirs {
-            inputs[d.index()] = Some(InputPort::new(vcs, depth));
+            inputs[d.index()] = Some(InputPort::new(arena, vcs, depth));
         }
         let mut out_mask = 0u8;
         for d in out_dirs {
@@ -91,7 +93,9 @@ mod tests {
 
     #[test]
     fn ports_are_created_where_requested() {
+        let mut arena = FlitArena::default();
         let r = Router::new(
+            &mut arena,
             Coord::new(0, 0, 0),
             &[Dir::East, Dir::North, Dir::Local],
             &[Dir::East, Dir::North, Dir::Local],
@@ -116,7 +120,8 @@ mod tests {
             Dir::Local,
             Dir::Vertical,
         ];
-        let r = Router::new(Coord::new(2, 2, 0), &dirs, &dirs, 3, 4);
+        let mut arena = FlitArena::default();
+        let r = Router::new(&mut arena, Coord::new(2, 2, 0), &dirs, &dirs, 3, 4);
         assert_eq!(
             r.num_ports(),
             6,

@@ -6,41 +6,41 @@
 //! A VC is *owned* by the packet whose head flit allocated it; ownership
 //! is released when the tail flit drains, so a packet never interleaves
 //! with another inside one VC.
-
-use std::collections::VecDeque;
+//!
+//! Flit storage lives in the network-wide [`FlitArena`]; the `Vc` itself
+//! is a small inline record (ring indices + owner), so scanning a
+//! router's VCs for occupancy touches no per-queue heap allocation.
 
 use nim_types::PacketId;
 
-use crate::packet::Flit;
+use crate::packet::{Flit, FlitArena, FlitFifo};
 
 /// One virtual channel: a bounded FIFO owned by at most one packet.
-#[derive(Clone, Debug)]
+#[derive(Clone, Copy, Debug)]
 pub(crate) struct Vc {
-    buf: VecDeque<Flit>,
+    fifo: FlitFifo,
     owner: Option<PacketId>,
-    cap: usize,
 }
 
 impl Vc {
-    pub(crate) fn new(cap: usize) -> Self {
+    pub(crate) fn new(arena: &mut FlitArena, cap: usize) -> Self {
         assert!(cap >= 1, "VC depth must be at least one flit");
         Self {
-            buf: VecDeque::with_capacity(cap),
+            fifo: FlitFifo::new(arena, cap),
             owner: None,
-            cap,
         }
     }
 
     /// Whether a head flit of a *new* packet may allocate this VC.
     #[inline]
     pub(crate) fn is_free(&self) -> bool {
-        self.owner.is_none() && self.buf.is_empty()
+        self.owner.is_none() && self.fifo.is_empty()
     }
 
     /// Whether a non-head flit of `pkt` may enter (right owner, space left).
     #[inline]
     pub(crate) fn accepts_continuation(&self, pkt: PacketId) -> bool {
-        self.owner == Some(pkt) && self.buf.len() < self.cap
+        self.owner == Some(pkt) && !self.fifo.is_full()
     }
 
     /// Pushes a flit.
@@ -50,7 +50,7 @@ impl Vc {
     /// Panics (debug) if the push violates ownership or capacity — callers
     /// must check [`is_free`](Self::is_free) /
     /// [`accepts_continuation`](Self::accepts_continuation) first.
-    pub(crate) fn push(&mut self, flit: Flit) {
+    pub(crate) fn push(&mut self, arena: &mut FlitArena, flit: Flit) {
         if flit.kind.is_head() {
             debug_assert!(self.is_free(), "head flit into occupied VC");
             self.owner = Some(flit.pkt);
@@ -60,21 +60,20 @@ impl Vc {
                 "continuation flit into foreign or full VC"
             );
         }
-        debug_assert!(self.buf.len() < self.cap);
-        self.buf.push_back(flit);
+        self.fifo.push_back(arena, flit);
     }
 
     /// The flit at the head of the FIFO, if any.
     #[inline]
-    pub(crate) fn front(&self) -> Option<&Flit> {
-        self.buf.front()
+    pub(crate) fn front<'a>(&self, arena: &'a FlitArena) -> Option<&'a Flit> {
+        self.fifo.front(arena)
     }
 
     /// Pops the head flit, releasing ownership if it was the tail.
-    pub(crate) fn pop(&mut self) -> Option<Flit> {
-        let flit = self.buf.pop_front()?;
+    pub(crate) fn pop(&mut self, arena: &FlitArena) -> Option<Flit> {
+        let flit = self.fifo.pop_front(arena)?;
         if flit.kind.is_tail() {
-            debug_assert!(self.buf.is_empty(), "flits behind a tail");
+            debug_assert!(self.fifo.is_empty(), "flits behind a tail");
             self.owner = None;
         }
         Some(flit)
@@ -83,7 +82,7 @@ impl Vc {
     #[inline]
     #[allow(dead_code)] // exercised by tests; kept for diagnostics
     pub(crate) fn len(&self) -> usize {
-        self.buf.len()
+        self.fifo.len()
     }
 }
 
@@ -94,10 +93,10 @@ pub(crate) struct InputPort {
 }
 
 impl InputPort {
-    pub(crate) fn new(num_vcs: usize, depth: usize) -> Self {
+    pub(crate) fn new(arena: &mut FlitArena, num_vcs: usize, depth: usize) -> Self {
         assert!(num_vcs >= 1);
         Self {
-            vcs: (0..num_vcs).map(|_| Vc::new(depth)).collect(),
+            vcs: (0..num_vcs).map(|_| Vc::new(arena, depth)).collect(),
         }
     }
 
@@ -157,38 +156,41 @@ mod tests {
 
     #[test]
     fn ownership_lifecycle() {
-        let mut vc = Vc::new(4);
+        let mut arena = FlitArena::default();
+        let mut vc = Vc::new(&mut arena, 4);
         assert!(vc.is_free());
-        vc.push(flit(1, FlitKind::Head));
+        vc.push(&mut arena, flit(1, FlitKind::Head));
         assert!(!vc.is_free());
         assert!(vc.accepts_continuation(PacketId(1)));
         assert!(!vc.accepts_continuation(PacketId(2)));
-        vc.push(flit(1, FlitKind::Body));
-        vc.push(flit(1, FlitKind::Body));
-        vc.push(flit(1, FlitKind::Tail));
+        vc.push(&mut arena, flit(1, FlitKind::Body));
+        vc.push(&mut arena, flit(1, FlitKind::Body));
+        vc.push(&mut arena, flit(1, FlitKind::Tail));
         assert!(!vc.accepts_continuation(PacketId(1)), "full");
-        assert_eq!(vc.pop().unwrap().kind, FlitKind::Head);
-        assert_eq!(vc.pop().unwrap().kind, FlitKind::Body);
+        assert_eq!(vc.pop(&arena).unwrap().kind, FlitKind::Head);
+        assert_eq!(vc.pop(&arena).unwrap().kind, FlitKind::Body);
         assert!(!vc.is_free(), "owner retained until tail pops");
-        vc.pop();
-        vc.pop();
+        vc.pop(&arena);
+        vc.pop(&arena);
         assert!(vc.is_free(), "tail pop releases ownership");
     }
 
     #[test]
     fn single_flit_packet_frees_immediately() {
-        let mut vc = Vc::new(4);
-        vc.push(flit(9, FlitKind::HeadTail));
+        let mut arena = FlitArena::default();
+        let mut vc = Vc::new(&mut arena, 4);
+        vc.push(&mut arena, flit(9, FlitKind::HeadTail));
         assert!(!vc.is_free());
-        vc.pop();
+        vc.pop(&arena);
         assert!(vc.is_free());
     }
 
     #[test]
     fn input_port_vc_selection() {
-        let mut port = InputPort::new(3, 4);
+        let mut arena = FlitArena::default();
+        let mut port = InputPort::new(&mut arena, 3, 4);
         assert_eq!(port.free_vc(), Some(0));
-        port.vc_mut(0).push(flit(1, FlitKind::Head));
+        port.vc_mut(0).push(&mut arena, flit(1, FlitKind::Head));
         assert_eq!(port.free_vc(), Some(1), "skips the owned VC");
         assert_eq!(port.continuation_vc(PacketId(1)), Some(0));
         assert_eq!(port.continuation_vc(PacketId(2)), None);
@@ -198,9 +200,10 @@ mod tests {
 
     #[test]
     fn all_vcs_busy_blocks_new_heads() {
-        let mut port = InputPort::new(2, 4);
-        port.vc_mut(0).push(flit(1, FlitKind::Head));
-        port.vc_mut(1).push(flit(2, FlitKind::Head));
+        let mut arena = FlitArena::default();
+        let mut port = InputPort::new(&mut arena, 2, 4);
+        port.vc_mut(0).push(&mut arena, flit(1, FlitKind::Head));
+        port.vc_mut(1).push(&mut arena, flit(2, FlitKind::Head));
         assert_eq!(port.free_vc(), None);
     }
 }

@@ -259,6 +259,18 @@ impl Obs {
         }
     }
 
+    /// The next armed epoch boundary, or `None` when sampling is off.
+    /// Drivers that batch-advance the clock use this to emit catch-up
+    /// snapshots at every boundary inside the skipped span, keeping the
+    /// sample timeline identical to per-cycle execution.
+    #[inline]
+    pub fn next_sample_at(&self) -> Option<u64> {
+        match &self.inner {
+            Some(inner) if inner.sample_every > 0 => Some(inner.next_sample.get()),
+            _ => None,
+        }
+    }
+
     /// Records one snapshot at `now` and arms the next aligned epoch
     /// (`(now / every + 1) * every`).
     pub fn record_sample(&self, now: u64, pairs: &[(&str, f64)]) {
@@ -466,6 +478,20 @@ mod tests {
         obs.record_sample(437, &[("m", 2.0)]);
         assert!(!obs.sample_due(499));
         assert!(obs.sample_due(500));
+    }
+
+    #[test]
+    fn next_sample_at_tracks_armed_epoch() {
+        assert_eq!(Obs::disabled().next_sample_at(), None);
+        let obs = Obs::new(ObsConfig {
+            sample_every: 100,
+            ..ObsConfig::default()
+        });
+        assert_eq!(obs.next_sample_at(), Some(100));
+        obs.record_sample(100, &[("m", 1.0)]);
+        assert_eq!(obs.next_sample_at(), Some(200));
+        obs.record_sample(437, &[("m", 2.0)]);
+        assert_eq!(obs.next_sample_at(), Some(500));
     }
 
     #[test]
