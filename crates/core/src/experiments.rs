@@ -28,11 +28,11 @@ use nim_topology::{ChipLayout, Floorplan, PlacementPolicy};
 use nim_types::SystemConfig;
 use nim_workload::BenchmarkProfile;
 
+use crate::builder::SystemBuilder;
 use crate::error::{BuildError, RunError};
 use crate::parallel::par_map;
 use crate::report::RunReport;
 use crate::scheme::Scheme;
-use crate::system::SystemBuilder;
 
 /// Error from an experiment driver.
 #[derive(Clone, Debug, PartialEq, Eq)]

@@ -1,0 +1,262 @@
+//! The seam between protocol decisions and the simulation fabric.
+//!
+//! The L2 protocol engine ([`Engine`](crate::protocol::Engine)) never
+//! touches [`Network`] or the timed-event heap directly: every packet
+//! send, every scheduled latency, and every shared-resource claim goes
+//! through the [`Fabric`] trait. Two implementations exist:
+//!
+//! * [`SimFabric`] — the real thing: the cycle-accurate 3D NoC, the
+//!   timed-event heap, the contention-aware [`timing`](crate::timing)
+//!   models, and the observability handle.
+//! * [`TestFabric`] — a recording double for unit tests: sends and
+//!   scheduled events land in inspectable queues, resource claims use
+//!   the same timing models, and no network is ever constructed.
+//!
+//! This seam is what makes the protocol transitions unit-testable and
+//! is the hook for future execution substrates (a sharded or
+//! message-passing fabric can implement [`Fabric`] without the protocol
+//! code changing).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use nim_noc::{Network, SendRequest};
+use nim_obs::{Category, EventData, Obs};
+use nim_types::{ClusterId, Coord, Cycle, PillarId};
+
+use crate::timing::{Banks, MemoryChannels, TagArrays};
+use crate::token::{TimedEvent, Token};
+
+// Protocol code imports the passive message types through this seam so
+// `protocol.rs` never names the `nim_noc` crate directly.
+pub(crate) use nim_noc::{Delivered, TrafficClass};
+
+/// Everything the protocol engine may ask of the simulation substrate.
+///
+/// The methods are deliberately narrow: inject one packet, schedule one
+/// timed event, claim one shared resource (tag array, data bank, DRAM
+/// channel) and learn when it completes, and reach the observability
+/// handle. Protocol handlers hold no other channel to the outside
+/// world, so swapping the substrate (test double today, sharded
+/// execution tomorrow) cannot change protocol behavior.
+pub(crate) trait Fabric {
+    /// Injects one packet into the interconnect; `token` comes back via
+    /// the delivery path when the packet reaches `dst`.
+    fn send(
+        &mut self,
+        src: Coord,
+        dst: Coord,
+        class: TrafficClass,
+        flits: u32,
+        token: Token,
+        via: Option<PillarId>,
+    );
+
+    /// Schedules `ev` to fire `delay` cycles after `now`. Events due the
+    /// same cycle fire in scheduling order.
+    fn schedule(&mut self, now: Cycle, delay: u64, ev: TimedEvent);
+
+    /// Claims `cluster`'s tag array for one probe; returns the total
+    /// latency until the lookup completes (queueing included).
+    fn tag_delay(&mut self, cluster: ClusterId, now: Cycle) -> u64;
+
+    /// Claims the data bank at node index `node` for one access; returns
+    /// the total latency until it completes. `write` distinguishes
+    /// stores/fills/migration absorbs from reads in the trace.
+    fn bank_delay(&mut self, node: usize, now: Cycle, write: bool) -> u64;
+
+    /// Claims memory controller `mc`'s DRAM channel; returns the total
+    /// latency until the DRAM access completes (bandwidth queueing
+    /// included).
+    fn memory_delay(&mut self, mc: usize, now: Cycle) -> u64;
+
+    /// The observability handle protocol code emits events and metrics
+    /// through (disabled by default: one branch per site).
+    fn obs(&self) -> &Obs;
+}
+
+/// The real fabric: the 3D NoC, the timed-event heap, and the shared
+/// resource timing models, owned together so the run loop in
+/// [`System`](crate::System) can drive phases and fast-forward while
+/// protocol code stays behind the [`Fabric`] trait.
+#[derive(Debug)]
+pub(crate) struct SimFabric {
+    /// The cycle-accurate 3D mesh + dTDMA pillar network.
+    pub(crate) net: Network,
+    /// Timed events, keyed by `(due_cycle, sequence)` so same-cycle
+    /// events fire in scheduling order.
+    pub(crate) events: BinaryHeap<Reverse<(u64, u64, TimedEvent)>>,
+    next_seq: u64,
+    tags: TagArrays,
+    banks: Banks,
+    memory: MemoryChannels,
+    obs: Obs,
+}
+
+impl SimFabric {
+    pub(crate) fn new(
+        net: Network,
+        tags: TagArrays,
+        banks: Banks,
+        memory: MemoryChannels,
+        obs: Obs,
+    ) -> Self {
+        Self {
+            net,
+            events: BinaryHeap::new(),
+            next_seq: 0,
+            tags,
+            banks,
+            memory,
+            obs,
+        }
+    }
+
+    /// Accesses each bank performed so far (node-indexed), for
+    /// activity-driven power and thermal analysis.
+    pub(crate) fn bank_access_counts(&self) -> &[u64] {
+        self.banks.access_counts()
+    }
+}
+
+impl Fabric for SimFabric {
+    fn send(
+        &mut self,
+        src: Coord,
+        dst: Coord,
+        class: TrafficClass,
+        flits: u32,
+        token: Token,
+        via: Option<PillarId>,
+    ) {
+        self.net.send(SendRequest {
+            src,
+            dst,
+            via,
+            class,
+            flits,
+            token: token.encode(),
+        });
+    }
+
+    fn schedule(&mut self, now: Cycle, delay: u64, ev: TimedEvent) {
+        self.next_seq += 1;
+        self.events
+            .push(Reverse((now.0 + delay, self.next_seq, ev)));
+    }
+
+    fn tag_delay(&mut self, cluster: ClusterId, now: Cycle) -> u64 {
+        self.tags.claim(cluster, now)
+    }
+
+    fn bank_delay(&mut self, node: usize, now: Cycle, write: bool) -> u64 {
+        self.obs.emit(Category::Bank, || EventData::BankAccess {
+            node: node as u32,
+            write,
+        });
+        self.banks.claim(node, now)
+    }
+
+    fn memory_delay(&mut self, mc: usize, now: Cycle) -> u64 {
+        self.memory.claim(mc, now)
+    }
+
+    fn obs(&self) -> &Obs {
+        &self.obs
+    }
+}
+
+/// A recording test double: protocol transitions run against real
+/// timing models, but packets land in [`TestFabric::sent`] and timed
+/// events in [`TestFabric::events`] instead of a network. Tests pump
+/// both queues by hand (or via the helpers in the protocol unit tests)
+/// to walk a transaction through its whole lifecycle without a NoC.
+#[cfg(test)]
+#[derive(Debug)]
+pub(crate) struct TestFabric {
+    /// Every packet sent, in order.
+    pub(crate) sent: Vec<SendRequest>,
+    /// Scheduled events, keyed like the real heap.
+    pub(crate) events: BinaryHeap<Reverse<(u64, u64, TimedEvent)>>,
+    next_seq: u64,
+    tags: TagArrays,
+    banks: Banks,
+    memory: MemoryChannels,
+    obs: Obs,
+}
+
+#[cfg(test)]
+impl TestFabric {
+    pub(crate) fn new(clusters: usize, nodes: usize, controllers: usize) -> Self {
+        // The paper's Table 4 latencies, so unit-test delays line up
+        // with what the real system charges.
+        let cfg = nim_types::SystemConfig::default();
+        Self {
+            sent: Vec::new(),
+            events: BinaryHeap::new(),
+            next_seq: 0,
+            tags: TagArrays::new(clusters, u64::from(cfg.l2.tag_latency)),
+            banks: Banks::new(nodes, u64::from(cfg.l2.bank_latency)),
+            memory: MemoryChannels::new(
+                controllers.max(1),
+                u64::from(cfg.memory_interval),
+                u64::from(cfg.memory_latency),
+            ),
+            obs: Obs::disabled(),
+        }
+    }
+
+    /// Pops the earliest scheduled event, if any.
+    pub(crate) fn pop_event(&mut self) -> Option<(u64, TimedEvent)> {
+        self.events.pop().map(|Reverse((due, _, ev))| (due, ev))
+    }
+
+    /// Drains and returns everything sent so far.
+    pub(crate) fn take_sent(&mut self) -> Vec<SendRequest> {
+        std::mem::take(&mut self.sent)
+    }
+}
+
+#[cfg(test)]
+impl Fabric for TestFabric {
+    fn send(
+        &mut self,
+        src: Coord,
+        dst: Coord,
+        class: TrafficClass,
+        flits: u32,
+        token: Token,
+        via: Option<PillarId>,
+    ) {
+        self.sent.push(SendRequest {
+            src,
+            dst,
+            via,
+            class,
+            flits,
+            token: token.encode(),
+        });
+    }
+
+    fn schedule(&mut self, now: Cycle, delay: u64, ev: TimedEvent) {
+        self.next_seq += 1;
+        self.events
+            .push(Reverse((now.0 + delay, self.next_seq, ev)));
+    }
+
+    fn tag_delay(&mut self, cluster: ClusterId, now: Cycle) -> u64 {
+        self.tags.claim(cluster, now)
+    }
+
+    fn bank_delay(&mut self, node: usize, now: Cycle, _write: bool) -> u64 {
+        self.banks.claim(node, now)
+    }
+
+    fn memory_delay(&mut self, mc: usize, now: Cycle) -> u64 {
+        self.memory.claim(mc, now)
+    }
+
+    fn obs(&self) -> &Obs {
+        &self.obs
+    }
+}

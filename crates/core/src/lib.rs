@@ -34,15 +34,22 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod builder;
 mod error;
 pub mod experiments;
+mod fabric;
 pub mod parallel;
+mod policy;
+mod protocol;
 mod report;
 mod scheme;
 mod system;
+mod timing;
 mod token;
+mod txn;
 
+pub use builder::SystemBuilder;
 pub use error::{BuildError, RunError};
 pub use report::{Counters, RunReport};
 pub use scheme::Scheme;
-pub use system::{System, SystemBuilder};
+pub use system::System;

@@ -1,0 +1,213 @@
+//! The per-scheme protocol policy seam.
+//!
+//! Scheme-specific choices are not `match scheme` branches inside the
+//! engine's handlers: they live behind [`ProtocolPolicy`], bound once at
+//! build time by [`policy_for`]. The engine asks the policy every
+//! question whose answer differs between the paper's four L2
+//! organisations (or between the builder's extension knobs): how lines
+//! are located, when and where they migrate, whether read-shared lines
+//! replicate, and how misses reach memory. Adding a new L2 organisation
+//! means writing a new policy (and, if needed, a placement), not
+//! editing the engine.
+
+use nim_cache::migration_target;
+use nim_topology::ChipLayout;
+use nim_types::{ClusterId, PillarId};
+
+use crate::scheme::Scheme;
+
+/// How an L2 miss reaches DRAM.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum MemoryRoute {
+    /// The paper's flat memory model (Table 4): a fixed latency, no
+    /// network traffic.
+    Flat {
+        /// Cycles from request to fill.
+        latency: u64,
+    },
+    /// The extension: route misses over the network to edge memory
+    /// controllers with per-channel bandwidth limits.
+    EdgeControllers,
+}
+
+/// The scheme-specific half of the protocol, bound at build time.
+///
+/// The engine asks the policy every question whose answer differs
+/// between the paper's four L2 organisations (or between the builder's
+/// extension knobs): how lines are located, when and where they
+/// migrate, whether read-shared lines replicate, and how misses reach
+/// memory. Handlers contain no `Scheme` branches — swapping the policy
+/// is the whole difference between CMP-DNUCA and CMP-SNUCA-3D.
+pub(crate) trait ProtocolPolicy: std::fmt::Debug + Send + Sync {
+    /// The baseline's perfect-search oracle: the requester knows each
+    /// line's location without probing, and the tag check is charged at
+    /// the serving bank instead.
+    fn oracle_search(&self) -> bool;
+
+    /// Whether cache lines migrate toward their accessors at all (the
+    /// cheap gate in front of [`ProtocolPolicy::migration_step`]).
+    fn migrates(&self) -> bool;
+
+    /// One gradual migration step for a line at `cur` accessed from
+    /// `acc` (paper §4.2.3), or `None` to stay put. `occupied` reports
+    /// whether a candidate cluster hosts another CPU.
+    fn migration_step(
+        &self,
+        layout: &ChipLayout,
+        cur: ClusterId,
+        acc: ClusterId,
+        pillar: Option<PillarId>,
+        occupied: &dyn Fn(ClusterId) -> bool,
+    ) -> Option<ClusterId>;
+
+    /// The paper's migration damping: lines already inside the
+    /// accessor's step-1 vicinity stay put unless one processor keeps
+    /// re-accessing them (§5.2, Fig. 14).
+    fn vicinity_stop(&self) -> bool;
+
+    /// Replicate read-shared lines into the reader's local cluster (the
+    /// NuRapid / victim-replication alternative of §1–§2).
+    fn replication(&self) -> bool;
+
+    /// How L2 misses reach memory.
+    fn memory_route(&self) -> MemoryRoute;
+}
+
+/// The builder knobs a policy carries (orthogonal to the scheme).
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct PolicyKnobs {
+    /// See [`SystemBuilder::vicinity_stop`](crate::SystemBuilder::vicinity_stop).
+    pub(crate) vicinity_stop: bool,
+    /// See [`SystemBuilder::replication`](crate::SystemBuilder::replication).
+    pub(crate) replication: bool,
+    /// See
+    /// [`SystemBuilder::edge_memory_controllers`](crate::SystemBuilder::edge_memory_controllers).
+    pub(crate) edge_memory: bool,
+    /// Flat-model memory latency (Table 4).
+    pub(crate) memory_latency: u64,
+}
+
+impl PolicyKnobs {
+    fn memory_route(&self) -> MemoryRoute {
+        if self.edge_memory {
+            MemoryRoute::EdgeControllers
+        } else {
+            MemoryRoute::Flat {
+                latency: self.memory_latency,
+            }
+        }
+    }
+}
+
+/// Beckmann & Wood's CMP-DNUCA baseline: perfect search, migration.
+#[derive(Clone, Copy, Debug)]
+struct OracleDnucaPolicy {
+    knobs: PolicyKnobs,
+}
+
+/// The paper's two-step-search schemes with migration (CMP-DNUCA-2D and
+/// CMP-DNUCA-3D — the topology difference lives in the layout, not the
+/// protocol).
+#[derive(Clone, Copy, Debug)]
+struct TwoStepDnucaPolicy {
+    knobs: PolicyKnobs,
+}
+
+/// The static-NUCA 3D scheme: two-step search, no migration.
+#[derive(Clone, Copy, Debug)]
+struct TwoStepSnucaPolicy {
+    knobs: PolicyKnobs,
+}
+
+impl ProtocolPolicy for OracleDnucaPolicy {
+    fn oracle_search(&self) -> bool {
+        true
+    }
+    fn migrates(&self) -> bool {
+        true
+    }
+    fn migration_step(
+        &self,
+        layout: &ChipLayout,
+        cur: ClusterId,
+        acc: ClusterId,
+        pillar: Option<PillarId>,
+        occupied: &dyn Fn(ClusterId) -> bool,
+    ) -> Option<ClusterId> {
+        migration_target(layout, cur, acc, pillar, occupied)
+    }
+    fn vicinity_stop(&self) -> bool {
+        self.knobs.vicinity_stop
+    }
+    fn replication(&self) -> bool {
+        self.knobs.replication
+    }
+    fn memory_route(&self) -> MemoryRoute {
+        self.knobs.memory_route()
+    }
+}
+
+impl ProtocolPolicy for TwoStepDnucaPolicy {
+    fn oracle_search(&self) -> bool {
+        false
+    }
+    fn migrates(&self) -> bool {
+        true
+    }
+    fn migration_step(
+        &self,
+        layout: &ChipLayout,
+        cur: ClusterId,
+        acc: ClusterId,
+        pillar: Option<PillarId>,
+        occupied: &dyn Fn(ClusterId) -> bool,
+    ) -> Option<ClusterId> {
+        migration_target(layout, cur, acc, pillar, occupied)
+    }
+    fn vicinity_stop(&self) -> bool {
+        self.knobs.vicinity_stop
+    }
+    fn replication(&self) -> bool {
+        self.knobs.replication
+    }
+    fn memory_route(&self) -> MemoryRoute {
+        self.knobs.memory_route()
+    }
+}
+
+impl ProtocolPolicy for TwoStepSnucaPolicy {
+    fn oracle_search(&self) -> bool {
+        false
+    }
+    fn migrates(&self) -> bool {
+        false
+    }
+    fn migration_step(
+        &self,
+        _layout: &ChipLayout,
+        _cur: ClusterId,
+        _acc: ClusterId,
+        _pillar: Option<PillarId>,
+        _occupied: &dyn Fn(ClusterId) -> bool,
+    ) -> Option<ClusterId> {
+        None
+    }
+    fn vicinity_stop(&self) -> bool {
+        self.knobs.vicinity_stop
+    }
+    fn replication(&self) -> bool {
+        self.knobs.replication
+    }
+    fn memory_route(&self) -> MemoryRoute {
+        self.knobs.memory_route()
+    }
+}
+
+/// Binds the scheme's protocol policy once, at build time.
+pub(crate) fn policy_for(scheme: Scheme, knobs: PolicyKnobs) -> Box<dyn ProtocolPolicy> {
+    match scheme {
+        Scheme::CmpDnuca => Box::new(OracleDnucaPolicy { knobs }),
+        Scheme::CmpDnuca2d | Scheme::CmpDnuca3d => Box::new(TwoStepDnucaPolicy { knobs }),
+        Scheme::CmpSnuca3d => Box::new(TwoStepSnucaPolicy { knobs }),
+    }
+}

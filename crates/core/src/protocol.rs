@@ -1,0 +1,1118 @@
+//! The L2 protocol engine.
+//!
+//! [`Engine`] owns everything the paper's distributed L2 protocol needs
+//! — the NUCA L2 and its tag state, the directory, the cores' L1 side,
+//! the live [`TxnTable`](crate::txn::TxnTable) — and implements every
+//! protocol transition (two-step CMP-DNUCA search, vertical pillar
+//! broadcasts, bank reads/writes, the memory path, migration,
+//! replication, coherence invalidations) as methods generic over the
+//! [`Fabric`] seam. The engine never touches the network or the event
+//! heap directly, which is what makes each transition unit-testable
+//! against [`TestFabric`](crate::fabric::TestFabric) — see the sibling
+//! `tests` module.
+//!
+//! Scheme-specific choices live behind
+//! [`ProtocolPolicy`](crate::policy::ProtocolPolicy), bound once at
+//! build time.
+
+use nim_cache::{NucaL2, SearchPlan};
+use nim_coherence::{DirAccess, Directory};
+use nim_cpu::{InOrderCore, MemRequest};
+use nim_obs::{Category, EventData};
+use nim_topology::{ChipLayout, CpuSeat};
+use nim_types::{AccessKind, ClusterId, Coord, CpuId, Cycle, FxHashMap, LineAddr, PillarId};
+use nim_workload::{cpu_regions, shared_region, BenchmarkProfile};
+
+use crate::fabric::{Delivered, Fabric, TrafficClass};
+use crate::policy::{MemoryRoute, ProtocolPolicy};
+use crate::report::Counters;
+use crate::token::{TimedEvent, Token};
+use crate::txn::{
+    after_search_exhausted, MissReply, SearchOutcome, Txn, TxnId, TxnState, TxnTable,
+};
+
+#[cfg(test)]
+#[path = "protocol_tests.rs"]
+mod tests;
+
+/// The protocol engine: all chip state the L2 protocol reads and
+/// mutates, plus every transition handler. The run loop in
+/// [`System`](crate::System) feeds it core requests, delivered packets,
+/// and due timed events; everything the engine does to the outside
+/// world goes through its [`Fabric`] parameter.
+#[derive(Debug)]
+pub(crate) struct Engine {
+    /// The chip geometry (shared read-only by every layer).
+    pub(crate) layout: ChipLayout,
+    /// Where the CPUs ended up.
+    pub(crate) seats: Vec<CpuSeat>,
+    /// Per-CPU two-step search plans.
+    pub(crate) plans: Vec<SearchPlan>,
+    /// Bitmask of CPUs seated in each cluster.
+    pub(crate) cluster_cpus: Vec<u64>,
+    /// CPU seated at each coordinate (L1 invalidation routing).
+    pub(crate) cpu_at: FxHashMap<Coord, CpuId>,
+    /// The NUCA L2 (tags, banks, migration and replica state).
+    pub(crate) l2: NucaL2,
+    /// The write-through MSI directory.
+    pub(crate) dir: Directory,
+    /// The cores and their L1s.
+    pub(crate) cores: Vec<InOrderCore>,
+    /// Live transactions + the MSHR miss ledger.
+    pub(crate) txns: TxnTable,
+    /// CPU that last accessed each line (drives the migration trigger).
+    pub(crate) last_accessor: FxHashMap<LineAddr, CpuId>,
+    /// Memory-controller positions (edges of layer 0).
+    pub(crate) mc_coords: Vec<Coord>,
+    /// Protocol counters (the report's raw material).
+    pub(crate) counters: Counters,
+    /// The scheme's protocol policy, bound at build time.
+    pub(crate) policy: Box<dyn ProtocolPolicy>,
+    /// Cache-line size in bytes.
+    pub(crate) line_bytes: u64,
+    /// Data-packet length in flits.
+    pub(crate) data_flits: u32,
+}
+
+impl Engine {
+    // ----- plumbing -------------------------------------------------------
+
+    fn seat(&self, cpu: CpuId) -> &CpuSeat {
+        &self.seats[cpu.index()]
+    }
+
+    fn via(&self, cpu: CpuId) -> Option<PillarId> {
+        self.seats[cpu.index()].pillar
+    }
+
+    fn center(&self, cl: ClusterId) -> Coord {
+        self.layout.cluster_center(cl)
+    }
+
+    fn bank_coord(&self, cluster: ClusterId, line: LineAddr) -> Coord {
+        let map = self.l2.map();
+        let bank = map.global_bank(cluster, map.bank_in_cluster(line));
+        self.layout.coord_of_bank(bank)
+    }
+
+    /// Claims the bank at `at` through the fabric (node-indexing it).
+    fn bank_delay(&self, f: &mut impl Fabric, at: Coord, now: Cycle, write: bool) -> u64 {
+        f.bank_delay(self.layout.node_index(at), now, write)
+    }
+
+    // ----- transaction lifecycle ------------------------------------------
+
+    /// A core issued a memory request: open a transaction and start the
+    /// policy's lookup.
+    pub(crate) fn handle_request(&mut self, f: &mut impl Fabric, req: MemRequest, now: Cycle) {
+        let line = req.addr.line(self.line_bytes);
+        let id = self
+            .txns
+            .allocate(Txn::new(req.cpu, req.kind, req.addr, line, now));
+        if self.policy.oracle_search() {
+            self.perfect_lookup(f, id, now);
+        } else {
+            self.issue_search_step(f, id, 1, now);
+        }
+    }
+
+    /// CMP-DNUCA's perfect-search oracle: the requester knows the line's
+    /// location without probing.
+    fn perfect_lookup(&mut self, f: &mut impl Fabric, id: TxnId, now: Cycle) {
+        let t = *self.txns.get(id).expect("live txn");
+        self.counters.tag_accesses += 1;
+        match self.l2.locate(t.line) {
+            Some(cl) => {
+                let seat = *self.seat(t.cpu);
+                let bank = self.bank_coord(cl, t.line);
+                self.txns.get_mut(id).expect("live txn").serve_from(cl);
+                match t.kind {
+                    AccessKind::Read | AccessKind::IFetch => {
+                        f.send(
+                            seat.coord,
+                            bank,
+                            TrafficClass::Control,
+                            1,
+                            Token::BankFetch { txn: id },
+                            seat.pillar,
+                        );
+                    }
+                    AccessKind::Write => {
+                        let flits = self.data_flits;
+                        f.send(
+                            seat.coord,
+                            bank,
+                            TrafficClass::Data,
+                            flits,
+                            Token::WriteData { txn: id },
+                            seat.pillar,
+                        );
+                    }
+                }
+            }
+            None => self.go_to_memory(f, id, now),
+        }
+    }
+
+    /// Issues one step of the two-step search (paper §4.2.1).
+    ///
+    /// Same-layer clusters are probed with individual request packets.
+    /// Remote layers receive a single tag *broadcast* riding the CPU's
+    /// pillar — one packet per layer probes that layer's whole disc and
+    /// returns at most one (aggregated) miss reply, exactly the
+    /// bandwidth advantage the paper attributes to the pillar broadcast.
+    fn issue_search_step(&mut self, f: &mut impl Fabric, id: TxnId, step: u8, now: Cycle) {
+        let t = *self.txns.get(id).expect("live txn");
+        let plan = &self.plans[t.cpu.index()];
+        let clusters: Vec<ClusterId> = if step == 1 {
+            plan.step1.clone()
+        } else {
+            plan.step2.clone()
+        };
+        let local = plan.local;
+        let seat = *self.seat(t.cpu);
+        let my_layer = seat.coord.layer;
+        // Step 1 reaches remote layers with one broadcast per layer (the
+        // tag rides the pillar once and fans out to the cylinder's tag
+        // arrays); step 2 is a plain multicast — every remaining cluster,
+        // remote ones included, gets its own request packet (paper
+        // §4.2.1), so step-2 searches load the pillars individually.
+        let broadcast_remote = step == 1;
+        let direct: Vec<ClusterId> = if broadcast_remote {
+            clusters
+                .iter()
+                .copied()
+                .filter(|cl| self.layout.cluster_layer(*cl) == my_layer)
+                .collect()
+        } else {
+            clusters.clone()
+        };
+        let mut remote_layers: Vec<u8> = if broadcast_remote {
+            clusters
+                .iter()
+                .map(|cl| self.layout.cluster_layer(*cl))
+                .filter(|l| *l != my_layer)
+                .collect()
+        } else {
+            Vec::new()
+        };
+        remote_layers.sort_unstable();
+        remote_layers.dedup();
+        let remote_broadcast_targets = clusters.len() - direct.len();
+        f.obs().emit(Category::Search, || EventData::SearchStep {
+            txn: u64::from(id),
+            step,
+            targets: clusters.len() as u32,
+        });
+        // Every probed tag array answers individually.
+        self.txns
+            .get_mut(id)
+            .expect("live txn")
+            .begin_step(step, (direct.len() + remote_broadcast_targets) as u32);
+        self.counters.tag_accesses += direct.len() as u64;
+        for cl in direct {
+            if cl == local {
+                // The local tag array is directly connected (paper §4.1).
+                let delay = f.tag_delay(cl, now);
+                f.schedule(
+                    now,
+                    delay,
+                    TimedEvent::ProbeResolved {
+                        txn: id,
+                        cluster: cl,
+                    },
+                );
+            } else {
+                f.send(
+                    seat.coord,
+                    self.layout.cluster_center(cl),
+                    TrafficClass::Control,
+                    1,
+                    Token::Probe {
+                        txn: id,
+                        cluster: cl,
+                    },
+                    seat.pillar,
+                );
+            }
+        }
+        for layer in remote_layers {
+            let pillar = seat.pillar.expect("remote layers imply a pillar");
+            f.send(
+                seat.coord,
+                self.layout.pillar_coord(pillar, layer),
+                TrafficClass::Control,
+                1,
+                Token::VerticalProbe {
+                    txn: id,
+                    layer,
+                    step,
+                },
+                seat.pillar,
+            );
+        }
+    }
+
+    /// A tag array finished its lookup for one probe.
+    fn resolve_probe(&mut self, f: &mut impl Fabric, id: TxnId, cluster: ClusterId, now: Cycle) {
+        let Some(t) = self.txns.get(id).copied() else {
+            return;
+        };
+        f.obs().emit(Category::Search, || EventData::Probe {
+            txn: u64::from(id),
+            cluster: u32::from(cluster.0),
+            step: t.step,
+        });
+        let visible = self.l2.locate(t.line);
+        let hit = self.l2.has_copy_at(t.line, cluster);
+        let seat = *self.seat(t.cpu);
+        let local = self.plans[t.cpu.index()].local;
+        let origin = if cluster == local {
+            seat.coord
+        } else {
+            self.center(cluster)
+        };
+        if hit && t.is_searching() {
+            // Serve from the probed cluster when its bank really holds a
+            // copy (primary or replica); a probe that matched only an
+            // in-flight migration entry serves from the current location.
+            let serving =
+                if visible == Some(cluster) || self.l2.replicas_of(t.line).contains(&cluster) {
+                    cluster
+                } else {
+                    visible.expect("a hit implies residency")
+                };
+            self.serve_hit(f, id, origin, serving, now);
+        } else if t.is_searching() {
+            // Miss: tell the requester (local tag arrays answer directly).
+            if origin == seat.coord {
+                self.probe_missed(f, id, now);
+            } else {
+                f.send(
+                    origin,
+                    seat.coord,
+                    TrafficClass::Control,
+                    1,
+                    Token::ProbeMiss { txn: id },
+                    seat.pillar,
+                );
+            }
+        }
+        // Probes resolving after the transaction was served are dropped:
+        // their outcome no longer matters.
+    }
+
+    /// A tag array found the line: forward the request toward the data
+    /// (reads) or tell the writer where to ship its store (writes).
+    fn serve_hit(
+        &mut self,
+        f: &mut impl Fabric,
+        id: TxnId,
+        origin: Coord,
+        serving: ClusterId,
+        now: Cycle,
+    ) {
+        let t = *self.txns.get(id).expect("live txn");
+        f.obs().emit(Category::Search, || EventData::ProbeHit {
+            txn: u64::from(id),
+            cluster: u32::from(serving.0),
+        });
+        self.txns.get_mut(id).expect("live txn").serve_from(serving);
+        let seat = *self.seat(t.cpu);
+        match t.kind {
+            AccessKind::Read | AccessKind::IFetch => {
+                // The tag array forwards the request to the bank; the
+                // data is routed straight to the requester (§4.2.1).
+                let bank = self.bank_coord(serving, t.line);
+                f.send(
+                    origin,
+                    bank,
+                    TrafficClass::Control,
+                    1,
+                    Token::BankFetch { txn: id },
+                    seat.pillar,
+                );
+            }
+            AccessKind::Write => {
+                // The writer must learn the location to ship its data.
+                if origin == seat.coord {
+                    self.write_data_to(f, id, now);
+                } else {
+                    f.send(
+                        origin,
+                        seat.coord,
+                        TrafficClass::Control,
+                        1,
+                        Token::FoundForWrite {
+                            txn: id,
+                            cluster: serving,
+                        },
+                        seat.pillar,
+                    );
+                }
+            }
+        }
+    }
+
+    /// A pillar tag broadcast arrived at one remote layer: fan the probe
+    /// out to every target tag array on that layer, charging each the
+    /// mesh distance from the pillar node.
+    fn vertical_probe_arrived(
+        &mut self,
+        f: &mut impl Fabric,
+        id: TxnId,
+        at: Coord,
+        step: u8,
+        now: Cycle,
+    ) {
+        let Some(t) = self.txns.get(id).copied() else {
+            // The transaction completed already; nothing waits for this
+            // broadcast (no pending entry was created yet).
+            return;
+        };
+        let plan = &self.plans[t.cpu.index()];
+        let set = if step == 1 { &plan.step1 } else { &plan.step2 };
+        let layer = at.layer;
+        let clusters: Vec<ClusterId> = set
+            .iter()
+            .copied()
+            .filter(|cl| self.layout.cluster_layer(*cl) == layer)
+            .collect();
+        debug_assert!(!clusters.is_empty(), "broadcast to a layer with no targets");
+        self.counters.tag_accesses += clusters.len() as u64;
+        for cl in clusters {
+            let fanout = u64::from(at.manhattan_2d(self.center(cl)));
+            let delay = f.tag_delay(cl, now) + fanout;
+            f.schedule(
+                now,
+                delay,
+                TimedEvent::VerticalClusterResolved {
+                    txn: id,
+                    cluster: cl,
+                    layer,
+                },
+            );
+        }
+    }
+
+    /// One remote tag array resolved its share of a pillar broadcast:
+    /// serve a hit, or answer with its own miss reply — every reply
+    /// individually rides the pillar back, which is what loads the bus
+    /// when few pillars serve many CPUs (Fig. 17).
+    fn vertical_cluster_resolved(
+        &mut self,
+        f: &mut impl Fabric,
+        id: TxnId,
+        cluster: ClusterId,
+        _layer: u8,
+        now: Cycle,
+    ) {
+        let Some(t) = self.txns.get(id).copied() else {
+            return;
+        };
+        if !t.is_searching() {
+            return;
+        }
+        let visible = self.l2.locate(t.line);
+        if self.l2.has_copy_at(t.line, cluster) {
+            let serving =
+                if visible == Some(cluster) || self.l2.replicas_of(t.line).contains(&cluster) {
+                    cluster
+                } else {
+                    visible.expect("a hit implies residency")
+                };
+            self.serve_hit(f, id, self.center(cluster), serving, now);
+            return;
+        }
+        let seat = *self.seat(t.cpu);
+        f.send(
+            self.center(cluster),
+            seat.coord,
+            TrafficClass::Control,
+            1,
+            Token::ProbeMiss { txn: id },
+            seat.pillar,
+        );
+    }
+
+    /// A miss answer reached the requester.
+    fn probe_missed(&mut self, f: &mut impl Fabric, id: TxnId, now: Cycle) {
+        let Some(t) = self.txns.get_mut(id) else {
+            return;
+        };
+        match t.note_probe_miss() {
+            MissReply::Ignored | MissReply::StillWaiting => return,
+            MissReply::Exhausted => {}
+        }
+        let t = *t;
+        f.obs().emit(Category::Search, || EventData::ProbeMiss {
+            txn: u64::from(id),
+            step: t.step,
+        });
+        let step2_empty = self.plans[t.cpu.index()].step2.is_empty();
+        let resident = self.l2.locate(t.line).is_some();
+        match after_search_exhausted(t.step, step2_empty, resident, t.retries) {
+            SearchOutcome::NextStep => self.issue_search_step(f, id, 2, now),
+            SearchOutcome::Retry => {
+                self.counters.search_retries += 1;
+                f.obs().emit(Category::Search, || EventData::SearchRetry {
+                    txn: u64::from(id),
+                    attempt: u32::from(t.retries) + 1,
+                });
+                self.txns.get_mut(id).expect("live txn").retries += 1;
+                self.issue_search_step(f, id, 1, now);
+            }
+            SearchOutcome::Memory => self.go_to_memory(f, id, now),
+        }
+    }
+
+    /// The transaction missed everywhere: fetch the line from memory
+    /// (merging concurrent misses on the same line, MSHR-style). Under
+    /// [`MemoryRoute::EdgeControllers`] the request travels over the
+    /// network to the controller nearest the line's home bank, whose
+    /// channel bandwidth limits how fast back-to-back misses drain;
+    /// under [`MemoryRoute::Flat`] the fill simply appears after the
+    /// paper's fixed latency.
+    fn go_to_memory(&mut self, f: &mut impl Fabric, id: TxnId, now: Cycle) {
+        let t = self.txns.get_mut(id).expect("live txn");
+        t.begin_memory_wait();
+        let line = t.line;
+        let cpu = t.cpu;
+        if !self.txns.enqueue_fill(line, id) {
+            return; // an earlier miss on this line already fetches it
+        }
+        f.obs()
+            .emit(Category::Memory, || EventData::MemRequest { line: line.0 });
+        match self.policy.memory_route() {
+            MemoryRoute::EdgeControllers => {
+                let seat = *self.seat(cpu);
+                let mc = self.nearest_mc(self.bank_coord(self.l2.home_cluster(line), line));
+                f.send(
+                    seat.coord,
+                    self.mc_coords[mc],
+                    TrafficClass::Control,
+                    1,
+                    Token::MemRequest { line },
+                    seat.pillar,
+                );
+            }
+            MemoryRoute::Flat { latency } => {
+                f.schedule(now, latency, TimedEvent::MemoryFetched { line });
+            }
+        }
+    }
+
+    /// Index of the memory controller nearest to `c` (2D distance; the
+    /// controllers all sit on layer 0).
+    fn nearest_mc(&self, c: Coord) -> usize {
+        self.mc_coords
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, mc)| c.manhattan_2d(**mc))
+            .map(|(i, _)| i)
+            .expect("at least one memory controller")
+    }
+
+    /// A miss request reached a memory controller: queue behind the
+    /// channel's bandwidth limit, then access DRAM.
+    fn mem_request_arrived(&mut self, f: &mut impl Fabric, line: LineAddr, at: Coord, now: Cycle) {
+        let mc = self
+            .mc_coords
+            .iter()
+            .position(|c| *c == at)
+            .expect("delivery at a memory controller") as u16;
+        let done = f.memory_delay(mc as usize, now);
+        f.schedule(now, done, TimedEvent::MemoryReady { line, mc });
+    }
+
+    /// DRAM answered: ship the line to its home bank.
+    fn memory_ready(&mut self, f: &mut impl Fabric, line: LineAddr, mc: u16) {
+        let home = self.l2.home_cluster(line);
+        let dst = self.bank_coord(home, line);
+        let flits = self.data_flits;
+        f.send(
+            self.mc_coords[mc as usize],
+            dst,
+            TrafficClass::Data,
+            flits,
+            Token::MemFill { line },
+            None,
+        );
+    }
+
+    /// The fill reached the home bank: absorb it, then serve the waiters.
+    fn mem_fill_arrived(&mut self, f: &mut impl Fabric, line: LineAddr, at: Coord, now: Cycle) {
+        let delay = self.bank_delay(f, at, now, true);
+        f.schedule(now, delay, TimedEvent::MemoryFetched { line });
+    }
+
+    /// Off-chip memory delivered the line: place it and serve the waiters.
+    fn memory_fetched(&mut self, f: &mut impl Fabric, line: LineAddr, now: Cycle) {
+        f.obs()
+            .emit(Category::Memory, || EventData::MemFill { line: line.0 });
+        let waiters = self.txns.take_fill_waiters(line);
+        if self.l2.locate(line).is_none() {
+            let placed = self.l2.insert(line);
+            if let Some(victim) = placed.evicted {
+                let from = self.center(placed.cluster);
+                self.handle_l2_eviction(f, victim, from);
+            }
+        }
+        let serving = self.l2.locate(line).expect("just inserted");
+        let bank = self.bank_coord(serving, line);
+        for id in waiters {
+            let Some(t) = self.txns.get(id).copied() else {
+                continue;
+            };
+            match t.kind {
+                AccessKind::Read | AccessKind::IFetch => {
+                    // The fill serves the read directly from the bank.
+                    self.counters.bank_accesses += 1;
+                    let delay = self.bank_delay(f, bank, now, false);
+                    f.schedule(now, delay, TimedEvent::BankReadDone { txn: id, at: bank });
+                }
+                AccessKind::Write => {
+                    let seat = *self.seat(t.cpu);
+                    f.send(
+                        self.center(serving),
+                        seat.coord,
+                        TrafficClass::Control,
+                        1,
+                        Token::FoundForWrite {
+                            txn: id,
+                            cluster: serving,
+                        },
+                        seat.pillar,
+                    );
+                }
+            }
+        }
+    }
+
+    /// The writing CPU ships its store data to the line's current bank.
+    fn write_data_to(&mut self, f: &mut impl Fabric, id: TxnId, now: Cycle) {
+        let Some(t) = self.txns.get(id).copied() else {
+            return;
+        };
+        match self.l2.locate(t.line) {
+            Some(cl) => {
+                let seat = *self.seat(t.cpu);
+                let bank = self.bank_coord(cl, t.line);
+                let flits = self.data_flits;
+                f.send(
+                    seat.coord,
+                    bank,
+                    TrafficClass::Data,
+                    flits,
+                    Token::WriteData { txn: id },
+                    seat.pillar,
+                );
+            }
+            // Evicted between the probe hit and now: fetch it back.
+            None => self.go_to_memory(f, id, now),
+        }
+    }
+
+    /// A forwarded read request reached a bank (or where the bank used to
+    /// hold the line).
+    fn bank_fetch_arrived(&mut self, f: &mut impl Fabric, id: TxnId, at: Coord, now: Cycle) {
+        let Some(t) = self.txns.get(id).copied() else {
+            return;
+        };
+        // A replica bank can serve the read directly.
+        let here = self.layout.cluster_of(at);
+        if self.l2.replicas_of(t.line).contains(&here) && self.bank_coord(here, t.line) == at {
+            self.counters.bank_accesses += 1;
+            let delay = self.bank_delay(f, at, now, false);
+            f.schedule(now, delay, TimedEvent::BankReadDone { txn: id, at });
+            return;
+        }
+        match self.l2.locate(t.line) {
+            None => self.go_to_memory(f, id, now),
+            Some(cl) => {
+                let target = self.bank_coord(cl, t.line);
+                if target == at {
+                    self.counters.bank_accesses += 1;
+                    // The baseline's oracle skips probe latency, so the
+                    // tag check happens at the bank.
+                    let tag = if self.policy.oracle_search() {
+                        f.tag_delay(cl, now)
+                    } else {
+                        0
+                    };
+                    let bank = self.bank_delay(f, at, now, false);
+                    f.schedule(now, tag + bank, TimedEvent::BankReadDone { txn: id, at });
+                } else {
+                    // The line migrated while the request was in flight;
+                    // chase it.
+                    let via = self.via(t.cpu);
+                    f.send(
+                        at,
+                        target,
+                        TrafficClass::Control,
+                        1,
+                        Token::BankFetch { txn: id },
+                        via,
+                    );
+                }
+            }
+        }
+    }
+
+    /// The bank finished reading: route the line to the requester.
+    fn bank_read_done(&mut self, f: &mut impl Fabric, id: TxnId, at: Coord) {
+        let Some(t) = self.txns.get(id).copied() else {
+            return;
+        };
+        self.l2.touch_at(t.line, self.layout.cluster_of(at));
+        let seat = *self.seat(t.cpu);
+        let flits = self.data_flits;
+        f.send(
+            at,
+            seat.coord,
+            TrafficClass::Data,
+            flits,
+            Token::DataToCpu { txn: id },
+            seat.pillar,
+        );
+    }
+
+    /// Store data reached the bank.
+    fn write_data_arrived(&mut self, f: &mut impl Fabric, id: TxnId, at: Coord, now: Cycle) {
+        let Some(t) = self.txns.get(id).copied() else {
+            return;
+        };
+        self.counters.bank_accesses += 1;
+        let tag = if self.policy.oracle_search() {
+            let cl = self
+                .l2
+                .locate(t.line)
+                .unwrap_or(self.l2.home_cluster(t.line));
+            f.tag_delay(cl, now)
+        } else {
+            0
+        };
+        let bank = self.bank_delay(f, at, now, true);
+        f.schedule(now, tag + bank, TimedEvent::BankWritten { txn: id, at });
+    }
+
+    /// The bank committed the store: acknowledge the CPU.
+    fn bank_written(&mut self, f: &mut impl Fabric, id: TxnId, at: Coord) {
+        let Some(t) = self.txns.get(id).copied() else {
+            return;
+        };
+        self.l2.touch(t.line);
+        let seat = *self.seat(t.cpu);
+        f.send(
+            at,
+            seat.coord,
+            TrafficClass::Control,
+            1,
+            Token::WriteAck { txn: id },
+            seat.pillar,
+        );
+    }
+
+    /// The read data arrived at the CPU: the transaction completes.
+    fn complete_read(&mut self, f: &mut impl Fabric, id: TxnId, now: Cycle) {
+        let Some(t) = self.txns.remove(id) else {
+            return;
+        };
+        self.finish_counters(f, &t, now);
+        let evicted = self.cores[t.cpu.index()].data_returned(t.addr);
+        if let Some(ev) = evicted {
+            self.dir.evict(t.cpu, ev);
+        }
+        self.dir.access(t.cpu, t.line, DirAccess::Read);
+        let repeated = self.last_accessor.insert(t.line, t.cpu) == Some(t.cpu);
+        self.maybe_migrate(f, t.cpu, t.line, repeated);
+        self.maybe_replicate(f, t.cpu, t.line);
+    }
+
+    /// The store acknowledgement arrived: the transaction completes and
+    /// other sharers get invalidated (write-through MSI).
+    fn complete_write(&mut self, f: &mut impl Fabric, id: TxnId, now: Cycle) {
+        let Some(t) = self.txns.remove(id) else {
+            return;
+        };
+        self.finish_counters(f, &t, now);
+        self.cores[t.cpu.index()].store_completed();
+        // A store makes every L2 replica stale (replication extension).
+        let src = self.seat(t.cpu).coord;
+        let via = self.via(t.cpu);
+        for rc in self.l2.drop_replicas(t.line) {
+            self.counters.invalidations += 1;
+            let dst = self.center(rc);
+            f.send(
+                src,
+                dst,
+                TrafficClass::Coherence,
+                1,
+                Token::Invalidate { line: t.line },
+                via,
+            );
+        }
+        let outcome = self.dir.access(t.cpu, t.line, DirAccess::Write);
+        for sharer in outcome.invalidations {
+            self.counters.invalidations += 1;
+            let dst = self.seat(sharer).coord;
+            f.send(
+                src,
+                dst,
+                TrafficClass::Coherence,
+                1,
+                Token::Invalidate { line: t.line },
+                via,
+            );
+        }
+        let repeated = self.last_accessor.insert(t.line, t.cpu) == Some(t.cpu);
+        self.maybe_migrate(f, t.cpu, t.line, repeated);
+    }
+
+    fn finish_counters(&mut self, f: &mut impl Fabric, t: &Txn, now: Cycle) {
+        let latency = now - t.issued;
+        self.counters.l2_transactions += 1;
+        let obs = f.obs();
+        if obs.is_enabled() {
+            // Per-cluster hit/miss matrix: requester's local cluster
+            // crossed with the cluster that served (or "miss").
+            let local = self.plans[t.cpu.index()].local.0;
+            match t.state {
+                TxnState::MemoryWait => {
+                    obs.counter_add(&format!("l2/miss_from/{local}"), 1);
+                }
+                TxnState::Serving { cluster } => {
+                    obs.counter_add(&format!("l2/hits/{local}/{}", cluster.0), 1);
+                }
+                TxnState::Searching { .. } => {}
+            }
+            obs.histogram_record("l2/txn_latency", latency);
+        }
+        if t.was_miss() {
+            self.counters.l2_misses += 1;
+            self.counters.miss_latency_sum += latency;
+        } else {
+            self.counters.l2_hits += 1;
+            self.counters.hit_latency_sum += latency;
+            match t.step {
+                2 => {
+                    self.counters.step2_hits += 1;
+                    self.counters.step2_latency_sum += latency;
+                }
+                _ => {
+                    self.counters.step1_hits += 1;
+                    self.counters.step1_latency_sum += latency;
+                }
+            }
+        }
+    }
+
+    /// The L2 dropped a line: invalidate every L1 copy — unless the slot
+    /// held only a replica (the primary copy, and hence the L1s'
+    /// backing, is still resident).
+    pub(crate) fn handle_l2_eviction(
+        &mut self,
+        f: &mut impl Fabric,
+        victim: LineAddr,
+        from: Coord,
+    ) {
+        if self.l2.locate(victim).is_some() {
+            return; // a replica was evicted; the line itself lives on
+        }
+        self.counters.l2_evictions += 1;
+        for sharer in self.dir.invalidate_all(victim) {
+            self.counters.invalidations += 1;
+            let dst = self.seat(sharer).coord;
+            f.send(
+                from,
+                dst,
+                TrafficClass::Coherence,
+                1,
+                Token::Invalidate { line: victim },
+                None,
+            );
+        }
+    }
+
+    /// After a completed access, take one gradual migration step toward
+    /// the accessor (paper §4.2.3) — if the policy migrates at all.
+    ///
+    /// Lines already inside the accessor's step-1 vicinity do not migrate
+    /// (under [`ProtocolPolicy::vicinity_stop`]) — their access latency
+    /// is already low, which is exactly why the 3D topology "exercises
+    /// [migration] much less frequently ... due to the increased
+    /// locality (see Figure 8)" (§5.2): in 3D the vicinity spans whole
+    /// layers. The exception is data accessed repeatedly by a single
+    /// processor (`repeated`), which keeps migrating until it reaches
+    /// that processor's local cluster.
+    fn maybe_migrate(&mut self, f: &mut impl Fabric, cpu: CpuId, line: LineAddr, repeated: bool) {
+        if !self.policy.migrates() {
+            return;
+        }
+        let Some(cur) = self.l2.locate(line) else {
+            return;
+        };
+        if self.l2.migration_of(line).is_some() {
+            return;
+        }
+        let seat = *self.seat(cpu);
+        let acc_cluster = self.layout.cluster_of(seat.coord);
+        if cur == acc_cluster {
+            return;
+        }
+        if self.policy.vicinity_stop() && !repeated && self.plans[cpu.index()].step1.contains(&cur)
+        {
+            return;
+        }
+        let cluster_cpus = &self.cluster_cpus;
+        let own_bit = 1u64 << cpu.index();
+        let occupied = move |cl: ClusterId| cluster_cpus[cl.index()] & !own_bit != 0;
+        let Some(to) =
+            self.policy
+                .migration_step(&self.layout, cur, acc_cluster, seat.pillar, &occupied)
+        else {
+            return;
+        };
+        if self.l2.begin_migration(line, to).is_ok() {
+            let src = self.bank_coord(cur, line);
+            let dst = self.bank_coord(to, line);
+            // Reading the source bank and writing the destination bank.
+            self.counters.bank_accesses += 2;
+            let flits = self.data_flits;
+            f.send(
+                src,
+                dst,
+                TrafficClass::Migration,
+                flits,
+                Token::MigrationMove { line },
+                None,
+            );
+        }
+    }
+
+    /// After a completed read, optionally install a read-only replica of
+    /// a shared line in the reader's local cluster (the NuRapid /
+    /// victim-replication alternative of §1–§2; off by default).
+    fn maybe_replicate(&mut self, f: &mut impl Fabric, cpu: CpuId, line: LineAddr) {
+        if !self.policy.replication() {
+            return;
+        }
+        let Some(primary) = self.l2.locate(line) else {
+            return;
+        };
+        let local = self.plans[cpu.index()].local;
+        if primary == local
+            || self.l2.has_copy_at(line, local)
+            || self.l2.migration_of(line).is_some()
+            || self.l2.replicas_of(line).len() >= 2
+            || self.dir.sharers(line).len() < 2
+        {
+            return;
+        }
+        self.counters.replicas_created += 1;
+        self.counters.bank_accesses += 1; // source bank read for the copy
+        let src = self.bank_coord(primary, line);
+        let dst = self.bank_coord(local, line);
+        let flits = self.data_flits;
+        f.send(
+            src,
+            dst,
+            TrafficClass::Data,
+            flits,
+            Token::ReplicaFill {
+                line,
+                cluster: local,
+            },
+            self.via(cpu),
+        );
+    }
+
+    /// A replica copy reached its new bank.
+    fn replica_arrived(
+        &mut self,
+        f: &mut impl Fabric,
+        line: LineAddr,
+        cluster: ClusterId,
+        at: Coord,
+        now: Cycle,
+    ) {
+        let delay = self.bank_delay(f, at, now, true);
+        f.schedule(now, delay, TimedEvent::ReplicaInstalled { line, cluster });
+    }
+
+    /// The new bank absorbed the replica: publish it in the tag array.
+    fn replica_installed(&mut self, f: &mut impl Fabric, line: LineAddr, cluster: ClusterId) {
+        // The line may have been written, evicted, or already replicated
+        // while the copy was in flight; install only if still sensible.
+        if self.l2.migration_of(line).is_some() {
+            return;
+        }
+        if let Ok(placed) = self.l2.add_replica(line, cluster) {
+            if let Some(victim) = placed.evicted {
+                let from = self.center(cluster);
+                self.handle_l2_eviction(f, victim, from);
+            }
+        }
+    }
+
+    /// The migrating line arrived at the destination bank.
+    fn migration_arrived(&mut self, f: &mut impl Fabric, line: LineAddr, now: Cycle) {
+        // The destination bank absorbs the line when its port frees up.
+        let at = match self.l2.migration_of(line) {
+            Some(to) => self.bank_coord(to, line),
+            None => return, // aborted in flight
+        };
+        let delay = self.bank_delay(f, at, now, true);
+        f.schedule(now, delay, TimedEvent::MigrationDone { line });
+    }
+
+    /// The destination bank finished absorbing the line: commit.
+    fn migration_done(&mut self, f: &mut impl Fabric, line: LineAddr) {
+        match self.l2.commit_migration(line) {
+            Ok(outcome) => {
+                self.counters.migrations += 1;
+                if let Some(victim) = outcome.evicted {
+                    let from = self.center(outcome.to);
+                    self.handle_l2_eviction(f, victim, from);
+                }
+            }
+            Err(_) => {
+                // Aborted mid-flight (the line was evicted); nothing to do.
+            }
+        }
+    }
+
+    /// A timed event came due.
+    pub(crate) fn handle_event(&mut self, f: &mut impl Fabric, ev: TimedEvent, now: Cycle) {
+        match ev {
+            TimedEvent::ProbeResolved { txn, cluster } => self.resolve_probe(f, txn, cluster, now),
+            TimedEvent::VerticalClusterResolved {
+                txn,
+                cluster,
+                layer,
+            } => self.vertical_cluster_resolved(f, txn, cluster, layer, now),
+            TimedEvent::BankReadDone { txn, at } => self.bank_read_done(f, txn, at),
+            TimedEvent::BankWritten { txn, at } => self.bank_written(f, txn, at),
+            TimedEvent::MemoryReady { line, mc } => self.memory_ready(f, line, mc),
+            TimedEvent::MemoryFetched { line } => self.memory_fetched(f, line, now),
+            TimedEvent::MigrationDone { line } => self.migration_done(f, line),
+            TimedEvent::ReplicaInstalled { line, cluster } => {
+                self.replica_installed(f, line, cluster)
+            }
+        }
+    }
+
+    /// A packet reached its destination's local port.
+    pub(crate) fn handle_delivered(&mut self, f: &mut impl Fabric, d: Delivered, now: Cycle) {
+        match Token::decode(d.token) {
+            Token::Probe { txn, cluster } => {
+                let delay = f.tag_delay(cluster, now);
+                f.schedule(now, delay, TimedEvent::ProbeResolved { txn, cluster });
+            }
+            Token::VerticalProbe {
+                txn,
+                layer: _,
+                step,
+            } => {
+                self.vertical_probe_arrived(f, txn, d.dst, step, now);
+            }
+            Token::ProbeMiss { txn } => self.probe_missed(f, txn, now),
+            Token::BankFetch { txn } => self.bank_fetch_arrived(f, txn, d.dst, now),
+            Token::DataToCpu { txn } => self.complete_read(f, txn, now),
+            Token::FoundForWrite { txn, cluster: _ } => self.write_data_to(f, txn, now),
+            Token::WriteData { txn } => self.write_data_arrived(f, txn, d.dst, now),
+            Token::WriteAck { txn } => self.complete_write(f, txn, now),
+            Token::MigrationMove { line } => self.migration_arrived(f, line, now),
+            Token::ReplicaFill { line, cluster } => {
+                self.replica_arrived(f, line, cluster, d.dst, now)
+            }
+            Token::MemRequest { line } => self.mem_request_arrived(f, line, d.dst, now),
+            Token::MemFill { line } => self.mem_fill_arrived(f, line, d.dst, now),
+            Token::Invalidate { line } => {
+                if let Some(&cpu) = self.cpu_at.get(&d.dst) {
+                    self.cores[cpu.index()].invalidate(line);
+                }
+            }
+        }
+    }
+
+    // ----- warm-up --------------------------------------------------------
+
+    /// Installs the workload's working set before simulation, standing in
+    /// for the paper's 500 M-cycle warm-up run: the shared region goes to
+    /// the L2 at its home clusters; each CPU's private regions go where
+    /// the migration policy would have pulled them by the end of the
+    /// warm-up (for migrating schemes) or to their home clusters (for the
+    /// static scheme); hot and code sets additionally fill the owning
+    /// CPU's L1s, with the directory kept consistent. Pure state setup —
+    /// no cycles pass, no packets fly.
+    pub(crate) fn prewarm(&mut self, profile: &BenchmarkProfile) {
+        let line_bytes = self.line_bytes;
+        let install = |eng: &mut Engine, addr: nim_types::Address, owner: Option<CpuId>| {
+            let line = addr.line(line_bytes);
+            if eng.l2.locate(line).is_none() {
+                let cluster = match owner {
+                    Some(cpu) if eng.policy.migrates() => {
+                        eng.steady_cluster(cpu, eng.l2.home_cluster(line))
+                    }
+                    _ => eng.l2.home_cluster(line),
+                };
+                let placed = eng.l2.insert_at(line, cluster);
+                if let Some(victim) = placed.evicted {
+                    for sharer in eng.dir.invalidate_all(victim) {
+                        eng.cores[sharer.index()].invalidate(victim);
+                    }
+                }
+            }
+            line
+        };
+        // Bulk data first so later hot/code installs win any conflicts.
+        for addr in shared_region(profile).line_addrs().collect::<Vec<_>>() {
+            install(self, addr, None);
+        }
+        for i in 0..self.cores.len() {
+            let cpu = CpuId::from_index(i);
+            let regions = cpu_regions(profile, cpu);
+            for addr in regions.stream.line_addrs().collect::<Vec<_>>() {
+                install(self, addr, Some(cpu));
+            }
+        }
+        for i in 0..self.cores.len() {
+            let cpu = CpuId::from_index(i);
+            let regions = cpu_regions(profile, cpu);
+            for addr in regions.hot.line_addrs().collect::<Vec<_>>() {
+                let line = install(self, addr, Some(cpu));
+                if let Some(evicted) = self.cores[i].prefill(addr, AccessKind::Read) {
+                    self.dir.evict(cpu, evicted);
+                }
+                self.dir.access(cpu, line, DirAccess::Read);
+            }
+            for addr in regions.code.line_addrs().collect::<Vec<_>>() {
+                install(self, addr, Some(cpu));
+                self.cores[i].prefill(addr, AccessKind::IFetch);
+            }
+        }
+    }
+
+    /// Where the migration policy eventually parks a line that starts in
+    /// `from` and is accessed only by `cpu` (the fixed point of repeated
+    /// single-step migrations).
+    fn steady_cluster(&self, cpu: CpuId, from: ClusterId) -> ClusterId {
+        let seat = self.seats[cpu.index()];
+        let acc_cluster = self.layout.cluster_of(seat.coord);
+        let own_bit = 1u64 << cpu.index();
+        let cluster_cpus = &self.cluster_cpus;
+        let occupied = move |cl: ClusterId| cluster_cpus[cl.index()] & !own_bit != 0;
+        let mut cur = from;
+        for _ in 0..64 {
+            match self
+                .policy
+                .migration_step(&self.layout, cur, acc_cluster, seat.pillar, &occupied)
+            {
+                Some(next) => cur = next,
+                None => break,
+            }
+        }
+        cur
+    }
+}

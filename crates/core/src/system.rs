@@ -1,46 +1,42 @@
-//! System assembly and the integrated cycle-accurate simulation loop.
+//! The integrated cycle-accurate simulation loop.
 //!
-//! A [`System`] wires every substrate together — cores and their L1s, the
-//! directory, the NUCA L2, and the 3D network — and advances them in
-//! lock-step, one clock cycle at a time. L2 transactions are distributed
-//! state machines: tag probes, forwarded requests, data returns, store
-//! acknowledgements, migrations, and invalidations are all real packets
-//! contending on the network, while tag/bank/memory latencies are timed
-//! events. The simulation fast-forwards through quiet stretches (all
-//! cores computing, network empty) without losing cycle accuracy.
+//! A [`System`] is a thin driver over three explicit layers: the
+//! protocol engine ([`protocol`](crate::protocol) — every L2 transition
+//! plus the scheme's [`ProtocolPolicy`](crate::policy::ProtocolPolicy)
+//! bound at build time), the typed transaction table
+//! ([`txn`](crate::txn)), and the simulation fabric
+//! ([`fabric`](crate::fabric) — the 3D NoC, the timed-event heap, and
+//! the contention models of [`timing`](crate::timing)). The driver owns
+//! the clock: it advances everything in lock-step one cycle at a time,
+//! feeds due events and delivered packets to the engine, ticks the
+//! cores, and fast-forwards through quiet stretches without losing
+//! cycle accuracy. Assembly lives in [`SystemBuilder`].
+//!
+//! [`SystemBuilder`]: crate::SystemBuilder
 
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 
-use nim_cache::{migration_target, NucaL2, SearchPlan};
-use nim_coherence::{DirAccess, Directory, WritePolicy};
-use nim_cpu::{CoreAction, InOrderCore, MemRequest};
-use nim_noc::{Delivered, Network, SendRequest, TrafficClass, VerticalMode};
-use nim_obs::{Category, EventData, Obs};
+use nim_cpu::{CoreAction, InOrderCore};
+use nim_noc::Network;
+use nim_obs::Obs;
 use nim_topology::{ChipLayout, CpuSeat};
-use nim_types::{
-    AccessKind, Address, ClusterId, Coord, CpuId, Cycle, FxHashMap, LineAddr, PillarId,
-    SystemConfig,
-};
-use nim_workload::{cpu_regions, shared_region, BenchmarkProfile, TraceGenerator, TraceSource};
+use nim_types::{ClusterId, CpuId, Cycle, SystemConfig};
+use nim_workload::{BenchmarkProfile, TraceGenerator, TraceSource};
 
-use crate::error::{BuildError, RunError};
+use crate::error::RunError;
+use crate::fabric::SimFabric;
+use crate::protocol::Engine;
 use crate::report::{Counters, RunReport};
 use crate::scheme::Scheme;
-use crate::token::{TimedEvent, Token, TxnId};
 
 /// Cycles without a completed transaction before declaring a stall.
 const WATCHDOG_CYCLES: u64 = 2_000_000;
-
-/// Cycles between successive probe initiations at one (pipelined) tag
-/// array — concurrent searches crowding a cluster's tag array queue up.
-const TAG_INITIATION: u64 = 2;
 
 /// Reused buffers for the per-epoch observability snapshot: the column
 /// names are formatted once per run and the value/occupancy vectors are
 /// recycled, so steady-state sampling allocates nothing per epoch.
 #[derive(Clone, Debug, Default)]
-struct SampleBuf {
+pub(crate) struct SampleBuf {
     /// Column names, laid out as: one per pillar, one per cluster, then
     /// the fixed counter names. Empty until the first sample.
     names: Vec<String>,
@@ -60,308 +56,26 @@ const SAMPLE_COUNTERS: [&str; 5] = [
     "net/flit_hops",
 ];
 
-/// One in-flight L2 transaction.
-#[derive(Clone, Copy, Debug)]
-struct Txn {
-    cpu: CpuId,
-    kind: AccessKind,
-    addr: Address,
-    line: LineAddr,
-    issued: Cycle,
-    /// Unanswered probes in the current search step.
-    outstanding: u32,
-    /// Current search step (1 or 2).
-    step: u8,
-    /// A probe already hit and the service path is running.
-    served: bool,
-    /// The transaction went (or is going) to memory.
-    was_miss: bool,
-    /// Search step that found the line (0 until served).
-    serve_step: u8,
-    /// Search restarts after racing a migration.
-    retries: u8,
-    /// Cluster that served the hit (`u16::MAX` until known) — feeds the
-    /// per-cluster hit matrix in the metrics registry.
-    serve_cluster: u16,
-}
-
-/// Configures and creates a [`System`].
-///
-/// ```
-/// use nim_core::{Scheme, SystemBuilder};
-///
-/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
-/// let system = SystemBuilder::new(Scheme::CmpSnuca3d)
-///     .seed(7)
-///     .sampled_transactions(500)
-///     .build()?;
-/// assert_eq!(system.scheme(), Scheme::CmpSnuca3d);
-/// # Ok(())
-/// # }
-/// ```
-#[derive(Clone, Debug)]
-pub struct SystemBuilder {
-    scheme: Scheme,
-    cfg: SystemConfig,
-    seed: u64,
-    warmup: u64,
-    sample: u64,
-    prewarm: bool,
-    vicinity_stop: bool,
-    replication: bool,
-    edge_memory: bool,
-    skip: bool,
-    obs: Obs,
-}
-
-impl SystemBuilder {
-    /// Starts from the paper's Table 4 configuration.
-    pub fn new(scheme: Scheme) -> Self {
-        Self {
-            scheme,
-            cfg: SystemConfig::default(),
-            seed: 42,
-            warmup: 1_000,
-            sample: 10_000,
-            prewarm: true,
-            vicinity_stop: true,
-            replication: false,
-            edge_memory: false,
-            skip: std::env::var_os("NIM_NO_SKIP").is_none(),
-            obs: Obs::disabled(),
-        }
-    }
-
-    /// Replaces the whole system configuration.
-    pub fn config(mut self, cfg: SystemConfig) -> Self {
-        self.cfg = cfg;
-        self
-    }
-
-    /// Number of device layers (3D schemes only; 2D schemes always
-    /// flatten to one layer).
-    pub fn layers(mut self, layers: u8) -> Self {
-        self.cfg.network.layers = layers;
-        self
-    }
-
-    /// Number of vertical pillars.
-    pub fn pillars(mut self, pillars: u16) -> Self {
-        self.cfg.network.pillars = pillars;
-        self
-    }
-
-    /// Scales the L2 capacity by a power-of-two factor (Fig. 16: wider
-    /// clusters, same cluster count and associativity).
-    pub fn l2_scale(mut self, factor: u32) -> Self {
-        self.cfg.l2 = self.cfg.l2.scaled(factor);
-        self
-    }
-
-    /// Workload seed (runs are deterministic per seed).
-    pub fn seed(mut self, seed: u64) -> Self {
-        self.seed = seed;
-        self
-    }
-
-    /// Transactions to complete before measurement starts.
-    pub fn warmup_transactions(mut self, n: u64) -> Self {
-        self.warmup = n;
-        self
-    }
-
-    /// Transactions measured after warm-up.
-    pub fn sampled_transactions(mut self, n: u64) -> Self {
-        self.sample = n;
-        self
-    }
-
-    /// Whether to pre-install the workload's working set in the L2 and
-    /// the hot/code sets in the L1s before simulating (replaces the
-    /// paper's 500 M-cycle cache warm-up phase; default on).
-    pub fn prewarm(mut self, on: bool) -> Self {
-        self.prewarm = on;
-        self
-    }
-
-    /// Ablation knob: when disabled, lines migrate on *every* access by a
-    /// non-local CPU, even when they already sit inside the accessor's
-    /// search vicinity. The paper's policy (default on) skips those
-    /// migrations — "the increased locality" is why 3D migrates less
-    /// (§5.2, Fig. 14).
-    pub fn vicinity_stop(mut self, on: bool) -> Self {
-        self.vicinity_stop = on;
-        self
-    }
-
-    /// Extension: replicate read-shared lines into the reader's local
-    /// cluster (the NuRapid / victim-replication alternative the paper's
-    /// §1–§2 discusses). Replicas serve subsequent local reads; any write
-    /// invalidates them. Off by default — the paper's design relies on
-    /// migration alone.
-    pub fn replication(mut self, on: bool) -> Self {
-        self.replication = on;
-        self
-    }
-
-    /// Extension: route L2 misses over the network to edge memory
-    /// controllers with per-channel bandwidth limits
-    /// (`SystemConfig::{memory_controllers, memory_interval}`), instead
-    /// of the paper's flat 260-cycle memory latency. Off by default so
-    /// the headline experiments match the paper's memory model.
-    pub fn edge_memory_controllers(mut self, on: bool) -> Self {
-        self.edge_memory = on;
-        self
-    }
-
-    /// Whether the main loop may batch-advance the clock through spans
-    /// it can prove are dead (no network phase fires, no timed event is
-    /// due, no core needs a tick). On by default; the `NIM_NO_SKIP`
-    /// environment variable (any value) flips the default off, forcing
-    /// the naive one-tick-per-cycle loop. Results are bit-identical
-    /// either way — skipping only elides cycles in which nothing
-    /// observable happens (`noc_skip_equivalence` asserts this).
-    pub fn horizon_skipping(mut self, on: bool) -> Self {
-        self.skip = on;
-        self
-    }
-
-    /// Attaches an observability handle (see [`nim_obs::Obs`]): the
-    /// network, NUCA L2, directory, and the system's own transaction
-    /// machinery all emit trace events and metrics through it. The
-    /// default is a disabled handle costing one branch per site.
-    pub fn observability(mut self, obs: Obs) -> Self {
-        self.obs = obs;
-        self
-    }
-
-    /// Builds the system.
-    ///
-    /// # Errors
-    ///
-    /// Returns a [`BuildError`] if the configuration, topology, or CPU
-    /// placement is invalid.
-    pub fn build(self) -> Result<System, BuildError> {
-        let cfg = if self.scheme.is_3d() {
-            self.cfg
-        } else {
-            self.cfg.flattened()
-        };
-        cfg.validate()?;
-        let layout = ChipLayout::new(&cfg)?;
-        let share_pillars =
-            cfg.network.layers > 1 && u32::from(layout.num_pillars()) < cfg.num_cpus;
-        let policy = self.scheme.placement(share_pillars);
-        let seats = policy.place(&layout, cfg.num_cpus)?;
-        let plans = seats
-            .iter()
-            .map(|s| SearchPlan::new(&layout, layout.cluster_of(s.coord)))
-            .collect();
-        let mut cluster_cpus = vec![0u64; layout.num_clusters() as usize];
-        let mut cpu_at = FxHashMap::default();
-        for seat in &seats {
-            cluster_cpus[layout.cluster_of(seat.coord).index()] |= 1 << seat.cpu.index();
-            cpu_at.insert(seat.coord, seat.cpu);
-        }
-        let mut net = Network::new(&layout, &cfg.network, VerticalMode::Pillars);
-        net.set_obs(self.obs.clone());
-        let mut l2 = NucaL2::new(&cfg.l2);
-        l2.set_obs(self.obs.clone());
-        let mut dir = Directory::new(cfg.num_cpus, WritePolicy::WriteThrough);
-        dir.set_obs(self.obs.clone());
-        let cores = seats
-            .iter()
-            .map(|s| InOrderCore::new(s.cpu, &cfg.l1))
-            .collect();
-        Ok(System {
-            scheme: self.scheme,
-            cfg,
-            seats,
-            plans,
-            cluster_cpus,
-            cpu_at,
-            net,
-            l2,
-            dir,
-            cores,
-            txns: FxHashMap::default(),
-            next_txn: 0,
-            events: BinaryHeap::new(),
-            next_seq: 0,
-            pending_fills: FxHashMap::default(),
-            last_accessor: FxHashMap::default(),
-            tag_busy: vec![0; layout.num_clusters() as usize],
-            bank_busy: vec![0; layout.num_nodes()],
-            bank_access_counts: vec![0; layout.num_nodes()],
-            mc_coords: layout.memory_controller_coords(cfg.memory_controllers),
-            mc_ready: vec![0; cfg.memory_controllers as usize],
-            layout,
-            counters: Counters::default(),
-            sample_buf: SampleBuf::default(),
-            seed: self.seed,
-            warmup: self.warmup,
-            sample: self.sample,
-            prewarm: self.prewarm,
-            vicinity_stop: self.vicinity_stop,
-            replication: self.replication,
-            edge_memory: self.edge_memory,
-            skip: self.skip,
-            obs: self.obs,
-        })
-    }
-}
-
 /// The assembled chip multiprocessor.
 #[derive(Debug)]
 pub struct System {
-    scheme: Scheme,
-    cfg: SystemConfig,
-    layout: ChipLayout,
-    seats: Vec<CpuSeat>,
-    plans: Vec<SearchPlan>,
-    /// Bitmask of CPUs seated in each cluster.
-    cluster_cpus: Vec<u64>,
-    cpu_at: FxHashMap<Coord, CpuId>,
-    net: Network,
-    l2: NucaL2,
-    dir: Directory,
-    cores: Vec<InOrderCore>,
-    /// Live transactions. Keyed by the simulation's own dense ids, so the
-    /// map (like every other per-transaction map here) runs on
-    /// [`FxHashMap`] — SipHash dominated the lookup cost on this path.
-    txns: FxHashMap<TxnId, Txn>,
-    next_txn: TxnId,
-    events: BinaryHeap<Reverse<(u64, u64, TimedEvent)>>,
-    next_seq: u64,
-    pending_fills: FxHashMap<LineAddr, Vec<TxnId>>,
-    /// CPU that last accessed each line (drives the migration trigger).
-    last_accessor: FxHashMap<LineAddr, CpuId>,
-    /// Cycle until which each cluster's tag array is occupied (tag
-    /// arrays accept one new probe every [`TAG_INITIATION`] cycles).
-    tag_busy: Vec<u64>,
-    /// Cycle until which each bank is occupied (one access at a time).
-    bank_busy: Vec<u64>,
-    /// Accesses performed by each bank (node-indexed), for
-    /// activity-driven power and thermal analysis.
-    bank_access_counts: Vec<u64>,
-    /// Memory-controller positions (edges of layer 0).
-    mc_coords: Vec<Coord>,
-    /// Earliest cycle each controller can accept its next request
-    /// (channel-bandwidth limit).
-    mc_ready: Vec<u64>,
-    counters: Counters,
+    pub(crate) scheme: Scheme,
+    pub(crate) cfg: SystemConfig,
+    /// The protocol engine: chip state + every L2 transition.
+    pub(crate) engine: Engine,
+    /// The simulation substrate: NoC, event heap, contention models.
+    pub(crate) fabric: SimFabric,
     /// Reused epoch-sampling buffers (names formatted once per run).
-    sample_buf: SampleBuf,
-    seed: u64,
-    warmup: u64,
-    sample: u64,
-    prewarm: bool,
-    vicinity_stop: bool,
-    replication: bool,
-    edge_memory: bool,
+    pub(crate) sample_buf: SampleBuf,
+    pub(crate) seed: u64,
+    pub(crate) warmup: u64,
+    pub(crate) sample: u64,
+    pub(crate) prewarm: bool,
     /// Dead-cycle elision enabled (see [`SystemBuilder::horizon_skipping`]).
-    skip: bool,
-    obs: Obs,
+    ///
+    /// [`SystemBuilder::horizon_skipping`]: crate::SystemBuilder::horizon_skipping
+    pub(crate) skip: bool,
+    pub(crate) obs: Obs,
 }
 
 impl System {
@@ -377,12 +91,12 @@ impl System {
 
     /// The chip geometry.
     pub fn layout(&self) -> &ChipLayout {
-        &self.layout
+        &self.engine.layout
     }
 
     /// Where the CPUs ended up.
     pub fn seats(&self) -> &[CpuSeat] {
-        &self.seats
+        &self.engine.seats
     }
 
     /// Accesses each bank performed so far, indexed like
@@ -390,12 +104,12 @@ impl System {
     /// per-bank power for thermal analysis (the paper's closing
     /// discussion points at exactly this coupling).
     pub fn bank_access_counts(&self) -> &[u64] {
-        &self.bank_access_counts
+        self.fabric.bank_access_counts()
     }
 
     /// The on-chip network, for utilisation and congestion analysis.
     pub fn network(&self) -> &Network {
-        &self.net
+        &self.fabric.net
     }
 
     /// The observability handle attached at build time (disabled by
@@ -412,8 +126,8 @@ impl System {
     /// Returns [`RunError::Stalled`] if the system makes no forward
     /// progress (a protocol bug — should never happen).
     pub fn run(&mut self, profile: &BenchmarkProfile) -> Result<RunReport, RunError> {
-        if self.prewarm && self.l2.occupancy() == 0 {
-            self.prewarm_state(profile);
+        if self.prewarm && self.engine.l2.occupancy() == 0 {
+            self.engine.prewarm(profile);
         }
         let mut gen = TraceGenerator::new(profile, self.cfg.num_cpus, self.seed);
         self.run_with_source(profile.name, &mut gen)
@@ -423,7 +137,7 @@ impl System {
     /// [`TraceGenerator`], a recorded
     /// [`ReplayTrace`](nim_workload::ReplayTrace), or a test stub. The
     /// caller is responsible for any pre-warming when replaying (use
-    /// [`SystemBuilder::prewarm`] + [`System::run`] for the synthetic
+    /// [`SystemBuilder::prewarm`](crate::SystemBuilder::prewarm) + [`System::run`] for the synthetic
     /// path).
     ///
     /// # Errors
@@ -439,97 +153,105 @@ impl System {
         let target = self.warmup + self.sample;
         let mut warmed = self.warmup == 0;
         let mut window_start: Option<(Counters, u64, u64)> = if warmed {
-            Some((self.counters, self.net.now().0, self.total_instructions()))
+            Some((
+                self.engine.counters,
+                self.fabric.net.now().0,
+                self.total_instructions(),
+            ))
         } else {
             None
         };
-        let mut last_progress = self.net.now().0;
-        let mut last_count = self.counters.l2_transactions;
+        let mut last_progress = self.fabric.net.now().0;
+        let mut last_count = self.engine.counters.l2_transactions;
         let mut delivered = Vec::new();
-        while self.counters.l2_transactions < target {
+        while self.engine.counters.l2_transactions < target {
             // A dried-up trace (every core halted) with nothing in flight
             // can never make progress; report it without spinning the
             // watchdog out.
-            if self.net.is_idle()
-                && self.events.is_empty()
-                && self.txns.is_empty()
-                && self.cores.iter().all(InOrderCore::is_halted)
+            if self.fabric.net.is_idle()
+                && self.fabric.events.is_empty()
+                && self.engine.txns.is_empty()
+                && self.engine.cores.iter().all(InOrderCore::is_halted)
             {
                 return Err(RunError::Stalled {
-                    cycle: self.net.now().0,
-                    completed: self.counters.l2_transactions,
+                    cycle: self.fabric.net.now().0,
+                    completed: self.engine.counters.l2_transactions,
                 });
             }
-            if self.net.now().0 - last_progress > WATCHDOG_CYCLES {
+            if self.fabric.net.now().0 - last_progress > WATCHDOG_CYCLES {
                 return Err(RunError::Stalled {
-                    cycle: self.net.now().0,
-                    completed: self.counters.l2_transactions,
+                    cycle: self.fabric.net.now().0,
+                    completed: self.engine.counters.l2_transactions,
                 });
             }
             self.try_fast_forward();
-            self.net.tick();
-            let now = self.net.now();
+            self.fabric.net.tick();
+            let now = self.fabric.net.now();
             if self.obs.sample_due(now.0) {
                 self.record_obs_sample(now.0);
             }
             // Timed events due this cycle.
-            while let Some(&Reverse((due, _, _))) = self.events.peek() {
+            while let Some(&Reverse((due, _, _))) = self.fabric.events.peek() {
                 if due > now.0 {
                     break;
                 }
-                let Reverse((_, _, ev)) = self.events.pop().expect("peeked");
-                self.handle_event(ev, now);
+                let Reverse((_, _, ev)) = self.fabric.events.pop().expect("peeked");
+                self.engine.handle_event(&mut self.fabric, ev, now);
             }
             // Network deliveries.
-            if self.net.has_deliveries() {
-                self.net.drain_delivered_into(&mut delivered);
+            if self.fabric.net.has_deliveries() {
+                self.fabric.net.drain_delivered_into(&mut delivered);
                 for d in delivered.drain(..) {
-                    self.handle_delivered(d, now);
+                    self.engine.handle_delivered(&mut self.fabric, d, now);
                 }
             }
             // Cores. Halted cores are skipped outright: `tick` on a
             // halted core is a no-op (it returns before touching stats),
             // so eliding the call is bit-identical and keeps drained
             // cores from costing a call per cycle for the rest of a run.
-            for i in 0..self.cores.len() {
-                if self.cores[i].is_halted() {
+            for i in 0..self.engine.cores.len() {
+                if self.engine.cores[i].is_halted() {
                     continue;
                 }
                 let cpu = CpuId::from_index(i);
-                let action = self.cores[i].tick(&mut || source.next_for(cpu));
+                let action = self.engine.cores[i].tick(&mut || source.next_for(cpu));
                 if let CoreAction::Request(req) = action {
-                    self.handle_request(req, now);
+                    self.engine.handle_request(&mut self.fabric, req, now);
                 }
             }
-            if self.counters.l2_transactions != last_count {
-                last_count = self.counters.l2_transactions;
+            if self.engine.counters.l2_transactions != last_count {
+                last_count = self.engine.counters.l2_transactions;
                 last_progress = now.0;
             }
-            if !warmed && self.counters.l2_transactions >= self.warmup {
+            if !warmed && self.engine.counters.l2_transactions >= self.warmup {
                 warmed = true;
-                window_start = Some((self.counters, now.0, self.total_instructions()));
+                window_start = Some((self.engine.counters, now.0, self.total_instructions()));
             }
         }
         let (start_counters, start_cycle, start_instr) =
             window_start.expect("sampling window started");
         let mut bus = Vec::new();
-        self.net.bus_stats_into(&mut bus);
+        self.fabric.net.bus_stats_into(&mut bus);
         self.publish_obs_metrics(&bus);
         Ok(RunReport {
             scheme: self.scheme,
             benchmark: benchmark.to_string(),
-            cycles: self.net.now().0 - start_cycle,
+            cycles: self.fabric.net.now().0 - start_cycle,
             instructions: self.total_instructions() - start_instr,
             num_cpus: self.cfg.num_cpus,
-            counters: self.counters.minus(&start_counters),
-            network: self.net.stats().clone(),
+            counters: self.engine.counters.minus(&start_counters),
+            network: self.fabric.net.stats().clone(),
             bus_transfers: bus.iter().map(|b| b.transfers).sum(),
             bus_contention_cycles: bus.iter().map(|b| b.contention_cycles).sum(),
         })
     }
 
     fn total_instructions(&self) -> u64 {
-        self.cores.iter().map(|c| c.stats().instructions).sum()
+        self.engine
+            .cores
+            .iter()
+            .map(|c| c.stats().instructions)
+            .sum()
     }
 
     /// Snapshots the live state the epoch sampler tracks: per-pillar bus
@@ -538,26 +260,28 @@ impl System {
     /// names are formatted once on the first epoch; afterwards every
     /// snapshot reuses [`SampleBuf`]'s vectors and allocates nothing.
     fn record_obs_sample(&mut self, now: u64) {
-        self.net.bus_occupancies_into(&mut self.sample_buf.occ);
+        self.fabric
+            .net
+            .bus_occupancies_into(&mut self.sample_buf.occ);
         let SampleBuf { names, values, occ } = &mut self.sample_buf;
         if names.is_empty() {
             for i in 0..occ.len() {
                 names.push(format!("pillar/{i}/occupancy"));
             }
-            for cl in 0..self.layout.num_clusters() {
+            for cl in 0..self.engine.layout.num_clusters() {
                 names.push(format!("cluster/{cl}/occupancy"));
             }
             names.extend(SAMPLE_COUNTERS.iter().map(|n| (*n).to_string()));
         }
         values.clear();
         values.extend(occ.iter().map(|&o| o as f64));
-        for cl in 0..self.layout.num_clusters() {
-            values.push(self.l2.cluster_occupancy(ClusterId(cl)) as f64);
+        for cl in 0..self.engine.layout.num_clusters() {
+            values.push(self.engine.l2.cluster_occupancy(ClusterId(cl)) as f64);
         }
-        let net = self.net.stats();
-        values.push(self.counters.l2_hits as f64);
-        values.push(self.counters.l2_misses as f64);
-        values.push(self.counters.migrations as f64);
+        let net = self.fabric.net.stats();
+        values.push(self.engine.counters.l2_hits as f64);
+        values.push(self.engine.counters.l2_misses as f64);
+        values.push(self.engine.counters.migrations as f64);
         values.push(net.packets_delivered as f64);
         values.push(net.flit_hops as f64);
         self.obs
@@ -576,8 +300,8 @@ impl System {
         }
         use std::fmt::Write as _;
         let mut name = String::new();
-        for (i, &n) in self.net.traversals().iter().enumerate() {
-            let c = self.layout.coord_of_index(i);
+        for (i, &n) in self.fabric.net.traversals().iter().enumerate() {
+            let c = self.engine.layout.coord_of_index(i);
             name.clear();
             let _ = write!(name, "noc/traversals/{}/{}/{}", c.x, c.y, c.layer);
             self.obs.counter_set(&name, n);
@@ -596,7 +320,7 @@ impl System {
             let _ = write!(name, "pillar/{i}/peak_queued");
             self.obs.counter_set(&name, b.peak_queued);
         }
-        let net = self.net.stats();
+        let net = self.fabric.net.stats();
         self.obs.counter_set("net/packets_sent", net.packets_sent);
         self.obs
             .counter_set("net/packets_delivered", net.packets_delivered);
@@ -606,7 +330,7 @@ impl System {
         self.obs.counter_set("net/bus_transfers", net.bus_transfers);
         self.obs
             .histogram_set("net/latency_cycles", net.latency_histogram.clone());
-        let l2 = self.l2.stats();
+        let l2 = self.engine.l2.stats();
         self.obs.counter_set("l2/insertions", l2.insertions);
         self.obs.counter_set("l2/evictions", l2.evictions);
         self.obs.counter_set("l2/migrations", l2.migrations);
@@ -616,7 +340,7 @@ impl System {
             .counter_set("l2/replicas_created", l2.replicas_created);
         self.obs
             .counter_set("l2/replicas_dropped", l2.replicas_dropped);
-        let c = &self.counters;
+        let c = &self.engine.counters;
         self.obs
             .counter_set("sys/l2_transactions", c.l2_transactions);
         self.obs.counter_set("sys/l2_hits", c.l2_hits);
@@ -630,157 +354,6 @@ impl System {
             .gauge_set("sim/cycles_per_sec", self.obs.cycles_per_sec());
     }
 
-    /// Installs the workload's working set before simulation, standing in
-    /// for the paper's 500 M-cycle warm-up run: the shared region goes to
-    /// the L2 at its home clusters; each CPU's private regions go where
-    /// the migration policy would have pulled them by the end of the
-    /// warm-up (for migrating schemes) or to their home clusters (for the
-    /// static scheme); hot and code sets additionally fill the owning
-    /// CPU's L1s, with the directory kept consistent. Pure state setup —
-    /// no cycles pass, no packets fly.
-    fn prewarm_state(&mut self, profile: &BenchmarkProfile) {
-        let line_bytes = u64::from(self.cfg.l2.line_bytes);
-        let install = |sys: &mut System, addr: Address, owner: Option<CpuId>| -> LineAddr {
-            let line = addr.line(line_bytes);
-            if sys.l2.locate(line).is_none() {
-                let cluster = match owner {
-                    Some(cpu) if sys.scheme.migrates() => {
-                        sys.steady_cluster(cpu, sys.l2.home_cluster(line))
-                    }
-                    _ => sys.l2.home_cluster(line),
-                };
-                let placed = sys.l2.insert_at(line, cluster);
-                if let Some(victim) = placed.evicted {
-                    for sharer in sys.dir.invalidate_all(victim) {
-                        sys.cores[sharer.index()].invalidate(victim);
-                    }
-                }
-            }
-            line
-        };
-        // Bulk data first so later hot/code installs win any conflicts.
-        for addr in shared_region(profile).line_addrs().collect::<Vec<_>>() {
-            install(self, addr, None);
-        }
-        for i in 0..self.cores.len() {
-            let cpu = CpuId::from_index(i);
-            let regions = cpu_regions(profile, cpu);
-            for addr in regions.stream.line_addrs().collect::<Vec<_>>() {
-                install(self, addr, Some(cpu));
-            }
-        }
-        for i in 0..self.cores.len() {
-            let cpu = CpuId::from_index(i);
-            let regions = cpu_regions(profile, cpu);
-            for addr in regions.hot.line_addrs().collect::<Vec<_>>() {
-                let line = install(self, addr, Some(cpu));
-                if let Some(evicted) = self.cores[i].prefill(addr, AccessKind::Read) {
-                    self.dir.evict(cpu, evicted);
-                }
-                self.dir.access(cpu, line, DirAccess::Read);
-            }
-            for addr in regions.code.line_addrs().collect::<Vec<_>>() {
-                install(self, addr, Some(cpu));
-                self.cores[i].prefill(addr, AccessKind::IFetch);
-            }
-        }
-    }
-
-    /// Where the migration policy eventually parks a line that starts in
-    /// `from` and is accessed only by `cpu` (the fixed point of repeated
-    /// single-step migrations).
-    fn steady_cluster(&self, cpu: CpuId, from: ClusterId) -> ClusterId {
-        let seat = self.seats[cpu.index()];
-        let acc_cluster = self.layout.cluster_of(seat.coord);
-        let own_bit = 1u64 << cpu.index();
-        let cluster_cpus = &self.cluster_cpus;
-        let occupied = move |cl: ClusterId| cluster_cpus[cl.index()] & !own_bit != 0;
-        let mut cur = from;
-        for _ in 0..64 {
-            match migration_target(&self.layout, cur, acc_cluster, seat.pillar, &occupied) {
-                Some(next) => cur = next,
-                None => break,
-            }
-        }
-        cur
-    }
-
-    // ----- plumbing -------------------------------------------------------
-
-    fn seat(&self, cpu: CpuId) -> &CpuSeat {
-        &self.seats[cpu.index()]
-    }
-
-    fn via(&self, cpu: CpuId) -> Option<PillarId> {
-        self.seats[cpu.index()].pillar
-    }
-
-    fn center(&self, cl: ClusterId) -> Coord {
-        self.layout.cluster_center(cl)
-    }
-
-    fn bank_coord(&self, cluster: ClusterId, line: LineAddr) -> Coord {
-        let map = self.l2.map();
-        let bank = map.global_bank(cluster, map.bank_in_cluster(line));
-        self.layout.coord_of_bank(bank)
-    }
-
-    fn schedule(&mut self, now: Cycle, delay: u64, ev: TimedEvent) {
-        self.next_seq += 1;
-        self.events
-            .push(Reverse((now.0 + delay, self.next_seq, ev)));
-    }
-
-    fn send(
-        &mut self,
-        src: Coord,
-        dst: Coord,
-        class: TrafficClass,
-        flits: u32,
-        token: Token,
-        via: Option<PillarId>,
-    ) {
-        self.net.send(SendRequest {
-            src,
-            dst,
-            via,
-            class,
-            flits,
-            token: token.encode(),
-        });
-    }
-
-    fn data_flits(&self) -> u32 {
-        self.cfg.network.data_packet_flits
-    }
-
-    /// Total latency until a tag probe of `cluster` completes, occupying
-    /// the array's issue slot (one new probe every [`TAG_INITIATION`]
-    /// cycles — the crowding cost when CPUs share a vicinity).
-    fn tag_delay(&mut self, cluster: ClusterId, now: Cycle) -> u64 {
-        let slot = &mut self.tag_busy[cluster.index()];
-        let start = (*slot).max(now.0);
-        *slot = start + TAG_INITIATION;
-        (start - now.0) + u64::from(self.cfg.l2.tag_latency)
-    }
-
-    /// Total latency until an access of the bank at `at` completes; the
-    /// SRAM bank performs one access at a time. `write` distinguishes
-    /// stores/fills/migration absorbs from reads in the trace.
-    fn bank_delay(&mut self, at: Coord, now: Cycle, write: bool) -> u64 {
-        let idx = self.layout.node_index(at);
-        self.bank_access_counts[idx] += 1;
-        self.obs.emit(Category::Bank, || EventData::BankAccess {
-            node: idx as u32,
-            write,
-        });
-        let slot = &mut self.bank_busy[idx];
-        let start = (*slot).max(now.0);
-        let latency = u64::from(self.cfg.l2.bank_latency);
-        *slot = start + latency;
-        (start - now.0) + latency
-    }
-
     /// Batch-advances the clock through a span it can prove is dead:
     /// every core is mid-gap, halted, or waiting on memory
     /// ([`InOrderCore::next_wakeup`]), no timed event comes due, and the
@@ -792,10 +365,11 @@ impl System {
     /// are the cheapest bound and, under steady load, the one that is
     /// almost always zero.
     fn try_fast_forward(&mut self) {
-        if !self.skip || self.net.has_deliveries() {
+        if !self.skip || self.fabric.net.has_deliveries() {
             return;
         }
         let core_bound = self
+            .engine
             .cores
             .iter()
             .map(|c| match c.next_wakeup() {
@@ -807,15 +381,15 @@ impl System {
         if core_bound == 0 {
             return;
         }
-        let now = self.net.now().0;
-        let event_bound = match self.events.peek() {
+        let now = self.fabric.net.now().0;
+        let event_bound = match self.fabric.events.peek() {
             Some(&Reverse((due, _, _))) => due.saturating_sub(now + 1),
             None => u64::MAX,
         };
         if event_bound == 0 {
             return;
         }
-        let net_bound = match self.net.next_event_at() {
+        let net_bound = match self.fabric.net.next_event_at() {
             Some(t) => t.0 - (now + 1),
             None => u64::MAX,
         };
@@ -826,10 +400,10 @@ impl System {
             // a genuine deadlock).
             return;
         }
-        for core in &mut self.cores {
+        for core in &mut self.engine.cores {
             core.skip(delta);
         }
-        self.net.advance_to(Cycle(now + delta));
+        self.fabric.net.advance_to(Cycle(now + delta));
         // The naive loop records a sample row at every armed boundary it
         // ticks across; replay those rows so the sampler output is
         // bit-identical. No sampled column changes inside a dead span,
@@ -840,926 +414,6 @@ impl System {
                 break;
             }
             self.record_obs_sample(boundary);
-        }
-    }
-
-    // ----- transaction lifecycle ------------------------------------------
-
-    fn handle_request(&mut self, req: MemRequest, now: Cycle) {
-        let line = req.addr.line(u64::from(self.cfg.l2.line_bytes));
-        let id = self.next_txn;
-        self.next_txn += 1;
-        self.txns.insert(
-            id,
-            Txn {
-                cpu: req.cpu,
-                kind: req.kind,
-                addr: req.addr,
-                line,
-                issued: now,
-                outstanding: 0,
-                step: 1,
-                served: false,
-                was_miss: false,
-                serve_step: 0,
-                retries: 0,
-                serve_cluster: u16::MAX,
-            },
-        );
-        if self.scheme.perfect_search() {
-            self.perfect_lookup(id, now);
-        } else {
-            self.issue_search_step(id, 1, now);
-        }
-    }
-
-    /// CMP-DNUCA's perfect-search oracle: the requester knows the line's
-    /// location without probing.
-    fn perfect_lookup(&mut self, id: TxnId, now: Cycle) {
-        let t = self.txns[&id];
-        self.counters.tag_accesses += 1;
-        match self.l2.locate(t.line) {
-            Some(cl) => {
-                let seat = *self.seat(t.cpu);
-                let bank = self.bank_coord(cl, t.line);
-                {
-                    let txn = self.txns.get_mut(&id).expect("live txn");
-                    txn.served = true;
-                    txn.serve_cluster = cl.0;
-                }
-                match t.kind {
-                    AccessKind::Read | AccessKind::IFetch => {
-                        self.send(
-                            seat.coord,
-                            bank,
-                            TrafficClass::Control,
-                            1,
-                            Token::BankFetch { txn: id },
-                            seat.pillar,
-                        );
-                    }
-                    AccessKind::Write => {
-                        let flits = self.data_flits();
-                        self.send(
-                            seat.coord,
-                            bank,
-                            TrafficClass::Data,
-                            flits,
-                            Token::WriteData { txn: id },
-                            seat.pillar,
-                        );
-                    }
-                }
-            }
-            None => self.go_to_memory(id, now),
-        }
-    }
-
-    /// Issues one step of the two-step search (paper §4.2.1).
-    ///
-    /// Same-layer clusters are probed with individual request packets.
-    /// Remote layers receive a single tag *broadcast* riding the CPU's
-    /// pillar — one packet per layer probes that layer's whole disc and
-    /// returns at most one (aggregated) miss reply, exactly the
-    /// bandwidth advantage the paper attributes to the pillar broadcast.
-    fn issue_search_step(&mut self, id: TxnId, step: u8, now: Cycle) {
-        let t = self.txns[&id];
-        let plan = &self.plans[t.cpu.index()];
-        let clusters: Vec<ClusterId> = if step == 1 {
-            plan.step1.clone()
-        } else {
-            plan.step2.clone()
-        };
-        let local = plan.local;
-        let seat = *self.seat(t.cpu);
-        let my_layer = seat.coord.layer;
-        // Step 1 reaches remote layers with one broadcast per layer (the
-        // tag rides the pillar once and fans out to the cylinder's tag
-        // arrays); step 2 is a plain multicast — every remaining cluster,
-        // remote ones included, gets its own request packet (paper
-        // §4.2.1), so step-2 searches load the pillars individually.
-        let broadcast_remote = step == 1;
-        let direct: Vec<ClusterId> = if broadcast_remote {
-            clusters
-                .iter()
-                .copied()
-                .filter(|cl| self.layout.cluster_layer(*cl) == my_layer)
-                .collect()
-        } else {
-            clusters.clone()
-        };
-        let mut remote_layers: Vec<u8> = if broadcast_remote {
-            clusters
-                .iter()
-                .map(|cl| self.layout.cluster_layer(*cl))
-                .filter(|l| *l != my_layer)
-                .collect()
-        } else {
-            Vec::new()
-        };
-        remote_layers.sort_unstable();
-        remote_layers.dedup();
-        let remote_broadcast_targets = clusters.len() - direct.len();
-        self.obs.emit(Category::Search, || EventData::SearchStep {
-            txn: u64::from(id),
-            step,
-            targets: clusters.len() as u32,
-        });
-        {
-            let txn = self.txns.get_mut(&id).expect("live txn");
-            txn.step = step;
-            // Every probed tag array answers individually.
-            txn.outstanding = (direct.len() + remote_broadcast_targets) as u32;
-        }
-        self.counters.tag_accesses += direct.len() as u64;
-        for cl in direct {
-            if cl == local {
-                // The local tag array is directly connected (paper §4.1).
-                let delay = self.tag_delay(cl, now);
-                self.schedule(
-                    now,
-                    delay,
-                    TimedEvent::ProbeResolved {
-                        txn: id,
-                        cluster: cl,
-                    },
-                );
-            } else {
-                self.send(
-                    seat.coord,
-                    self.center(cl),
-                    TrafficClass::Control,
-                    1,
-                    Token::Probe {
-                        txn: id,
-                        cluster: cl,
-                    },
-                    seat.pillar,
-                );
-            }
-        }
-        for layer in remote_layers {
-            let pillar = seat.pillar.expect("remote layers imply a pillar");
-            self.send(
-                seat.coord,
-                self.layout.pillar_coord(pillar, layer),
-                TrafficClass::Control,
-                1,
-                Token::VerticalProbe {
-                    txn: id,
-                    layer,
-                    step,
-                },
-                seat.pillar,
-            );
-        }
-    }
-
-    /// A tag array finished its lookup for one probe.
-    fn resolve_probe(&mut self, id: TxnId, cluster: ClusterId, now: Cycle) {
-        let Some(t) = self.txns.get(&id).copied() else {
-            return;
-        };
-        self.obs.emit(Category::Search, || EventData::Probe {
-            txn: u64::from(id),
-            cluster: u32::from(cluster.0),
-            step: t.step,
-        });
-        let visible = self.l2.locate(t.line);
-        let hit = self.l2.has_copy_at(t.line, cluster);
-        let seat = *self.seat(t.cpu);
-        let local = self.plans[t.cpu.index()].local;
-        let origin = if cluster == local {
-            seat.coord
-        } else {
-            self.center(cluster)
-        };
-        if hit && !t.served {
-            // Serve from the probed cluster when its bank really holds a
-            // copy (primary or replica); a probe that matched only an
-            // in-flight migration entry serves from the current location.
-            let serving =
-                if visible == Some(cluster) || self.l2.replicas_of(t.line).contains(&cluster) {
-                    cluster
-                } else {
-                    visible.expect("a hit implies residency")
-                };
-            self.serve_hit(id, origin, serving, now);
-        } else if !t.served {
-            // Miss: tell the requester (local tag arrays answer directly).
-            if origin == seat.coord {
-                self.probe_missed(id, now);
-            } else {
-                self.send(
-                    origin,
-                    seat.coord,
-                    TrafficClass::Control,
-                    1,
-                    Token::ProbeMiss { txn: id },
-                    seat.pillar,
-                );
-            }
-        }
-        // Probes resolving after the transaction was served are dropped:
-        // their outcome no longer matters.
-    }
-
-    /// A tag array found the line: forward the request toward the data
-    /// (reads) or tell the writer where to ship its store (writes).
-    fn serve_hit(&mut self, id: TxnId, origin: Coord, serving: ClusterId, now: Cycle) {
-        let t = self.txns[&id];
-        self.obs.emit(Category::Search, || EventData::ProbeHit {
-            txn: u64::from(id),
-            cluster: u32::from(serving.0),
-        });
-        {
-            let txn = self.txns.get_mut(&id).expect("live txn");
-            txn.served = true;
-            txn.serve_step = txn.step;
-            txn.serve_cluster = serving.0;
-        }
-        let seat = *self.seat(t.cpu);
-        match t.kind {
-            AccessKind::Read | AccessKind::IFetch => {
-                // The tag array forwards the request to the bank; the
-                // data is routed straight to the requester (§4.2.1).
-                let bank = self.bank_coord(serving, t.line);
-                self.send(
-                    origin,
-                    bank,
-                    TrafficClass::Control,
-                    1,
-                    Token::BankFetch { txn: id },
-                    seat.pillar,
-                );
-            }
-            AccessKind::Write => {
-                // The writer must learn the location to ship its data.
-                if origin == seat.coord {
-                    self.write_data_to(id, now);
-                } else {
-                    self.send(
-                        origin,
-                        seat.coord,
-                        TrafficClass::Control,
-                        1,
-                        Token::FoundForWrite {
-                            txn: id,
-                            cluster: serving,
-                        },
-                        seat.pillar,
-                    );
-                }
-            }
-        }
-    }
-
-    /// A pillar tag broadcast arrived at one remote layer: fan the probe
-    /// out to every target tag array on that layer, charging each the
-    /// mesh distance from the pillar node.
-    fn vertical_probe_arrived(&mut self, id: TxnId, at: Coord, step: u8, now: Cycle) {
-        let Some(t) = self.txns.get(&id).copied() else {
-            // The transaction completed already; nothing waits for this
-            // broadcast (no pending entry was created yet).
-            return;
-        };
-        let plan = &self.plans[t.cpu.index()];
-        let set = if step == 1 { &plan.step1 } else { &plan.step2 };
-        let layer = at.layer;
-        let clusters: Vec<ClusterId> = set
-            .iter()
-            .copied()
-            .filter(|cl| self.layout.cluster_layer(*cl) == layer)
-            .collect();
-        debug_assert!(!clusters.is_empty(), "broadcast to a layer with no targets");
-        self.counters.tag_accesses += clusters.len() as u64;
-        for cl in clusters {
-            let fanout = u64::from(at.manhattan_2d(self.center(cl)));
-            let delay = self.tag_delay(cl, now) + fanout;
-            self.schedule(
-                now,
-                delay,
-                TimedEvent::VerticalClusterResolved {
-                    txn: id,
-                    cluster: cl,
-                    layer,
-                },
-            );
-        }
-    }
-
-    /// One remote tag array resolved its share of a pillar broadcast:
-    /// serve a hit, or answer with its own miss reply — every reply
-    /// individually rides the pillar back, which is what loads the bus
-    /// when few pillars serve many CPUs (Fig. 17).
-    fn vertical_cluster_resolved(&mut self, id: TxnId, cluster: ClusterId, _layer: u8, now: Cycle) {
-        let Some(t) = self.txns.get(&id).copied() else {
-            return;
-        };
-        if t.served {
-            return;
-        }
-        let visible = self.l2.locate(t.line);
-        if self.l2.has_copy_at(t.line, cluster) {
-            let serving =
-                if visible == Some(cluster) || self.l2.replicas_of(t.line).contains(&cluster) {
-                    cluster
-                } else {
-                    visible.expect("a hit implies residency")
-                };
-            self.serve_hit(id, self.center(cluster), serving, now);
-            return;
-        }
-        let seat = *self.seat(t.cpu);
-        self.send(
-            self.center(cluster),
-            seat.coord,
-            TrafficClass::Control,
-            1,
-            Token::ProbeMiss { txn: id },
-            seat.pillar,
-        );
-    }
-
-    /// A miss answer reached the requester.
-    fn probe_missed(&mut self, id: TxnId, now: Cycle) {
-        let Some(t) = self.txns.get_mut(&id) else {
-            return;
-        };
-        debug_assert!(t.outstanding > 0);
-        t.outstanding -= 1;
-        if t.outstanding > 0 || t.served {
-            return;
-        }
-        let t = *t;
-        self.obs.emit(Category::Search, || EventData::ProbeMiss {
-            txn: u64::from(id),
-            step: t.step,
-        });
-        let step2_empty = self.plans[t.cpu.index()].step2.is_empty();
-        if t.step == 1 && !step2_empty {
-            self.issue_search_step(id, 2, now);
-        } else if self.l2.locate(t.line).is_some() && t.retries < 3 {
-            // The line was resident all along but migrated between our
-            // probes (both the old and the new tag array answered "miss").
-            // Lazy migration makes this a narrow window; retry the search
-            // instead of falsely going to memory.
-            self.counters.search_retries += 1;
-            self.obs.emit(Category::Search, || EventData::SearchRetry {
-                txn: u64::from(id),
-                attempt: u32::from(t.retries) + 1,
-            });
-            self.txns.get_mut(&id).expect("live txn").retries += 1;
-            self.issue_search_step(id, 1, now);
-        } else {
-            self.go_to_memory(id, now);
-        }
-    }
-
-    /// The transaction missed everywhere: fetch the line from memory
-    /// (merging concurrent misses on the same line, MSHR-style). The
-    /// request travels over the network to the memory controller nearest
-    /// the line's home bank; the controller's channel bandwidth limits
-    /// how fast back-to-back misses drain.
-    fn go_to_memory(&mut self, id: TxnId, now: Cycle) {
-        let t = self.txns.get_mut(&id).expect("live txn");
-        t.was_miss = true;
-        let line = t.line;
-        let cpu = t.cpu;
-        match self.pending_fills.get_mut(&line) {
-            Some(waiters) => waiters.push(id),
-            None => {
-                self.pending_fills.insert(line, vec![id]);
-                self.obs
-                    .emit(Category::Memory, || EventData::MemRequest { line: line.0 });
-                if self.edge_memory {
-                    let seat = *self.seat(cpu);
-                    let mc = self.nearest_mc(self.bank_coord(self.l2.home_cluster(line), line));
-                    self.send(
-                        seat.coord,
-                        self.mc_coords[mc],
-                        TrafficClass::Control,
-                        1,
-                        Token::MemRequest { line },
-                        seat.pillar,
-                    );
-                } else {
-                    // The paper's flat memory model (Table 4).
-                    let latency = u64::from(self.cfg.memory_latency);
-                    self.schedule(now, latency, TimedEvent::MemoryFetched { line });
-                }
-            }
-        }
-    }
-
-    /// Index of the memory controller nearest to `c` (2D distance; the
-    /// controllers all sit on layer 0).
-    fn nearest_mc(&self, c: Coord) -> usize {
-        self.mc_coords
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, mc)| c.manhattan_2d(**mc))
-            .map(|(i, _)| i)
-            .expect("at least one memory controller")
-    }
-
-    /// A miss request reached a memory controller: queue behind the
-    /// channel's bandwidth limit, then access DRAM.
-    fn mem_request_arrived(&mut self, line: LineAddr, at: Coord, now: Cycle) {
-        let mc = self
-            .mc_coords
-            .iter()
-            .position(|c| *c == at)
-            .expect("delivery at a memory controller") as u16;
-        let start = self.mc_ready[mc as usize].max(now.0);
-        self.mc_ready[mc as usize] = start + u64::from(self.cfg.memory_interval);
-        let done = (start - now.0) + u64::from(self.cfg.memory_latency);
-        self.schedule(now, done, TimedEvent::MemoryReady { line, mc });
-    }
-
-    /// DRAM answered: ship the line to its home bank.
-    fn memory_ready(&mut self, line: LineAddr, mc: u16, _now: Cycle) {
-        let home = self.l2.home_cluster(line);
-        let dst = self.bank_coord(home, line);
-        let flits = self.data_flits();
-        self.send(
-            self.mc_coords[mc as usize],
-            dst,
-            TrafficClass::Data,
-            flits,
-            Token::MemFill { line },
-            None,
-        );
-    }
-
-    /// The fill reached the home bank: absorb it, then serve the waiters.
-    fn mem_fill_arrived(&mut self, line: LineAddr, at: Coord, now: Cycle) {
-        let delay = self.bank_delay(at, now, true);
-        self.schedule(now, delay, TimedEvent::MemoryFetched { line });
-    }
-
-    /// Off-chip memory delivered the line: place it and serve the waiters.
-    fn memory_fetched(&mut self, line: LineAddr, now: Cycle) {
-        self.obs
-            .emit(Category::Memory, || EventData::MemFill { line: line.0 });
-        let waiters = self.pending_fills.remove(&line).unwrap_or_default();
-        if self.l2.locate(line).is_none() {
-            let placed = self.l2.insert(line);
-            if let Some(victim) = placed.evicted {
-                let from = self.center(placed.cluster);
-                self.handle_l2_eviction(victim, from);
-            }
-        }
-        let serving = self.l2.locate(line).expect("just inserted");
-        let bank = self.bank_coord(serving, line);
-        for id in waiters {
-            let Some(t) = self.txns.get(&id).copied() else {
-                continue;
-            };
-            match t.kind {
-                AccessKind::Read | AccessKind::IFetch => {
-                    // The fill serves the read directly from the bank.
-                    self.counters.bank_accesses += 1;
-                    let delay = self.bank_delay(bank, now, false);
-                    self.schedule(now, delay, TimedEvent::BankReadDone { txn: id, at: bank });
-                }
-                AccessKind::Write => {
-                    let seat = *self.seat(t.cpu);
-                    self.send(
-                        self.center(serving),
-                        seat.coord,
-                        TrafficClass::Control,
-                        1,
-                        Token::FoundForWrite {
-                            txn: id,
-                            cluster: serving,
-                        },
-                        seat.pillar,
-                    );
-                }
-            }
-        }
-    }
-
-    /// The writing CPU ships its store data to the line's current bank.
-    fn write_data_to(&mut self, id: TxnId, now: Cycle) {
-        let Some(t) = self.txns.get(&id).copied() else {
-            return;
-        };
-        match self.l2.locate(t.line) {
-            Some(cl) => {
-                let seat = *self.seat(t.cpu);
-                let bank = self.bank_coord(cl, t.line);
-                let flits = self.data_flits();
-                self.send(
-                    seat.coord,
-                    bank,
-                    TrafficClass::Data,
-                    flits,
-                    Token::WriteData { txn: id },
-                    seat.pillar,
-                );
-            }
-            // Evicted between the probe hit and now: fetch it back.
-            None => self.go_to_memory(id, now),
-        }
-    }
-
-    /// A forwarded read request reached a bank (or where the bank used to
-    /// hold the line).
-    fn bank_fetch_arrived(&mut self, id: TxnId, at: Coord, now: Cycle) {
-        let Some(t) = self.txns.get(&id).copied() else {
-            return;
-        };
-        // A replica bank can serve the read directly.
-        let here = self.layout.cluster_of(at);
-        if self.l2.replicas_of(t.line).contains(&here) && self.bank_coord(here, t.line) == at {
-            self.counters.bank_accesses += 1;
-            let delay = self.bank_delay(at, now, false);
-            self.schedule(now, delay, TimedEvent::BankReadDone { txn: id, at });
-            return;
-        }
-        match self.l2.locate(t.line) {
-            None => self.go_to_memory(id, now),
-            Some(cl) => {
-                let target = self.bank_coord(cl, t.line);
-                if target == at {
-                    self.counters.bank_accesses += 1;
-                    // The baseline's oracle skips probe latency, so the
-                    // tag check happens at the bank.
-                    let tag = if self.scheme.perfect_search() {
-                        self.tag_delay(cl, now)
-                    } else {
-                        0
-                    };
-                    let bank = self.bank_delay(at, now, false);
-                    self.schedule(now, tag + bank, TimedEvent::BankReadDone { txn: id, at });
-                } else {
-                    // The line migrated while the request was in flight;
-                    // chase it.
-                    let via = self.via(t.cpu);
-                    self.send(
-                        at,
-                        target,
-                        TrafficClass::Control,
-                        1,
-                        Token::BankFetch { txn: id },
-                        via,
-                    );
-                }
-            }
-        }
-    }
-
-    /// The bank finished reading: route the line to the requester.
-    fn bank_read_done(&mut self, id: TxnId, at: Coord, now: Cycle) {
-        let _ = now;
-        let Some(t) = self.txns.get(&id).copied() else {
-            return;
-        };
-        self.l2.touch_at(t.line, self.layout.cluster_of(at));
-        let seat = *self.seat(t.cpu);
-        let flits = self.data_flits();
-        self.send(
-            at,
-            seat.coord,
-            TrafficClass::Data,
-            flits,
-            Token::DataToCpu { txn: id },
-            seat.pillar,
-        );
-    }
-
-    /// Store data reached the bank.
-    fn write_data_arrived(&mut self, id: TxnId, at: Coord, now: Cycle) {
-        let Some(t) = self.txns.get(&id).copied() else {
-            return;
-        };
-        self.counters.bank_accesses += 1;
-        let tag = if self.scheme.perfect_search() {
-            let cl = self
-                .l2
-                .locate(t.line)
-                .unwrap_or(self.l2.home_cluster(t.line));
-            self.tag_delay(cl, now)
-        } else {
-            0
-        };
-        let bank = self.bank_delay(at, now, true);
-        self.schedule(now, tag + bank, TimedEvent::BankWritten { txn: id, at });
-    }
-
-    /// The bank committed the store: acknowledge the CPU.
-    fn bank_written(&mut self, id: TxnId, at: Coord, _now: Cycle) {
-        let Some(t) = self.txns.get(&id).copied() else {
-            return;
-        };
-        self.l2.touch(t.line);
-        let seat = *self.seat(t.cpu);
-        self.send(
-            at,
-            seat.coord,
-            TrafficClass::Control,
-            1,
-            Token::WriteAck { txn: id },
-            seat.pillar,
-        );
-    }
-
-    /// The read data arrived at the CPU: the transaction completes.
-    fn complete_read(&mut self, id: TxnId, now: Cycle) {
-        let Some(t) = self.txns.remove(&id) else {
-            return;
-        };
-        self.finish_counters(&t, now);
-        let evicted = self.cores[t.cpu.index()].data_returned(t.addr);
-        if let Some(ev) = evicted {
-            self.dir.evict(t.cpu, ev);
-        }
-        self.dir.access(t.cpu, t.line, DirAccess::Read);
-        let repeated = self.last_accessor.insert(t.line, t.cpu) == Some(t.cpu);
-        self.maybe_migrate(t.cpu, t.line, repeated);
-        self.maybe_replicate(t.cpu, t.line);
-    }
-
-    /// The store acknowledgement arrived: the transaction completes and
-    /// other sharers get invalidated (write-through MSI).
-    fn complete_write(&mut self, id: TxnId, now: Cycle) {
-        let Some(t) = self.txns.remove(&id) else {
-            return;
-        };
-        self.finish_counters(&t, now);
-        self.cores[t.cpu.index()].store_completed();
-        // A store makes every L2 replica stale (replication extension).
-        let src = self.seat(t.cpu).coord;
-        let via = self.via(t.cpu);
-        for rc in self.l2.drop_replicas(t.line) {
-            self.counters.invalidations += 1;
-            let dst = self.center(rc);
-            self.send(
-                src,
-                dst,
-                TrafficClass::Coherence,
-                1,
-                Token::Invalidate { line: t.line },
-                via,
-            );
-        }
-        let outcome = self.dir.access(t.cpu, t.line, DirAccess::Write);
-        for sharer in outcome.invalidations {
-            self.counters.invalidations += 1;
-            let dst = self.seat(sharer).coord;
-            self.send(
-                src,
-                dst,
-                TrafficClass::Coherence,
-                1,
-                Token::Invalidate { line: t.line },
-                via,
-            );
-        }
-        let repeated = self.last_accessor.insert(t.line, t.cpu) == Some(t.cpu);
-        self.maybe_migrate(t.cpu, t.line, repeated);
-    }
-
-    fn finish_counters(&mut self, t: &Txn, now: Cycle) {
-        let latency = now - t.issued;
-        self.counters.l2_transactions += 1;
-        if self.obs.is_enabled() {
-            // Per-cluster hit/miss matrix: requester's local cluster
-            // crossed with the cluster that served (or "miss").
-            let local = self.plans[t.cpu.index()].local.0;
-            if t.was_miss {
-                self.obs.counter_add(&format!("l2/miss_from/{local}"), 1);
-            } else if t.serve_cluster != u16::MAX {
-                self.obs
-                    .counter_add(&format!("l2/hits/{local}/{}", t.serve_cluster), 1);
-            }
-            self.obs.histogram_record("l2/txn_latency", latency);
-        }
-        if t.was_miss {
-            self.counters.l2_misses += 1;
-            self.counters.miss_latency_sum += latency;
-        } else {
-            self.counters.l2_hits += 1;
-            self.counters.hit_latency_sum += latency;
-            match t.serve_step {
-                2 => {
-                    self.counters.step2_hits += 1;
-                    self.counters.step2_latency_sum += latency;
-                }
-                _ => {
-                    self.counters.step1_hits += 1;
-                    self.counters.step1_latency_sum += latency;
-                }
-            }
-        }
-    }
-
-    /// The L2 dropped a line: invalidate every L1 copy — unless the slot
-    /// held only a replica (the primary copy, and hence the L1s'
-    /// backing, is still resident).
-    fn handle_l2_eviction(&mut self, victim: LineAddr, from: Coord) {
-        if self.l2.locate(victim).is_some() {
-            return; // a replica was evicted; the line itself lives on
-        }
-        self.counters.l2_evictions += 1;
-        for sharer in self.dir.invalidate_all(victim) {
-            self.counters.invalidations += 1;
-            let dst = self.seat(sharer).coord;
-            self.send(
-                from,
-                dst,
-                TrafficClass::Coherence,
-                1,
-                Token::Invalidate { line: victim },
-                None,
-            );
-        }
-    }
-
-    /// After a completed access, take one gradual migration step toward
-    /// the accessor (paper §4.2.3).
-    ///
-    /// Lines already inside the accessor's step-1 vicinity do not migrate
-    /// — their access latency is already low, which is exactly why the 3D
-    /// topology "exercises [migration] much less frequently ... due to
-    /// the increased locality (see Figure 8)" (§5.2): in 3D the vicinity
-    /// spans whole layers. The exception is data accessed repeatedly by
-    /// a single processor (`repeated`), which keeps migrating until it
-    /// reaches that processor's local cluster.
-    fn maybe_migrate(&mut self, cpu: CpuId, line: LineAddr, repeated: bool) {
-        if !self.scheme.migrates() {
-            return;
-        }
-        let Some(cur) = self.l2.locate(line) else {
-            return;
-        };
-        if self.l2.migration_of(line).is_some() {
-            return;
-        }
-        let seat = *self.seat(cpu);
-        let acc_cluster = self.layout.cluster_of(seat.coord);
-        if cur == acc_cluster {
-            return;
-        }
-        if self.vicinity_stop && !repeated && self.plans[cpu.index()].step1.contains(&cur) {
-            return;
-        }
-        let cluster_cpus = &self.cluster_cpus;
-        let own_bit = 1u64 << cpu.index();
-        let occupied = move |cl: ClusterId| cluster_cpus[cl.index()] & !own_bit != 0;
-        let Some(to) = migration_target(&self.layout, cur, acc_cluster, seat.pillar, &occupied)
-        else {
-            return;
-        };
-        if self.l2.begin_migration(line, to).is_ok() {
-            let src = self.bank_coord(cur, line);
-            let dst = self.bank_coord(to, line);
-            // Reading the source bank and writing the destination bank.
-            self.counters.bank_accesses += 2;
-            let flits = self.data_flits();
-            self.send(
-                src,
-                dst,
-                TrafficClass::Migration,
-                flits,
-                Token::MigrationMove { line },
-                None,
-            );
-        }
-    }
-
-    /// After a completed read, optionally install a read-only replica of
-    /// a shared line in the reader's local cluster (the NuRapid /
-    /// victim-replication alternative of §1–§2; off by default).
-    fn maybe_replicate(&mut self, cpu: CpuId, line: LineAddr) {
-        if !self.replication {
-            return;
-        }
-        let Some(primary) = self.l2.locate(line) else {
-            return;
-        };
-        let local = self.plans[cpu.index()].local;
-        if primary == local
-            || self.l2.has_copy_at(line, local)
-            || self.l2.migration_of(line).is_some()
-            || self.l2.replicas_of(line).len() >= 2
-            || self.dir.sharers(line).len() < 2
-        {
-            return;
-        }
-        self.counters.replicas_created += 1;
-        self.counters.bank_accesses += 1; // source bank read for the copy
-        let src = self.bank_coord(primary, line);
-        let dst = self.bank_coord(local, line);
-        let flits = self.data_flits();
-        self.send(
-            src,
-            dst,
-            TrafficClass::Data,
-            flits,
-            Token::ReplicaFill {
-                line,
-                cluster: local,
-            },
-            self.via(cpu),
-        );
-    }
-
-    /// A replica copy reached its new bank.
-    fn replica_arrived(&mut self, line: LineAddr, cluster: ClusterId, at: Coord, now: Cycle) {
-        let delay = self.bank_delay(at, now, true);
-        self.schedule(now, delay, TimedEvent::ReplicaInstalled { line, cluster });
-    }
-
-    /// The new bank absorbed the replica: publish it in the tag array.
-    fn replica_installed(&mut self, line: LineAddr, cluster: ClusterId) {
-        // The line may have been written, evicted, or already replicated
-        // while the copy was in flight; install only if still sensible.
-        if self.l2.migration_of(line).is_some() {
-            return;
-        }
-        if let Ok(placed) = self.l2.add_replica(line, cluster) {
-            if let Some(victim) = placed.evicted {
-                let from = self.center(cluster);
-                self.handle_l2_eviction(victim, from);
-            }
-        }
-    }
-
-    /// The migrating line arrived at the destination bank.
-    fn migration_arrived(&mut self, line: LineAddr, now: Cycle) {
-        // The destination bank absorbs the line when its port frees up.
-        let at = match self.l2.migration_of(line) {
-            Some(to) => self.bank_coord(to, line),
-            None => return, // aborted in flight
-        };
-        let delay = self.bank_delay(at, now, true);
-        self.schedule(now, delay, TimedEvent::MigrationDone { line });
-    }
-
-    /// The destination bank finished absorbing the line: commit.
-    fn migration_done(&mut self, line: LineAddr) {
-        match self.l2.commit_migration(line) {
-            Ok(outcome) => {
-                self.counters.migrations += 1;
-                if let Some(victim) = outcome.evicted {
-                    let from = self.center(outcome.to);
-                    self.handle_l2_eviction(victim, from);
-                }
-            }
-            Err(_) => {
-                // Aborted mid-flight (the line was evicted); nothing to do.
-            }
-        }
-    }
-
-    fn handle_event(&mut self, ev: TimedEvent, now: Cycle) {
-        match ev {
-            TimedEvent::ProbeResolved { txn, cluster } => self.resolve_probe(txn, cluster, now),
-            TimedEvent::VerticalClusterResolved {
-                txn,
-                cluster,
-                layer,
-            } => self.vertical_cluster_resolved(txn, cluster, layer, now),
-            TimedEvent::BankReadDone { txn, at } => self.bank_read_done(txn, at, now),
-            TimedEvent::BankWritten { txn, at } => self.bank_written(txn, at, now),
-            TimedEvent::MemoryReady { line, mc } => self.memory_ready(line, mc, now),
-            TimedEvent::MemoryFetched { line } => self.memory_fetched(line, now),
-            TimedEvent::MigrationDone { line } => self.migration_done(line),
-            TimedEvent::ReplicaInstalled { line, cluster } => self.replica_installed(line, cluster),
-        }
-    }
-
-    fn handle_delivered(&mut self, d: Delivered, now: Cycle) {
-        match Token::decode(d.token) {
-            Token::Probe { txn, cluster } => {
-                let delay = self.tag_delay(cluster, now);
-                self.schedule(now, delay, TimedEvent::ProbeResolved { txn, cluster });
-            }
-            Token::VerticalProbe {
-                txn,
-                layer: _,
-                step,
-            } => {
-                self.vertical_probe_arrived(txn, d.dst, step, now);
-            }
-            Token::ProbeMiss { txn } => self.probe_missed(txn, now),
-            Token::BankFetch { txn } => self.bank_fetch_arrived(txn, d.dst, now),
-            Token::DataToCpu { txn } => self.complete_read(txn, now),
-            Token::FoundForWrite { txn, cluster: _ } => self.write_data_to(txn, now),
-            Token::WriteData { txn } => self.write_data_arrived(txn, d.dst, now),
-            Token::WriteAck { txn } => self.complete_write(txn, now),
-            Token::MigrationMove { line } => self.migration_arrived(line, now),
-            Token::ReplicaFill { line, cluster } => self.replica_arrived(line, cluster, d.dst, now),
-            Token::MemRequest { line } => self.mem_request_arrived(line, d.dst, now),
-            Token::MemFill { line } => self.mem_fill_arrived(line, d.dst, now),
-            Token::Invalidate { line } => {
-                if let Some(&cpu) = self.cpu_at.get(&d.dst) {
-                    self.cores[cpu.index()].invalidate(line);
-                }
-            }
         }
     }
 }

@@ -1,0 +1,160 @@
+//! Contention-aware latency models for the chip's shared resources.
+//!
+//! Each model owns the busy-until bookkeeping for one resource class —
+//! tag arrays, SRAM data banks, DRAM channels — and answers a single
+//! question: *if a request claims the resource now, how many cycles
+//! until it completes?* Claiming advances the resource's schedule, so
+//! back-to-back requests queue exactly like the god-object's old inline
+//! `tag_busy`/`bank_busy`/`mc_ready` vectors did. The models know
+//! nothing about transactions or the network; [`SimFabric`] wires them
+//! into the simulation and the protocol engine reaches them only
+//! through the [`Fabric`] trait.
+//!
+//! [`SimFabric`]: crate::fabric::SimFabric
+//! [`Fabric`]: crate::fabric::Fabric
+
+use nim_types::{ClusterId, Cycle};
+
+/// Cycles between successive probe initiations at one (pipelined) tag
+/// array — concurrent searches crowding a cluster's tag array queue up.
+pub(crate) const TAG_INITIATION: u64 = 2;
+
+/// The per-cluster tag arrays (paper §4.1): pipelined lookups that
+/// accept one new probe every [`TAG_INITIATION`] cycles.
+#[derive(Clone, Debug)]
+pub(crate) struct TagArrays {
+    /// Cycle until which each cluster's issue slot is occupied.
+    busy: Vec<u64>,
+    /// Lookup latency once a probe is issued.
+    latency: u64,
+}
+
+impl TagArrays {
+    pub(crate) fn new(clusters: usize, latency: u64) -> Self {
+        Self {
+            busy: vec![0; clusters],
+            latency,
+        }
+    }
+
+    /// Total latency until a tag probe of `cluster` completes, occupying
+    /// the array's issue slot.
+    pub(crate) fn claim(&mut self, cluster: ClusterId, now: Cycle) -> u64 {
+        let slot = &mut self.busy[cluster.index()];
+        let start = (*slot).max(now.0);
+        *slot = start + TAG_INITIATION;
+        (start - now.0) + self.latency
+    }
+}
+
+/// The SRAM data banks: one access at a time, node-indexed. Also keeps
+/// the per-bank access census that drives activity-based power and
+/// thermal analysis.
+#[derive(Clone, Debug)]
+pub(crate) struct Banks {
+    /// Cycle until which each bank is occupied.
+    busy: Vec<u64>,
+    /// Accesses performed by each bank (node-indexed).
+    access_counts: Vec<u64>,
+    /// Single-access latency.
+    latency: u64,
+}
+
+impl Banks {
+    pub(crate) fn new(nodes: usize, latency: u64) -> Self {
+        Self {
+            busy: vec![0; nodes],
+            access_counts: vec![0; nodes],
+            latency,
+        }
+    }
+
+    /// Total latency until an access of bank `node` completes, counting
+    /// the access; the bank performs one access at a time.
+    pub(crate) fn claim(&mut self, node: usize, now: Cycle) -> u64 {
+        self.access_counts[node] += 1;
+        let slot = &mut self.busy[node];
+        let start = (*slot).max(now.0);
+        *slot = start + self.latency;
+        (start - now.0) + self.latency
+    }
+
+    /// Accesses each bank performed so far, indexed like
+    /// [`ChipLayout::node_index`](nim_topology::ChipLayout::node_index).
+    pub(crate) fn access_counts(&self) -> &[u64] {
+        &self.access_counts
+    }
+}
+
+/// The memory controllers' DRAM channels: each accepts a new request
+/// every `interval` cycles (channel bandwidth) and answers `latency`
+/// cycles after the request is accepted.
+#[derive(Clone, Debug)]
+pub(crate) struct MemoryChannels {
+    /// Earliest cycle each controller can accept its next request.
+    ready: Vec<u64>,
+    /// Minimum spacing between accepted requests.
+    interval: u64,
+    /// DRAM access latency once accepted.
+    latency: u64,
+}
+
+impl MemoryChannels {
+    pub(crate) fn new(controllers: usize, interval: u64, latency: u64) -> Self {
+        Self {
+            ready: vec![0; controllers],
+            interval,
+            latency,
+        }
+    }
+
+    /// Total latency until controller `mc` finishes a DRAM access
+    /// claimed now, queueing behind the channel's bandwidth limit.
+    pub(crate) fn claim(&mut self, mc: usize, now: Cycle) -> u64 {
+        let start = self.ready[mc].max(now.0);
+        self.ready[mc] = start + self.interval;
+        (start - now.0) + self.latency
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tag_arrays_pipeline_at_the_initiation_interval() {
+        let mut tags = TagArrays::new(4, 8);
+        let now = Cycle(100);
+        // An idle array answers after the bare lookup latency.
+        assert_eq!(tags.claim(ClusterId(0), now), 8);
+        // The next probe in the same cycle waits one initiation slot.
+        assert_eq!(tags.claim(ClusterId(0), now), TAG_INITIATION + 8);
+        assert_eq!(tags.claim(ClusterId(0), now), 2 * TAG_INITIATION + 8);
+        // A different cluster's array is unaffected.
+        assert_eq!(tags.claim(ClusterId(1), now), 8);
+    }
+
+    #[test]
+    fn banks_serialise_accesses_and_count_them() {
+        let mut banks = Banks::new(2, 5);
+        let now = Cycle(0);
+        assert_eq!(banks.claim(0, now), 5);
+        assert_eq!(banks.claim(0, now), 10);
+        assert_eq!(banks.claim(1, now), 5);
+        assert_eq!(banks.access_counts(), &[2, 1]);
+        // After the backlog drains the bank answers at full speed again.
+        assert_eq!(banks.claim(0, Cycle(10)), 5);
+    }
+
+    #[test]
+    fn memory_channels_honour_the_bandwidth_interval() {
+        let mut mem = MemoryChannels::new(2, 16, 260);
+        let now = Cycle(0);
+        assert_eq!(mem.claim(0, now), 260);
+        // Queued behind the channel's 16-cycle acceptance interval.
+        assert_eq!(mem.claim(0, now), 16 + 260);
+        assert_eq!(mem.claim(0, now), 32 + 260);
+        // The second controller has its own channel.
+        assert_eq!(mem.claim(1, now), 260);
+    }
+}

@@ -8,8 +8,7 @@
 
 use nim_types::{ClusterId, Coord, LineAddr};
 
-/// Transaction identifier (index into the system's live-transaction map).
-pub(crate) type TxnId = u32;
+use crate::txn::TxnId;
 
 /// Decoded message token.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

@@ -1,0 +1,337 @@
+//! The typed L2 transaction engine.
+//!
+//! Every memory request a core issues becomes one [`Txn`] tracked in the
+//! [`TxnTable`] until its data (or store acknowledgement) returns. A
+//! transaction's lifecycle is a small typed state machine ([`TxnState`])
+//! instead of the god-object's old web of boolean flags
+//! (`served`/`was_miss`/`outstanding`/`serve_cluster`):
+//!
+//! ```text
+//! Searching{outstanding} ──probe hit──► Serving{cluster} ──data/ack──► done
+//!        │                                    │
+//!        │ all probes missed                  │ line evicted mid-service
+//!        ▼                                    ▼
+//!   (next step / retry)────exhausted────► MemoryWait ──fill + serve──► done
+//! ```
+//!
+//! The decision logic — what a requester does when a search step comes
+//! back empty-handed ([`after_search_exhausted`]), how miss replies are
+//! accounted ([`Txn::note_probe_miss`]) — is pure: no network, no
+//! clock, no side effects, so it is table-testable below. The
+//! [`TxnTable`] also owns the MSHR-style miss-merge bookkeeping: all
+//! concurrent misses on one line share a single memory fetch.
+
+use nim_types::{AccessKind, Address, ClusterId, CpuId, Cycle, FxHashMap, LineAddr};
+
+/// Transaction identifier (index into the system's live-transaction
+/// table; dense, so per-transaction maps hash cheaply).
+pub(crate) type TxnId = u32;
+
+/// Search restarts allowed after racing migrations before giving up and
+/// going to memory.
+pub(crate) const MAX_SEARCH_RETRIES: u8 = 3;
+
+/// Where one transaction stands in its lifecycle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum TxnState {
+    /// Probing tag arrays: `outstanding` replies of the current search
+    /// step (see [`Txn::step`]) have not come back yet.
+    Searching {
+        /// Unanswered probes in the current search step.
+        outstanding: u32,
+    },
+    /// A probe hit at `cluster` and the service path is running — the
+    /// bank access and the data return (or store round trip) are in
+    /// flight. Late probe replies are ignored.
+    Serving {
+        /// Cluster that served the hit — feeds the per-cluster hit
+        /// matrix in the metrics registry.
+        cluster: ClusterId,
+    },
+    /// The transaction missed everywhere (or lost the line while being
+    /// served) and waits on the shared memory fetch for its line.
+    MemoryWait,
+}
+
+/// One in-flight L2 transaction.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Txn {
+    /// Requesting core.
+    pub(crate) cpu: CpuId,
+    /// Access kind (read / instruction fetch / write-through store).
+    pub(crate) kind: AccessKind,
+    /// Requested byte address.
+    pub(crate) addr: Address,
+    /// The address's cache line.
+    pub(crate) line: LineAddr,
+    /// Cycle the request left the core.
+    pub(crate) issued: Cycle,
+    /// Last issued search step (1 or 2; stays 1 for the oracle, which
+    /// never probes). Hits are attributed to this step.
+    pub(crate) step: u8,
+    /// Searches re-issued after racing a migration.
+    pub(crate) retries: u8,
+    /// Lifecycle state.
+    pub(crate) state: TxnState,
+}
+
+/// What a probe-miss reply means to its transaction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum MissReply {
+    /// The transaction is already being served (or gone to memory); the
+    /// late reply is dropped.
+    Ignored,
+    /// More probes of the current step are still unanswered.
+    StillWaiting,
+    /// That was the last outstanding probe — the step found nothing and
+    /// the requester must decide what to do next
+    /// ([`after_search_exhausted`]).
+    Exhausted,
+}
+
+impl Txn {
+    /// Creates a fresh transaction as the core issued it.
+    pub(crate) fn new(
+        cpu: CpuId,
+        kind: AccessKind,
+        addr: Address,
+        line: LineAddr,
+        issued: Cycle,
+    ) -> Self {
+        Self {
+            cpu,
+            kind,
+            addr,
+            line,
+            issued,
+            step: 1,
+            retries: 0,
+            state: TxnState::Searching { outstanding: 0 },
+        }
+    }
+
+    /// Enters search step `step` with `outstanding` probes in flight.
+    pub(crate) fn begin_step(&mut self, step: u8, outstanding: u32) {
+        self.step = step;
+        self.state = TxnState::Searching { outstanding };
+    }
+
+    /// A probe hit: the service path is running from `cluster`.
+    pub(crate) fn serve_from(&mut self, cluster: ClusterId) {
+        self.state = TxnState::Serving { cluster };
+    }
+
+    /// The transaction goes (or is going) to memory.
+    pub(crate) fn begin_memory_wait(&mut self) {
+        self.state = TxnState::MemoryWait;
+    }
+
+    /// Whether a probe hit may still claim this transaction.
+    pub(crate) fn is_searching(&self) -> bool {
+        matches!(self.state, TxnState::Searching { .. })
+    }
+
+    /// Whether the transaction went to memory (counts as an L2 miss).
+    pub(crate) fn was_miss(&self) -> bool {
+        matches!(self.state, TxnState::MemoryWait)
+    }
+
+    /// Accounts one probe-miss reply against the current search step.
+    pub(crate) fn note_probe_miss(&mut self) -> MissReply {
+        match &mut self.state {
+            TxnState::Searching { outstanding } => {
+                debug_assert!(*outstanding > 0);
+                *outstanding -= 1;
+                if *outstanding > 0 {
+                    MissReply::StillWaiting
+                } else {
+                    MissReply::Exhausted
+                }
+            }
+            _ => MissReply::Ignored,
+        }
+    }
+}
+
+/// What a requester does after a whole search step missed everywhere.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum SearchOutcome {
+    /// Widen the search: issue step 2 (paper §4.2.1).
+    NextStep,
+    /// The line is resident but migrated between our probes (both the
+    /// old and the new tag array answered "miss"); restart the search
+    /// instead of falsely going to memory.
+    Retry,
+    /// Missed everywhere: fetch the line from memory.
+    Memory,
+}
+
+/// Pure decision for a search step that came back empty-handed.
+///
+/// `step2_empty` — the CPU's plan has no step-2 clusters (its vicinity
+/// already covers the chip). `resident` — the L2 still maps the line
+/// somewhere (the migration race of §4.2.3's lazy movement).
+pub(crate) fn after_search_exhausted(
+    step: u8,
+    step2_empty: bool,
+    resident: bool,
+    retries: u8,
+) -> SearchOutcome {
+    if step == 1 && !step2_empty {
+        SearchOutcome::NextStep
+    } else if resident && retries < MAX_SEARCH_RETRIES {
+        SearchOutcome::Retry
+    } else {
+        SearchOutcome::Memory
+    }
+}
+
+/// The live-transaction table plus the MSHR-style miss ledger.
+///
+/// Keyed by the simulation's own dense ids, so the map (like every
+/// other per-transaction map here) runs on [`FxHashMap`] — SipHash
+/// dominated the lookup cost on this path.
+#[derive(Debug, Default)]
+pub(crate) struct TxnTable {
+    txns: FxHashMap<TxnId, Txn>,
+    next: TxnId,
+    /// Misses waiting on each line's single in-flight memory fetch.
+    pending_fills: FxHashMap<LineAddr, Vec<TxnId>>,
+}
+
+impl TxnTable {
+    /// Admits a new transaction and returns its id.
+    pub(crate) fn allocate(&mut self, txn: Txn) -> TxnId {
+        let id = self.next;
+        self.next += 1;
+        self.txns.insert(id, txn);
+        id
+    }
+
+    /// The live transaction `id`, if it has not completed.
+    pub(crate) fn get(&self, id: TxnId) -> Option<&Txn> {
+        self.txns.get(&id)
+    }
+
+    pub(crate) fn get_mut(&mut self, id: TxnId) -> Option<&mut Txn> {
+        self.txns.get_mut(&id)
+    }
+
+    /// Completes (removes) transaction `id`.
+    pub(crate) fn remove(&mut self, id: TxnId) -> Option<Txn> {
+        self.txns.remove(&id)
+    }
+
+    /// No transactions in flight (the quiescence check).
+    pub(crate) fn is_empty(&self) -> bool {
+        self.txns.is_empty()
+    }
+
+    /// Joins `id` to `line`'s miss ledger; returns `true` if this is the
+    /// first waiter, i.e. the caller must issue the actual memory fetch
+    /// (concurrent misses on the same line merge MSHR-style).
+    pub(crate) fn enqueue_fill(&mut self, line: LineAddr, id: TxnId) -> bool {
+        match self.pending_fills.get_mut(&line) {
+            Some(waiters) => {
+                waiters.push(id);
+                false
+            }
+            None => {
+                self.pending_fills.insert(line, vec![id]);
+                true
+            }
+        }
+    }
+
+    /// Claims every transaction waiting on `line`'s fill.
+    pub(crate) fn take_fill_waiters(&mut self, line: LineAddr) -> Vec<TxnId> {
+        self.pending_fills.remove(&line).unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn txn() -> Txn {
+        Txn::new(
+            CpuId::from_index(0),
+            AccessKind::Read,
+            Address(0x1000),
+            LineAddr(0x1000 / 64),
+            Cycle(5),
+        )
+    }
+
+    /// The search continuation decision, as a table: (step, step2_empty,
+    /// resident, retries) → outcome.
+    #[test]
+    fn search_exhaustion_decision_table() {
+        use SearchOutcome::*;
+        let table = [
+            // Step 1 missing widens to step 2 whenever a step 2 exists,
+            // regardless of residency or retry budget.
+            ((1, false, false, 0), NextStep),
+            ((1, false, true, 0), NextStep),
+            ((1, false, true, 3), NextStep),
+            // A plan without step 2: residency decides.
+            ((1, true, false, 0), Memory),
+            ((1, true, true, 0), Retry),
+            // Step 2 missing retries only while the line is resident and
+            // the budget lasts.
+            ((2, false, true, 0), Retry),
+            ((2, false, true, 2), Retry),
+            ((2, false, true, 3), Memory),
+            ((2, false, false, 0), Memory),
+            ((2, true, false, 1), Memory),
+        ];
+        for ((step, step2_empty, resident, retries), want) in table {
+            assert_eq!(
+                after_search_exhausted(step, step2_empty, resident, retries),
+                want,
+                "step={step} step2_empty={step2_empty} resident={resident} retries={retries}"
+            );
+        }
+    }
+
+    #[test]
+    fn probe_miss_accounting_walks_the_states() {
+        let mut t = txn();
+        t.begin_step(1, 3);
+        assert!(t.is_searching());
+        assert_eq!(t.note_probe_miss(), MissReply::StillWaiting);
+        assert_eq!(t.note_probe_miss(), MissReply::StillWaiting);
+        assert_eq!(t.note_probe_miss(), MissReply::Exhausted);
+        // Once served, late replies are ignored and state sticks.
+        t.begin_step(2, 2);
+        t.serve_from(ClusterId(7));
+        assert!(!t.is_searching());
+        assert_eq!(t.note_probe_miss(), MissReply::Ignored);
+        assert_eq!(
+            t.state,
+            TxnState::Serving {
+                cluster: ClusterId(7)
+            }
+        );
+        // Losing the line mid-service turns the hit into a miss.
+        t.begin_memory_wait();
+        assert!(t.was_miss());
+        assert_eq!(t.note_probe_miss(), MissReply::Ignored);
+    }
+
+    #[test]
+    fn txn_table_merges_concurrent_misses() {
+        let mut table = TxnTable::default();
+        let a = table.allocate(txn());
+        let b = table.allocate(txn());
+        assert_ne!(a, b);
+        let line = LineAddr(9);
+        assert!(table.enqueue_fill(line, a), "first waiter issues the fetch");
+        assert!(!table.enqueue_fill(line, b), "second waiter merges");
+        assert_eq!(table.take_fill_waiters(line), vec![a, b]);
+        assert!(table.take_fill_waiters(line).is_empty());
+        assert!(table.remove(a).is_some());
+        assert!(table.remove(b).is_some());
+        assert!(table.is_empty());
+    }
+}

@@ -1,0 +1,144 @@
+//! Recorded-fingerprint regression harness: the refactor of `System`
+//! into the txn/protocol/fabric layering must be behavior-preserving,
+//! bit for bit. Each cell runs a small seeded simulation and reduces
+//! everything a run can disagree on — the full `RunReport`, the final
+//! cycle, the per-cluster hit/miss matrix, and the epoch-sample rows —
+//! to one stable 64-bit digest ([`nim_types::FxHasher`], not SipHash,
+//! so the value is identical across platforms and toolchains). The
+//! constants below were recorded at the pre-refactor HEAD; any protocol
+//! or timing divergence shows up as a digest mismatch.
+
+use std::fmt::Write as _;
+use std::hash::Hasher as _;
+
+use nim_core::{Scheme, SystemBuilder};
+use nim_obs::{Obs, ObsConfig};
+use nim_types::FxHasher;
+use nim_workload::BenchmarkProfile;
+
+/// One recorded cell: scheme, benchmark, extension knobs, digest.
+struct Cell {
+    scheme: Scheme,
+    benchmark: &'static str,
+    replication: bool,
+    edge_memory: bool,
+    digest: u64,
+}
+
+const CELLS: [Cell; 6] = [
+    Cell {
+        scheme: Scheme::CmpDnuca,
+        benchmark: "art",
+        replication: false,
+        edge_memory: false,
+        digest: 0xd4d8_cfdb_f05b_7bce,
+    },
+    Cell {
+        scheme: Scheme::CmpDnuca2d,
+        benchmark: "art",
+        replication: false,
+        edge_memory: false,
+        digest: 0x6fe4_9685_000a_1fec,
+    },
+    Cell {
+        scheme: Scheme::CmpSnuca3d,
+        benchmark: "art",
+        replication: false,
+        edge_memory: false,
+        digest: 0x9e96_173d_f718_8300,
+    },
+    Cell {
+        scheme: Scheme::CmpDnuca3d,
+        benchmark: "art",
+        replication: false,
+        edge_memory: false,
+        digest: 0xb74d_a056_7cb4_ab97,
+    },
+    // Extension paths: replication and edge memory controllers ride the
+    // same transaction engine, so they are pinned too.
+    Cell {
+        scheme: Scheme::CmpDnuca3d,
+        benchmark: "swim",
+        replication: true,
+        edge_memory: false,
+        digest: 0x2818_2c7c_62c6_ee0b,
+    },
+    Cell {
+        scheme: Scheme::CmpSnuca3d,
+        benchmark: "swim",
+        replication: false,
+        edge_memory: true,
+        digest: 0x5532_e993_0efa_8c26,
+    },
+];
+
+fn profile(name: &str) -> BenchmarkProfile {
+    match name {
+        "art" => BenchmarkProfile::art(),
+        "swim" => BenchmarkProfile::swim(),
+        other => panic!("unknown benchmark {other}"),
+    }
+}
+
+fn digest_of(cell: &Cell) -> u64 {
+    let obs = Obs::new(ObsConfig {
+        sample_every: 2_000,
+        ..ObsConfig::default()
+    });
+    let mut sys = SystemBuilder::new(cell.scheme)
+        .seed(42)
+        .warmup_transactions(50)
+        .sampled_transactions(400)
+        .replication(cell.replication)
+        .edge_memory_controllers(cell.edge_memory)
+        .observability(obs.clone())
+        .build()
+        .expect("system builds");
+    let report = sys.run(&profile(cell.benchmark)).expect("run completes");
+    let mut blob = format!("{report:?}\nfinal_cycle={}\n", sys.network().now().0);
+    obs.with_metrics(|m| {
+        for (name, metric) in m.with_prefix("l2/hits/") {
+            let _ = writeln!(blob, "{name} = {metric:?}");
+        }
+        for (name, metric) in m.with_prefix("l2/miss_from/") {
+            let _ = writeln!(blob, "{name} = {metric:?}");
+        }
+    })
+    .expect("obs enabled");
+    let mut trace = Vec::new();
+    obs.export_trace(&mut trace).expect("trace export");
+    for line in String::from_utf8(trace)
+        .expect("utf-8 trace")
+        .lines()
+        .filter(|l| !l.contains("trace_summary"))
+    {
+        blob.push_str(line);
+        blob.push('\n');
+    }
+    let mut h = FxHasher::default();
+    h.write(blob.as_bytes());
+    h.finish()
+}
+
+#[test]
+fn run_fingerprints_match_the_recorded_pre_refactor_values() {
+    for cell in &CELLS {
+        let got = digest_of(cell);
+        // `NIM_RECORD_FP=1 cargo test -p nim-core --test fingerprints --
+        // --nocapture` prints fresh digests instead of asserting — use it
+        // to re-record after an *intentional* behavior change.
+        if std::env::var_os("NIM_RECORD_FP").is_some() {
+            eprintln!(
+                "RECORD {:?}/{}/repl={}/edge_mc={} 0x{got:016x}",
+                cell.scheme, cell.benchmark, cell.replication, cell.edge_memory
+            );
+            continue;
+        }
+        assert_eq!(
+            got, cell.digest,
+            "{:?}/{}/repl={}/edge_mc={}: fingerprint 0x{got:016x} diverged from \
+             the recorded pre-refactor digest 0x{:016x}",
+            cell.scheme, cell.benchmark, cell.replication, cell.edge_memory, cell.digest
+        );
+    }
+}
