@@ -11,6 +11,11 @@
 //! | Fig. 16 | [`fig16_cache_size`] | latency at 16/32/64 MB, 2D vs 3D |
 //! | Fig. 17 | [`fig17_pillars`] | latency vs pillar count (8/4/2) |
 //! | Fig. 18 | [`fig18_layers`] | latency vs layer count (2/4) |
+//! | — | [`latency_breakdown`] | per-phase latency decomposition, 4 schemes |
+//!
+//! The last exhibit has no counterpart in the paper: it decomposes the
+//! Fig. 13 means into the five attribution phases recorded by the
+//! engine's per-transaction timelines.
 //!
 //! Tables 1 and 2 are pure models, regenerated directly by
 //! [`nim_power::table1`] and [`nim_power::table2_row`].
@@ -269,6 +274,60 @@ pub fn fig15_ipc(
     scale: ExperimentScale,
 ) -> Result<Vec<SchemeComparisonRow>, ExperimentError> {
     fig13_l2_latency(benchmarks, scale)
+}
+
+// ---------------------------------------------------------------------------
+// Latency breakdown — the attribution figure the paper lacks.
+// ---------------------------------------------------------------------------
+
+/// One scheme's per-transaction latency decomposition on one benchmark.
+#[derive(Clone, Debug)]
+pub struct BreakdownRow {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Scheme simulated.
+    pub scheme: Scheme,
+    /// Mean cycles per transaction in each attribution phase, in
+    /// [`Phase::ALL`](crate::txn::Phase::ALL) order.
+    pub phases: [f64; 5],
+}
+
+impl BreakdownRow {
+    /// Mean end-to-end transaction latency — exactly the sum of the
+    /// five phase means, by the attribution sum invariant.
+    pub fn total(&self) -> f64 {
+        self.phases.iter().sum()
+    }
+}
+
+/// The latency-breakdown exhibit: where each scheme's transaction
+/// cycles actually go — horizontal NoC hops, dTDMA pillar waits,
+/// tag/bank serialization, L2 service, or off-chip memory. The paper
+/// reports only end-to-end means (Fig. 13); this decomposes them, per
+/// scheme per benchmark, using the engine's per-transaction timelines.
+///
+/// Rows are grouped per benchmark, [`Scheme::ALL`] order within each.
+///
+/// # Errors
+///
+/// Returns the first cell's [`ExperimentError`] in cell order.
+pub fn latency_breakdown(
+    benchmarks: &[BenchmarkProfile],
+    scale: ExperimentScale,
+) -> Result<Vec<BreakdownRow>, ExperimentError> {
+    let specs: Vec<SweepSpec> = (0..benchmarks.len())
+        .flat_map(|bi| Scheme::ALL.iter().map(move |&s| SweepSpec::new(s, bi)))
+        .collect();
+    let reports = run_cells(benchmarks, scale, &specs)?;
+    Ok(specs
+        .iter()
+        .zip(&reports)
+        .map(|(spec, report)| BreakdownRow {
+            benchmark: benchmarks[spec.benchmark].name.to_string(),
+            scheme: spec.scheme,
+            phases: report.latency_breakdown(),
+        })
+        .collect())
 }
 
 // ---------------------------------------------------------------------------

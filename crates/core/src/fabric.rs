@@ -28,7 +28,9 @@ use crate::timing::{Banks, MemoryChannels, TagArrays};
 use crate::token::{TimedEvent, Token};
 
 // Protocol code imports the passive message types through this seam so
-// `protocol.rs` never names the `nim_noc` crate directly.
+// `protocol.rs` never names the `nim_noc` crate directly. The
+// queue/service delay split rides along for latency attribution.
+pub(crate) use crate::timing::ClaimedDelay;
 pub(crate) use nim_noc::{Delivered, TrafficClass};
 
 /// Everything the protocol engine may ask of the simulation substrate.
@@ -56,19 +58,20 @@ pub(crate) trait Fabric {
     /// same cycle fire in scheduling order.
     fn schedule(&mut self, now: Cycle, delay: u64, ev: TimedEvent);
 
-    /// Claims `cluster`'s tag array for one probe; returns the total
-    /// latency until the lookup completes (queueing included).
-    fn tag_delay(&mut self, cluster: ClusterId, now: Cycle) -> u64;
+    /// Claims `cluster`'s tag array for one probe; returns the latency
+    /// until the lookup completes, split into queueing and service.
+    fn tag_delay(&mut self, cluster: ClusterId, now: Cycle) -> ClaimedDelay;
 
     /// Claims the data bank at node index `node` for one access; returns
-    /// the total latency until it completes. `write` distinguishes
-    /// stores/fills/migration absorbs from reads in the trace.
-    fn bank_delay(&mut self, node: usize, now: Cycle, write: bool) -> u64;
+    /// the latency until it completes, split into queueing and service.
+    /// `write` distinguishes stores/fills/migration absorbs from reads
+    /// in the trace.
+    fn bank_delay(&mut self, node: usize, now: Cycle, write: bool) -> ClaimedDelay;
 
-    /// Claims memory controller `mc`'s DRAM channel; returns the total
-    /// latency until the DRAM access completes (bandwidth queueing
-    /// included).
-    fn memory_delay(&mut self, mc: usize, now: Cycle) -> u64;
+    /// Claims memory controller `mc`'s DRAM channel; returns the
+    /// latency until the DRAM access completes, split into bandwidth
+    /// queueing and the DRAM access itself.
+    fn memory_delay(&mut self, mc: usize, now: Cycle) -> ClaimedDelay;
 
     /// The observability handle protocol code emits events and metrics
     /// through (disabled by default: one branch per site).
@@ -145,11 +148,11 @@ impl Fabric for SimFabric {
             .push(Reverse((now.0 + delay, self.next_seq, ev)));
     }
 
-    fn tag_delay(&mut self, cluster: ClusterId, now: Cycle) -> u64 {
+    fn tag_delay(&mut self, cluster: ClusterId, now: Cycle) -> ClaimedDelay {
         self.tags.claim(cluster, now)
     }
 
-    fn bank_delay(&mut self, node: usize, now: Cycle, write: bool) -> u64 {
+    fn bank_delay(&mut self, node: usize, now: Cycle, write: bool) -> ClaimedDelay {
         self.obs.emit(Category::Bank, || EventData::BankAccess {
             node: node as u32,
             write,
@@ -157,7 +160,7 @@ impl Fabric for SimFabric {
         self.banks.claim(node, now)
     }
 
-    fn memory_delay(&mut self, mc: usize, now: Cycle) -> u64 {
+    fn memory_delay(&mut self, mc: usize, now: Cycle) -> ClaimedDelay {
         self.memory.claim(mc, now)
     }
 
@@ -244,15 +247,15 @@ impl Fabric for TestFabric {
             .push(Reverse((now.0 + delay, self.next_seq, ev)));
     }
 
-    fn tag_delay(&mut self, cluster: ClusterId, now: Cycle) -> u64 {
+    fn tag_delay(&mut self, cluster: ClusterId, now: Cycle) -> ClaimedDelay {
         self.tags.claim(cluster, now)
     }
 
-    fn bank_delay(&mut self, node: usize, now: Cycle, _write: bool) -> u64 {
+    fn bank_delay(&mut self, node: usize, now: Cycle, _write: bool) -> ClaimedDelay {
         self.banks.claim(node, now)
     }
 
-    fn memory_delay(&mut self, mc: usize, now: Cycle) -> u64 {
+    fn memory_delay(&mut self, mc: usize, now: Cycle) -> ClaimedDelay {
         self.memory.claim(mc, now)
     }
 

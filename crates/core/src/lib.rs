@@ -34,6 +34,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod attribution;
 mod builder;
 mod error;
 pub mod experiments;
@@ -53,3 +54,4 @@ pub use error::{BuildError, RunError};
 pub use report::{Counters, RunReport};
 pub use scheme::Scheme;
 pub use system::System;
+pub use txn::Phase;

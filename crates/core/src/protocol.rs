@@ -23,13 +23,11 @@ use nim_topology::{ChipLayout, CpuSeat};
 use nim_types::{AccessKind, ClusterId, Coord, CpuId, Cycle, FxHashMap, LineAddr, PillarId};
 use nim_workload::{cpu_regions, shared_region, BenchmarkProfile};
 
-use crate::fabric::{Delivered, Fabric, TrafficClass};
+use crate::fabric::{ClaimedDelay, Delivered, Fabric, TrafficClass};
 use crate::policy::{MemoryRoute, ProtocolPolicy};
 use crate::report::Counters;
 use crate::token::{TimedEvent, Token};
-use crate::txn::{
-    after_search_exhausted, MissReply, SearchOutcome, Txn, TxnId, TxnState, TxnTable,
-};
+use crate::txn::{after_search_exhausted, MissReply, Phase, SearchOutcome, Txn, TxnId, TxnTable};
 
 #[cfg(test)]
 #[path = "protocol_tests.rs"]
@@ -96,7 +94,7 @@ impl Engine {
     }
 
     /// Claims the bank at `at` through the fabric (node-indexing it).
-    fn bank_delay(&self, f: &mut impl Fabric, at: Coord, now: Cycle, write: bool) -> u64 {
+    fn bank_delay(&self, f: &mut impl Fabric, at: Coord, now: Cycle, write: bool) -> ClaimedDelay {
         f.bank_delay(self.layout.node_index(at), now, write)
     }
 
@@ -109,6 +107,7 @@ impl Engine {
         let id = self
             .txns
             .allocate(Txn::new(req.cpu, req.kind, req.addr, line, now));
+        self.emit_txn_begin(f, id, &req);
         if self.policy.oracle_search() {
             self.perfect_lookup(f, id, now);
         } else {
@@ -216,10 +215,11 @@ impl Engine {
                 let delay = f.tag_delay(cl, now);
                 f.schedule(
                     now,
-                    delay,
+                    delay.total(),
                     TimedEvent::ProbeResolved {
                         txn: id,
                         cluster: cl,
+                        queue: delay.queue,
                     },
                 );
             } else {
@@ -382,14 +382,16 @@ impl Engine {
         self.counters.tag_accesses += clusters.len() as u64;
         for cl in clusters {
             let fanout = u64::from(at.manhattan_2d(self.center(cl)));
-            let delay = f.tag_delay(cl, now) + fanout;
+            let delay = f.tag_delay(cl, now);
             f.schedule(
                 now,
-                delay,
+                delay.total() + fanout,
                 TimedEvent::VerticalClusterResolved {
                     txn: id,
                     cluster: cl,
                     layer,
+                    queue: delay.queue,
+                    fanout,
                 },
             );
         }
@@ -521,7 +523,10 @@ impl Engine {
             .iter()
             .position(|c| *c == at)
             .expect("delivery at a memory controller") as u16;
-        let done = f.memory_delay(mc as usize, now);
+        // Channel bandwidth queueing counts as memory wait (the waiters'
+        // timelines are closed wholesale at the fill), so only the total
+        // matters here.
+        let done = f.memory_delay(mc as usize, now).total();
         f.schedule(now, done, TimedEvent::MemoryReady { line, mc });
     }
 
@@ -542,7 +547,7 @@ impl Engine {
 
     /// The fill reached the home bank: absorb it, then serve the waiters.
     fn mem_fill_arrived(&mut self, f: &mut impl Fabric, line: LineAddr, at: Coord, now: Cycle) {
-        let delay = self.bank_delay(f, at, now, true);
+        let delay = self.bank_delay(f, at, now, true).total();
         f.schedule(now, delay, TimedEvent::MemoryFetched { line });
     }
 
@@ -561,15 +566,28 @@ impl Engine {
         let serving = self.l2.locate(line).expect("just inserted");
         let bank = self.bank_coord(serving, line);
         for id in waiters {
-            let Some(t) = self.txns.get(id).copied() else {
+            let Some(t) = self.txns.get_mut(id) else {
                 continue;
             };
+            // Everything since the waiter's last attribution point was
+            // spent waiting on this fill (DRAM access, channel queueing,
+            // and — under edge controllers — the fill's network legs).
+            t.timeline.credit(Phase::MemWait, now);
+            let t = *t;
             match t.kind {
                 AccessKind::Read | AccessKind::IFetch => {
                     // The fill serves the read directly from the bank.
                     self.counters.bank_accesses += 1;
                     let delay = self.bank_delay(f, bank, now, false);
-                    f.schedule(now, delay, TimedEvent::BankReadDone { txn: id, at: bank });
+                    f.schedule(
+                        now,
+                        delay.total(),
+                        TimedEvent::BankReadDone {
+                            txn: id,
+                            at: bank,
+                            queue: delay.queue,
+                        },
+                    );
                 }
                 AccessKind::Write => {
                     let seat = *self.seat(t.cpu);
@@ -624,7 +642,15 @@ impl Engine {
         if self.l2.replicas_of(t.line).contains(&here) && self.bank_coord(here, t.line) == at {
             self.counters.bank_accesses += 1;
             let delay = self.bank_delay(f, at, now, false);
-            f.schedule(now, delay, TimedEvent::BankReadDone { txn: id, at });
+            f.schedule(
+                now,
+                delay.total(),
+                TimedEvent::BankReadDone {
+                    txn: id,
+                    at,
+                    queue: delay.queue,
+                },
+            );
             return;
         }
         match self.l2.locate(t.line) {
@@ -638,10 +664,18 @@ impl Engine {
                     let tag = if self.policy.oracle_search() {
                         f.tag_delay(cl, now)
                     } else {
-                        0
+                        ClaimedDelay::NONE
                     };
                     let bank = self.bank_delay(f, at, now, false);
-                    f.schedule(now, tag + bank, TimedEvent::BankReadDone { txn: id, at });
+                    f.schedule(
+                        now,
+                        tag.total() + bank.total(),
+                        TimedEvent::BankReadDone {
+                            txn: id,
+                            at,
+                            queue: tag.queue + bank.queue,
+                        },
+                    );
                 } else {
                     // The line migrated while the request was in flight;
                     // chase it.
@@ -690,10 +724,18 @@ impl Engine {
                 .unwrap_or(self.l2.home_cluster(t.line));
             f.tag_delay(cl, now)
         } else {
-            0
+            ClaimedDelay::NONE
         };
         let bank = self.bank_delay(f, at, now, true);
-        f.schedule(now, tag + bank, TimedEvent::BankWritten { txn: id, at });
+        f.schedule(
+            now,
+            tag.total() + bank.total(),
+            TimedEvent::BankWritten {
+                txn: id,
+                at,
+                queue: tag.queue + bank.queue,
+            },
+        );
     }
 
     /// The bank committed the store: acknowledge the CPU.
@@ -718,7 +760,7 @@ impl Engine {
         let Some(t) = self.txns.remove(id) else {
             return;
         };
-        self.finish_counters(f, &t, now);
+        self.finish_counters(f, id, &t, now);
         let evicted = self.cores[t.cpu.index()].data_returned(t.addr);
         if let Some(ev) = evicted {
             self.dir.evict(t.cpu, ev);
@@ -735,7 +777,7 @@ impl Engine {
         let Some(t) = self.txns.remove(id) else {
             return;
         };
-        self.finish_counters(f, &t, now);
+        self.finish_counters(f, id, &t, now);
         self.cores[t.cpu.index()].store_completed();
         // A store makes every L2 replica stale (replication extension).
         let src = self.seat(t.cpu).coord;
@@ -767,44 +809,6 @@ impl Engine {
         }
         let repeated = self.last_accessor.insert(t.line, t.cpu) == Some(t.cpu);
         self.maybe_migrate(f, t.cpu, t.line, repeated);
-    }
-
-    fn finish_counters(&mut self, f: &mut impl Fabric, t: &Txn, now: Cycle) {
-        let latency = now - t.issued;
-        self.counters.l2_transactions += 1;
-        let obs = f.obs();
-        if obs.is_enabled() {
-            // Per-cluster hit/miss matrix: requester's local cluster
-            // crossed with the cluster that served (or "miss").
-            let local = self.plans[t.cpu.index()].local.0;
-            match t.state {
-                TxnState::MemoryWait => {
-                    obs.counter_add(&format!("l2/miss_from/{local}"), 1);
-                }
-                TxnState::Serving { cluster } => {
-                    obs.counter_add(&format!("l2/hits/{local}/{}", cluster.0), 1);
-                }
-                TxnState::Searching { .. } => {}
-            }
-            obs.histogram_record("l2/txn_latency", latency);
-        }
-        if t.was_miss() {
-            self.counters.l2_misses += 1;
-            self.counters.miss_latency_sum += latency;
-        } else {
-            self.counters.l2_hits += 1;
-            self.counters.hit_latency_sum += latency;
-            match t.step {
-                2 => {
-                    self.counters.step2_hits += 1;
-                    self.counters.step2_latency_sum += latency;
-                }
-                _ => {
-                    self.counters.step1_hits += 1;
-                    self.counters.step1_latency_sum += latency;
-                }
-            }
-        }
     }
 
     /// The L2 dropped a line: invalidate every L1 copy — unless the slot
@@ -936,7 +940,7 @@ impl Engine {
         at: Coord,
         now: Cycle,
     ) {
-        let delay = self.bank_delay(f, at, now, true);
+        let delay = self.bank_delay(f, at, now, true).total();
         f.schedule(now, delay, TimedEvent::ReplicaInstalled { line, cluster });
     }
 
@@ -962,7 +966,7 @@ impl Engine {
             Some(to) => self.bank_coord(to, line),
             None => return, // aborted in flight
         };
-        let delay = self.bank_delay(f, at, now, true);
+        let delay = self.bank_delay(f, at, now, true).total();
         f.schedule(now, delay, TimedEvent::MigrationDone { line });
     }
 
@@ -982,17 +986,39 @@ impl Engine {
         }
     }
 
-    /// A timed event came due.
+    /// A timed event came due. Transaction-scoped events close the
+    /// transaction's open segment first, splitting it with the
+    /// queue/fan-out amounts the claim recorded (carried in the event —
+    /// never pre-credited at claim time, where a racing serve path
+    /// could complete first and break the sum invariant).
     pub(crate) fn handle_event(&mut self, f: &mut impl Fabric, ev: TimedEvent, now: Cycle) {
         match ev {
-            TimedEvent::ProbeResolved { txn, cluster } => self.resolve_probe(f, txn, cluster, now),
+            TimedEvent::ProbeResolved {
+                txn,
+                cluster,
+                queue,
+            } => {
+                self.credit_event(txn, queue, 0, now);
+                self.resolve_probe(f, txn, cluster, now);
+            }
             TimedEvent::VerticalClusterResolved {
                 txn,
                 cluster,
                 layer,
-            } => self.vertical_cluster_resolved(f, txn, cluster, layer, now),
-            TimedEvent::BankReadDone { txn, at } => self.bank_read_done(f, txn, at),
-            TimedEvent::BankWritten { txn, at } => self.bank_written(f, txn, at),
+                queue,
+                fanout,
+            } => {
+                self.credit_event(txn, queue, fanout, now);
+                self.vertical_cluster_resolved(f, txn, cluster, layer, now);
+            }
+            TimedEvent::BankReadDone { txn, at, queue } => {
+                self.credit_event(txn, queue, 0, now);
+                self.bank_read_done(f, txn, at);
+            }
+            TimedEvent::BankWritten { txn, at, queue } => {
+                self.credit_event(txn, queue, 0, now);
+                self.bank_written(f, txn, at);
+            }
             TimedEvent::MemoryReady { line, mc } => self.memory_ready(f, line, mc),
             TimedEvent::MemoryFetched { line } => self.memory_fetched(f, line, now),
             TimedEvent::MigrationDone { line } => self.migration_done(f, line),
@@ -1004,10 +1030,20 @@ impl Engine {
 
     /// A packet reached its destination's local port.
     pub(crate) fn handle_delivered(&mut self, f: &mut impl Fabric, d: Delivered, now: Cycle) {
-        match Token::decode(d.token) {
+        let token = Token::decode(d.token);
+        self.credit_delivery(token, &d, now);
+        match token {
             Token::Probe { txn, cluster } => {
                 let delay = f.tag_delay(cluster, now);
-                f.schedule(now, delay, TimedEvent::ProbeResolved { txn, cluster });
+                f.schedule(
+                    now,
+                    delay.total(),
+                    TimedEvent::ProbeResolved {
+                        txn,
+                        cluster,
+                        queue: delay.queue,
+                    },
+                );
             }
             Token::VerticalProbe {
                 txn,

@@ -46,6 +46,7 @@ fn deliver(req: &SendRequest, at: u64) -> Delivered {
         injected: Cycle(at),
         delivered: Cycle(at),
         hops: 0,
+        bus_wait: 0,
     }
 }
 
@@ -266,6 +267,132 @@ fn static_nuca_never_migrates() {
     assert_eq!(eng.counters.migrations, 0);
     assert!(!log.iter().any(|t| matches!(t, Token::MigrationMove { .. })));
     assert_eq!(eng.l2.locate(line), Some(far), "the placement is static");
+}
+
+/// The attribution invariant, per lifecycle path: the five phase
+/// buckets of every completed transaction sum exactly to its
+/// end-to-end latency (`finish_counters` debug-asserts the per-txn
+/// equality; this checks the aggregated counters and that each path
+/// fills the buckets it should).
+#[test]
+fn phase_buckets_sum_to_end_to_end_latency() {
+    let check = |eng: &Engine, path: &str| {
+        let total: u64 = eng.counters.phase_cycles().iter().sum();
+        assert_eq!(
+            total,
+            eng.counters.hit_latency_sum + eng.counters.miss_latency_sum,
+            "{path}: buckets must decompose the latency sums"
+        );
+        assert!(total > 0, "{path}: transactions take time");
+    };
+
+    // Local hit: network + tag/bank service, never memory.
+    let (mut eng, mut f) = harness(Scheme::CmpSnuca3d, |b| b);
+    let line = ADDR.line(eng.line_bytes);
+    eng.l2.insert_at(line, eng.plans[0].local);
+    read(&mut eng, &mut f, CpuId::from_index(0), ADDR);
+    check(&eng, "hit");
+    let [noc, _, _, service, mem] = eng.counters.phase_cycles();
+    assert!(noc > 0 && service > 0, "a hit pays network and L2 service");
+    assert_eq!(mem, 0, "a hit never waits on memory");
+
+    // Flat miss: the fetch is a timed event, so its cycles are memory
+    // wait by definition.
+    let (mut eng, mut f) = harness(Scheme::CmpSnuca3d, |b| b);
+    read(&mut eng, &mut f, CpuId::from_index(0), ADDR);
+    check(&eng, "flat miss");
+    assert!(
+        eng.counters.phase_cycles()[Phase::MemWait as usize] > 0,
+        "a miss waits on the DRAM fetch"
+    );
+
+    // Edge-controller miss: adds the memory-side network legs, which
+    // also land in the memory-wait bucket.
+    let (mut eng, mut f) = harness(Scheme::CmpSnuca3d, |b| b.edge_memory_controllers(true));
+    read(&mut eng, &mut f, CpuId::from_index(0), ADDR);
+    check(&eng, "edge-mc miss");
+
+    // Migration path: the hit completes while the line moves behind it.
+    let (mut eng, mut f) = harness(Scheme::CmpDnuca3d, |b| b);
+    let line = ADDR.line(eng.line_bytes);
+    eng.l2.insert_at(line, eng.plans[0].step2[0]);
+    read(&mut eng, &mut f, CpuId::from_index(0), ADDR);
+    assert_eq!(eng.counters.migrations, 1);
+    check(&eng, "migration");
+
+    // Replication path: the replica fill rides the fabric after the
+    // hit; the requester's own buckets still telescope.
+    let (mut eng, mut f) = harness(Scheme::CmpSnuca3d, |b| b.replication(true));
+    let line = ADDR.line(eng.line_bytes);
+    eng.l2.insert_at(line, eng.plans[0].step2[0]);
+    eng.dir.access(CpuId::from_index(1), line, DirAccess::Read);
+    read(&mut eng, &mut f, CpuId::from_index(0), ADDR);
+    assert_eq!(eng.counters.replicas_created, 1);
+    check(&eng, "replication");
+
+    // Write-through store: data + ack round trip.
+    let (mut eng, mut f) = harness(Scheme::CmpSnuca3d, |b| b);
+    let line = ADDR.line(eng.line_bytes);
+    eng.l2.insert_at(line, eng.plans[0].local);
+    issue(
+        &mut eng,
+        &mut f,
+        CpuId::from_index(0),
+        AccessKind::Write,
+        ADDR,
+    );
+    check(&eng, "write");
+}
+
+/// A search retry (the migration race of §4.2.3) keeps the timeline
+/// telescoped: the line "migrates" away mid-search, both steps miss,
+/// the retry finds it, and the buckets still sum to the latency.
+#[test]
+fn phase_buckets_survive_a_search_retry() {
+    let (mut eng, mut f) = harness(Scheme::CmpSnuca3d, |b| b);
+    let line = ADDR.line(eng.line_bytes);
+    let local = eng.plans[0].local;
+    eng.l2.insert_at(line, eng.plans[0].step2[0]);
+    let mut op = Some(TraceOp {
+        gap: 0,
+        kind: AccessKind::Read,
+        addr: ADDR,
+    });
+    let req = match eng.cores[0].tick(&mut || op.take()) {
+        CoreAction::Request(req) => req,
+        other => panic!("core issued no L2 request: {other:?}"),
+    };
+    eng.handle_request(&mut f, req, Cycle(0));
+    let mut clock = 0;
+    let mut moved = false;
+    for _ in 0..100_000 {
+        // The instant step 2 is issued, yank the line to the local
+        // cluster — every step-2 probe now misses a resident line,
+        // which is exactly the racing-migration retry condition.
+        if !moved && eng.txns.get(0).is_some_and(|t| t.step == 2) {
+            eng.l2.remove(line);
+            eng.l2.insert_at(line, local);
+            moved = true;
+        }
+        if let Some((due, ev)) = f.pop_event() {
+            clock = clock.max(due);
+            eng.handle_event(&mut f, ev, Cycle(clock));
+            continue;
+        }
+        let sent = f.take_sent();
+        if sent.is_empty() {
+            break;
+        }
+        clock += 1;
+        for req in sent {
+            eng.handle_delivered(&mut f, deliver(&req, clock), Cycle(clock));
+        }
+    }
+    assert!(eng.txns.is_empty(), "transaction completed");
+    assert_eq!(eng.counters.search_retries, 1, "the race forced a retry");
+    assert_eq!(eng.counters.l2_hits, 1, "the retry found the line");
+    let total: u64 = eng.counters.phase_cycles().iter().sum();
+    assert_eq!(total, eng.counters.hit_latency_sum);
 }
 
 #[test]

@@ -42,6 +42,21 @@ pub struct Counters {
     pub step2_latency_sum: u64,
     /// Read-only replicas created (replication extension).
     pub replicas_created: u64,
+    /// Cycles completed transactions spent traversing the horizontal
+    /// mesh (wormhole hops, router waits, reply fan-out).
+    pub noc_hop_cycles: u64,
+    /// Cycles completed transactions spent waiting for a dTDMA pillar
+    /// slot.
+    pub pillar_wait_cycles: u64,
+    /// Cycles completed transactions spent queueing behind tag-array
+    /// and bank serialization.
+    pub resource_queue_cycles: u64,
+    /// Cycles completed transactions spent in L2 service proper (tag
+    /// lookups, bank reads/writes).
+    pub l2_service_cycles: u64,
+    /// Cycles completed transactions spent waiting on DRAM (channel
+    /// queueing, the access itself, and the memory-side network legs).
+    pub mem_wait_cycles: u64,
 }
 
 impl Counters {
@@ -63,7 +78,26 @@ impl Counters {
             step1_latency_sum: self.step1_latency_sum - earlier.step1_latency_sum,
             step2_latency_sum: self.step2_latency_sum - earlier.step2_latency_sum,
             replicas_created: self.replicas_created - earlier.replicas_created,
+            noc_hop_cycles: self.noc_hop_cycles - earlier.noc_hop_cycles,
+            pillar_wait_cycles: self.pillar_wait_cycles - earlier.pillar_wait_cycles,
+            resource_queue_cycles: self.resource_queue_cycles - earlier.resource_queue_cycles,
+            l2_service_cycles: self.l2_service_cycles - earlier.l2_service_cycles,
+            mem_wait_cycles: self.mem_wait_cycles - earlier.mem_wait_cycles,
         }
+    }
+
+    /// The five attribution buckets in [`Phase`](crate::txn::Phase)
+    /// order. Their sum equals `hit_latency_sum + miss_latency_sum`
+    /// exactly — every completed transaction's end-to-end latency is
+    /// fully decomposed (the standing sum invariant).
+    pub fn phase_cycles(&self) -> [u64; 5] {
+        [
+            self.noc_hop_cycles,
+            self.pillar_wait_cycles,
+            self.resource_queue_cycles,
+            self.l2_service_cycles,
+            self.mem_wait_cycles,
+        ]
     }
 }
 
@@ -148,6 +182,16 @@ impl RunReport {
         }
     }
 
+    /// Mean cycles per completed transaction spent in each attribution
+    /// phase, in [`Phase::ALL`](crate::txn::Phase::ALL) order. The five
+    /// means sum to the mean end-to-end transaction latency.
+    pub fn latency_breakdown(&self) -> [f64; 5] {
+        let n = self.counters.l2_transactions;
+        self.counters
+            .phase_cycles()
+            .map(|c| if n == 0 { 0.0 } else { c as f64 / n as f64 })
+    }
+
     /// Activity counts for the energy model.
     pub fn activity(&self) -> ActivityCounts {
         ActivityCounts {
@@ -192,6 +236,11 @@ mod tests {
                 step1_latency_sum: 1500,
                 step2_latency_sum: 900,
                 replicas_created: 0,
+                noc_hop_cycles: 5000,
+                pillar_wait_cycles: 400,
+                resource_queue_cycles: 600,
+                l2_service_cycles: 1400,
+                mem_wait_cycles: 3000,
             },
             network: NetworkStats::default(),
             bus_transfers: 50,
@@ -207,6 +256,17 @@ mod tests {
         assert!((r.l2_miss_rate() - 0.2).abs() < 1e-12);
         assert!((r.migrations_per_transaction() - 0.1).abs() < 1e-12);
         assert!(r.energy().total_j() > 0.0);
+    }
+
+    #[test]
+    fn breakdown_means_sum_to_the_mean_latency() {
+        let r = report();
+        assert_eq!(r.latency_breakdown(), [50.0, 4.0, 6.0, 14.0, 30.0]);
+        let total: u64 = r.counters.phase_cycles().iter().sum();
+        assert_eq!(
+            total,
+            r.counters.hit_latency_sum + r.counters.miss_latency_sum
+        );
     }
 
     #[test]

@@ -48,12 +48,17 @@ pub(crate) struct SampleBuf {
 
 /// The fixed (non-indexed) columns of the epoch sample, appended after
 /// the per-pillar and per-cluster occupancy columns.
-const SAMPLE_COUNTERS: [&str; 5] = [
+const SAMPLE_COUNTERS: [&str; 10] = [
     "l2/hits",
     "l2/misses",
     "migrations",
     "net/packets_delivered",
     "net/flit_hops",
+    "phase/noc_hop",
+    "phase/pillar_wait",
+    "phase/resource_queue",
+    "phase/l2_service",
+    "phase/mem_wait",
 ];
 
 /// The assembled chip multiprocessor.
@@ -284,6 +289,10 @@ impl System {
         values.push(self.engine.counters.migrations as f64);
         values.push(net.packets_delivered as f64);
         values.push(net.flit_hops as f64);
+        // Cumulative phase buckets. These move only when a transaction
+        // completes — a delivery or timed event, never a dead cycle —
+        // so the columns stay bit-identical under horizon skipping.
+        values.extend(self.engine.counters.phase_cycles().map(|c| c as f64));
         self.obs
             .record_sample_cols(now, &self.sample_buf.names, &self.sample_buf.values);
     }
@@ -350,6 +359,11 @@ impl System {
         self.obs.counter_set("sys/invalidations", c.invalidations);
         self.obs.counter_set("sys/search_retries", c.search_retries);
         self.obs.counter_set("sys/migrations", c.migrations);
+        for (phase, cycles) in crate::txn::Phase::ALL.iter().zip(c.phase_cycles()) {
+            name.clear();
+            let _ = write!(name, "phase/{}", phase.name());
+            self.obs.counter_set(&name, cycles);
+        }
         self.obs
             .gauge_set("sim/cycles_per_sec", self.obs.cycles_per_sec());
     }

@@ -19,6 +19,32 @@ use nim_types::{ClusterId, Cycle};
 /// array — concurrent searches crowding a cluster's tag array queue up.
 pub(crate) const TAG_INITIATION: u64 = 2;
 
+/// A claimed resource's delay, split into the cycles spent queueing
+/// behind earlier claimants and the cycles of actual service. The split
+/// feeds latency attribution ([`crate::txn::Phase`]); timing-wise only
+/// [`ClaimedDelay::total`] matters, and it equals what `claim` returned
+/// before the split existed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ClaimedDelay {
+    /// Cycles waiting for the resource's slot (serialization queueing).
+    pub queue: u64,
+    /// Cycles of service once the slot is held.
+    pub service: u64,
+}
+
+impl ClaimedDelay {
+    /// A zero delay (e.g. a tag check the oracle skips).
+    pub const NONE: ClaimedDelay = ClaimedDelay {
+        queue: 0,
+        service: 0,
+    };
+
+    /// Total cycles until the claimed operation completes.
+    pub fn total(self) -> u64 {
+        self.queue + self.service
+    }
+}
+
 /// The per-cluster tag arrays (paper §4.1): pipelined lookups that
 /// accept one new probe every [`TAG_INITIATION`] cycles.
 #[derive(Clone, Debug)]
@@ -37,13 +63,16 @@ impl TagArrays {
         }
     }
 
-    /// Total latency until a tag probe of `cluster` completes, occupying
-    /// the array's issue slot.
-    pub(crate) fn claim(&mut self, cluster: ClusterId, now: Cycle) -> u64 {
+    /// Latency until a tag probe of `cluster` completes, occupying the
+    /// array's issue slot, split into queue wait and lookup service.
+    pub(crate) fn claim(&mut self, cluster: ClusterId, now: Cycle) -> ClaimedDelay {
         let slot = &mut self.busy[cluster.index()];
         let start = (*slot).max(now.0);
         *slot = start + TAG_INITIATION;
-        (start - now.0) + self.latency
+        ClaimedDelay {
+            queue: start - now.0,
+            service: self.latency,
+        }
     }
 }
 
@@ -69,14 +98,18 @@ impl Banks {
         }
     }
 
-    /// Total latency until an access of bank `node` completes, counting
-    /// the access; the bank performs one access at a time.
-    pub(crate) fn claim(&mut self, node: usize, now: Cycle) -> u64 {
+    /// Latency until an access of bank `node` completes, counting the
+    /// access; the bank performs one access at a time, so a busy bank
+    /// adds queue cycles before its fixed-service access.
+    pub(crate) fn claim(&mut self, node: usize, now: Cycle) -> ClaimedDelay {
         self.access_counts[node] += 1;
         let slot = &mut self.busy[node];
         let start = (*slot).max(now.0);
         *slot = start + self.latency;
-        (start - now.0) + self.latency
+        ClaimedDelay {
+            queue: start - now.0,
+            service: self.latency,
+        }
     }
 
     /// Accesses each bank performed so far, indexed like
@@ -108,12 +141,15 @@ impl MemoryChannels {
         }
     }
 
-    /// Total latency until controller `mc` finishes a DRAM access
-    /// claimed now, queueing behind the channel's bandwidth limit.
-    pub(crate) fn claim(&mut self, mc: usize, now: Cycle) -> u64 {
+    /// Latency until controller `mc` finishes a DRAM access claimed
+    /// now, queueing behind the channel's bandwidth limit.
+    pub(crate) fn claim(&mut self, mc: usize, now: Cycle) -> ClaimedDelay {
         let start = self.ready[mc].max(now.0);
         self.ready[mc] = start + self.interval;
-        (start - now.0) + self.latency
+        ClaimedDelay {
+            queue: start - now.0,
+            service: self.latency,
+        }
     }
 }
 
@@ -121,40 +157,49 @@ impl MemoryChannels {
 mod tests {
     use super::*;
 
+    fn delay(queue: u64, service: u64) -> ClaimedDelay {
+        ClaimedDelay { queue, service }
+    }
+
     #[test]
     fn tag_arrays_pipeline_at_the_initiation_interval() {
         let mut tags = TagArrays::new(4, 8);
         let now = Cycle(100);
         // An idle array answers after the bare lookup latency.
-        assert_eq!(tags.claim(ClusterId(0), now), 8);
-        // The next probe in the same cycle waits one initiation slot.
-        assert_eq!(tags.claim(ClusterId(0), now), TAG_INITIATION + 8);
-        assert_eq!(tags.claim(ClusterId(0), now), 2 * TAG_INITIATION + 8);
+        assert_eq!(tags.claim(ClusterId(0), now), delay(0, 8));
+        // The next probe in the same cycle waits one initiation slot;
+        // the wait is queueing, the lookup itself stays 8 cycles.
+        assert_eq!(tags.claim(ClusterId(0), now), delay(TAG_INITIATION, 8));
+        assert_eq!(tags.claim(ClusterId(0), now), delay(2 * TAG_INITIATION, 8));
+        assert_eq!(
+            tags.claim(ClusterId(0), now).total(),
+            2 * TAG_INITIATION + 8 + TAG_INITIATION
+        );
         // A different cluster's array is unaffected.
-        assert_eq!(tags.claim(ClusterId(1), now), 8);
+        assert_eq!(tags.claim(ClusterId(1), now), delay(0, 8));
     }
 
     #[test]
     fn banks_serialise_accesses_and_count_them() {
         let mut banks = Banks::new(2, 5);
         let now = Cycle(0);
-        assert_eq!(banks.claim(0, now), 5);
-        assert_eq!(banks.claim(0, now), 10);
-        assert_eq!(banks.claim(1, now), 5);
+        assert_eq!(banks.claim(0, now), delay(0, 5));
+        assert_eq!(banks.claim(0, now), delay(5, 5));
+        assert_eq!(banks.claim(1, now), delay(0, 5));
         assert_eq!(banks.access_counts(), &[2, 1]);
         // After the backlog drains the bank answers at full speed again.
-        assert_eq!(banks.claim(0, Cycle(10)), 5);
+        assert_eq!(banks.claim(0, Cycle(10)), delay(0, 5));
     }
 
     #[test]
     fn memory_channels_honour_the_bandwidth_interval() {
         let mut mem = MemoryChannels::new(2, 16, 260);
         let now = Cycle(0);
-        assert_eq!(mem.claim(0, now), 260);
+        assert_eq!(mem.claim(0, now), delay(0, 260));
         // Queued behind the channel's 16-cycle acceptance interval.
-        assert_eq!(mem.claim(0, now), 16 + 260);
-        assert_eq!(mem.claim(0, now), 32 + 260);
+        assert_eq!(mem.claim(0, now), delay(16, 260));
+        assert_eq!(mem.claim(0, now), delay(32, 260));
         // The second controller has its own channel.
-        assert_eq!(mem.claim(1, now), 260);
+        assert_eq!(mem.claim(1, now), delay(0, 260));
     }
 }

@@ -85,6 +85,28 @@ impl Token {
         (kind << KIND_SHIFT) | payload
     }
 
+    /// The transaction this token belongs to, if it carries one (the
+    /// line-scoped tokens — migrations, invalidations, replica and
+    /// memory traffic — serve no single transaction; their network time
+    /// lands in the waiters' memory-wait bucket or in no bucket at all).
+    pub(crate) fn txn_id(self) -> Option<TxnId> {
+        match self {
+            Token::Probe { txn, .. }
+            | Token::VerticalProbe { txn, .. }
+            | Token::ProbeMiss { txn }
+            | Token::BankFetch { txn }
+            | Token::DataToCpu { txn }
+            | Token::FoundForWrite { txn, .. }
+            | Token::WriteData { txn }
+            | Token::WriteAck { txn } => Some(txn),
+            Token::MigrationMove { .. }
+            | Token::Invalidate { .. }
+            | Token::ReplicaFill { .. }
+            | Token::MemRequest { .. }
+            | Token::MemFill { .. } => None,
+        }
+    }
+
     /// Unpacks a packet cookie.
     ///
     /// # Panics
@@ -136,20 +158,35 @@ impl Token {
 /// so the derived event ordering is never what decides execution order.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
 pub(crate) enum TimedEvent {
-    /// A tag array finished probing for a transaction.
-    ProbeResolved { txn: TxnId, cluster: ClusterId },
+    /// A tag array finished probing for a transaction. `queue` is the
+    /// serialization wait the claim charged before the lookup started —
+    /// carried here so attribution can split the delay at fire time
+    /// (the timeline must never be advanced past `now` at claim time:
+    /// a racing serve path could complete first and break the sum
+    /// invariant).
+    ProbeResolved {
+        txn: TxnId,
+        cluster: ClusterId,
+        queue: u64,
+    },
     /// One tag array finished probing a pillar broadcast (fan-out from
     /// the pillar node charged per cluster; the misses of a layer are
-    /// aggregated into a single reply).
+    /// aggregated into a single reply). `queue` is the tag claim's
+    /// serialization wait, `fanout` the per-hop charge from the pillar
+    /// node to the probed cluster.
     VerticalClusterResolved {
         txn: TxnId,
         cluster: ClusterId,
         layer: u8,
+        queue: u64,
+        fanout: u64,
     },
-    /// The bank at `at` finished a read for the transaction.
-    BankReadDone { txn: TxnId, at: Coord },
-    /// The bank at `at` finished a write for the transaction.
-    BankWritten { txn: TxnId, at: Coord },
+    /// The bank at `at` finished a read for the transaction; `queue` is
+    /// the combined tag/bank serialization wait of the claims.
+    BankReadDone { txn: TxnId, at: Coord, queue: u64 },
+    /// The bank at `at` finished a write for the transaction; `queue`
+    /// as for [`TimedEvent::BankReadDone`].
+    BankWritten { txn: TxnId, at: Coord, queue: u64 },
     /// A memory controller finished a DRAM access; the fill may depart.
     MemoryReady { line: LineAddr, mc: u16 },
     /// The fetched line is installed and ready to serve its waiters.

@@ -27,6 +27,123 @@ use nim_types::{AccessKind, Address, ClusterId, CpuId, Cycle, FxHashMap, LineAdd
 /// table; dense, so per-transaction maps hash cheaply).
 pub(crate) type TxnId = u32;
 
+/// Where a transaction's cycles went: the fixed phase taxonomy of the
+/// latency-attribution layer. Every cycle between issue and completion
+/// lands in exactly one bucket (see `TxnTimeline`, the
+/// crate-internal telescoping accumulator).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Phase {
+    /// Horizontal NoC transfer: injection, routing, and per-hop
+    /// traversal of the 2D mesh (plus pillar fan-out hops).
+    NocHop = 0,
+    /// Waiting for a dTDMA pillar bus grant (vertical serialization).
+    PillarWait = 1,
+    /// Serialization queueing at a tag array's issue slot, a bank's
+    /// single access port, or a DRAM channel's bandwidth interval.
+    ResourceQueue = 2,
+    /// In service at the L2: tag lookup and bank access cycles.
+    L2Service = 3,
+    /// Waiting on a DRAM fetch (the shared per-line memory fill).
+    MemWait = 4,
+}
+
+impl Phase {
+    /// Every phase, in bucket order.
+    pub const ALL: [Phase; 5] = [
+        Phase::NocHop,
+        Phase::PillarWait,
+        Phase::ResourceQueue,
+        Phase::L2Service,
+        Phase::MemWait,
+    ];
+
+    /// Stable short name (used for metric keys and sampler columns).
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::NocHop => "noc_hop",
+            Phase::PillarWait => "pillar_wait",
+            Phase::ResourceQueue => "resource_queue",
+            Phase::L2Service => "l2_service",
+            Phase::MemWait => "mem_wait",
+        }
+    }
+}
+
+/// Cycle-exact attribution of one transaction's lifetime to the
+/// [`Phase`] buckets.
+///
+/// The timeline is a telescoping sum: `last` is the cycle up to which
+/// every elapsed cycle has been attributed, and each engine touch closes
+/// the segment `[last, now]` into one bucket and advances `last` to
+/// `now`. Because segments never overlap and never leave gaps, the
+/// buckets sum to `completed − issued` *by construction* — the standing
+/// accounting invariant `finish_counters` debug-asserts on every
+/// completion.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) struct TxnTimeline {
+    /// Cycle up to which this transaction's time is attributed.
+    last: u64,
+    /// Attributed cycles, indexed by `Phase as usize`.
+    buckets: [u64; Phase::ALL.len()],
+}
+
+impl TxnTimeline {
+    /// A fresh timeline: nothing attributed yet, anchored at issue.
+    pub(crate) fn new(issued: Cycle) -> Self {
+        Self {
+            last: issued.0,
+            buckets: [0; Phase::ALL.len()],
+        }
+    }
+
+    /// Attributes every cycle from the last attribution point up to
+    /// `now` to `phase`. A touch at (or before) `last` is a no-op, so
+    /// multiple same-cycle touches are safe.
+    pub(crate) fn credit(&mut self, phase: Phase, now: Cycle) {
+        if now.0 > self.last {
+            self.buckets[phase as usize] += now.0 - self.last;
+            self.last = now.0;
+        }
+    }
+
+    /// Attributes the segment `[last, now]` across several phases: each
+    /// `(phase, cycles)` part is taken in turn, clamped to what remains
+    /// of the segment, and whatever is left goes to `rest`. Used where a
+    /// delivery or timed event carries known sub-delays — a packet's
+    /// pillar-grant wait inside its total network time, or a claimed
+    /// resource's queue-before-service split. Clamping (rather than
+    /// asserting) is deliberate: with several probes of one transaction
+    /// in flight, an earlier-completing touch may have already closed
+    /// part of the segment.
+    pub(crate) fn credit_with(&mut self, rest: Phase, parts: &[(Phase, u64)], now: Cycle) {
+        if now.0 > self.last {
+            let mut seg = now.0 - self.last;
+            for &(phase, cycles) in parts {
+                let take = cycles.min(seg);
+                self.buckets[phase as usize] += take;
+                seg -= take;
+            }
+            self.buckets[rest as usize] += seg;
+            self.last = now.0;
+        }
+    }
+
+    /// Attributed cycles per phase, in [`Phase::ALL`] order.
+    pub(crate) fn buckets(&self) -> [u64; Phase::ALL.len()] {
+        self.buckets
+    }
+
+    /// Sum over all buckets.
+    pub(crate) fn total(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// The cycle up to which this timeline is attributed.
+    pub(crate) fn attributed_to(&self) -> u64 {
+        self.last
+    }
+}
+
 /// Search restarts allowed after racing migrations before giving up and
 /// going to memory.
 pub(crate) const MAX_SEARCH_RETRIES: u8 = 3;
@@ -73,6 +190,10 @@ pub(crate) struct Txn {
     pub(crate) retries: u8,
     /// Lifecycle state.
     pub(crate) state: TxnState,
+    /// Per-phase latency attribution (always on: pure inline
+    /// arithmetic, no allocation — the obs handle only gates whether
+    /// spans are *emitted*, never whether cycles are attributed).
+    pub(crate) timeline: TxnTimeline,
 }
 
 /// What a probe-miss reply means to its transaction.
@@ -107,6 +228,7 @@ impl Txn {
             step: 1,
             retries: 0,
             state: TxnState::Searching { outstanding: 0 },
+            timeline: TxnTimeline::new(issued),
         }
     }
 
@@ -317,6 +439,42 @@ mod tests {
         t.begin_memory_wait();
         assert!(t.was_miss());
         assert_eq!(t.note_probe_miss(), MissReply::Ignored);
+    }
+
+    #[test]
+    fn timeline_buckets_telescope_to_the_elapsed_total() {
+        let mut tl = TxnTimeline::new(Cycle(100));
+        tl.credit(Phase::NocHop, Cycle(110));
+        // Same-cycle (and stale) touches attribute nothing.
+        tl.credit(Phase::MemWait, Cycle(110));
+        tl.credit(Phase::MemWait, Cycle(90));
+        // A split: 15-cycle segment, 6 cycles of it known queueing.
+        tl.credit_with(Phase::NocHop, &[(Phase::ResourceQueue, 6)], Cycle(125));
+        tl.credit(Phase::L2Service, Cycle(130));
+        let b = tl.buckets();
+        assert_eq!(b[Phase::NocHop as usize], 10 + 9);
+        assert_eq!(b[Phase::ResourceQueue as usize], 6);
+        assert_eq!(b[Phase::L2Service as usize], 5);
+        assert_eq!(b[Phase::MemWait as usize], 0);
+        assert_eq!(tl.total(), 30);
+        assert_eq!(tl.attributed_to(), 130);
+    }
+
+    #[test]
+    fn timeline_split_clamps_parts_to_the_segment() {
+        let mut tl = TxnTimeline::new(Cycle(0));
+        // Claimed waits (7 + 2) exceed the elapsed segment (4): parts
+        // clamp in order, nothing goes negative, the total still
+        // telescopes.
+        tl.credit_with(
+            Phase::L2Service,
+            &[(Phase::PillarWait, 7), (Phase::NocHop, 2)],
+            Cycle(4),
+        );
+        assert_eq!(tl.buckets()[Phase::PillarWait as usize], 4);
+        assert_eq!(tl.buckets()[Phase::NocHop as usize], 0);
+        assert_eq!(tl.buckets()[Phase::L2Service as usize], 0);
+        assert_eq!(tl.total(), 4);
     }
 
     #[test]

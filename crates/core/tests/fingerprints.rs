@@ -31,28 +31,28 @@ const CELLS: [Cell; 6] = [
         benchmark: "art",
         replication: false,
         edge_memory: false,
-        digest: 0xd4d8_cfdb_f05b_7bce,
+        digest: 0x0ee7_c86c_4fe6_2387,
     },
     Cell {
         scheme: Scheme::CmpDnuca2d,
         benchmark: "art",
         replication: false,
         edge_memory: false,
-        digest: 0x6fe4_9685_000a_1fec,
+        digest: 0x2c6a_1a7a_85f4_e914,
     },
     Cell {
         scheme: Scheme::CmpSnuca3d,
         benchmark: "art",
         replication: false,
         edge_memory: false,
-        digest: 0x9e96_173d_f718_8300,
+        digest: 0x8df6_94aa_7ffe_8b04,
     },
     Cell {
         scheme: Scheme::CmpDnuca3d,
         benchmark: "art",
         replication: false,
         edge_memory: false,
-        digest: 0xb74d_a056_7cb4_ab97,
+        digest: 0x18b1_8f4e_0855_283e,
     },
     // Extension paths: replication and edge memory controllers ride the
     // same transaction engine, so they are pinned too.
@@ -61,14 +61,14 @@ const CELLS: [Cell; 6] = [
         benchmark: "swim",
         replication: true,
         edge_memory: false,
-        digest: 0x2818_2c7c_62c6_ee0b,
+        digest: 0xf829_379c_7dd2_84a9,
     },
     Cell {
         scheme: Scheme::CmpSnuca3d,
         benchmark: "swim",
         replication: false,
         edge_memory: true,
-        digest: 0x5532_e993_0efa_8c26,
+        digest: 0x2449_2d76_1062_62e2,
     },
 ];
 

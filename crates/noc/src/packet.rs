@@ -124,6 +124,9 @@ pub struct Flit {
     pub arrived: Cycle,
     /// Router traversals so far (head flit only is meaningful).
     pub hops: u16,
+    /// Cycles spent waiting for dTDMA pillar slots so far (head flit
+    /// only is meaningful) — the vertical-arbitration share of latency.
+    pub bus_wait: u32,
 }
 
 impl Flit {
@@ -139,6 +142,7 @@ impl Flit {
         injected: Cycle::ZERO,
         arrived: Cycle::ZERO,
         hops: 0,
+        bus_wait: 0,
     };
 }
 
@@ -282,6 +286,10 @@ pub struct Delivered {
     pub delivered: Cycle,
     /// Router/bus traversals of the head flit.
     pub hops: u16,
+    /// Cycles the head flit spent waiting for dTDMA pillar slots —
+    /// receivers split [`Delivered::latency`] into horizontal hop time
+    /// and vertical arbitration wait.
+    pub bus_wait: u32,
 }
 
 impl Delivered {
@@ -368,6 +376,7 @@ mod tests {
             injected: Cycle(10),
             delivered: Cycle(25),
             hops: 2,
+            bus_wait: 3,
         };
         assert_eq!(d.latency(), 15);
     }

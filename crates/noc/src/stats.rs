@@ -107,6 +107,7 @@ mod tests {
             injected: Cycle(0),
             delivered: Cycle(10),
             hops: 3,
+            bus_wait: 0,
         };
         s.record_delivery(&d);
         let d2 = Delivered {

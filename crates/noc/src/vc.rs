@@ -151,6 +151,7 @@ mod tests {
             injected: Cycle::ZERO,
             arrived: Cycle::ZERO,
             hops: 0,
+            bus_wait: 0,
         }
     }
 

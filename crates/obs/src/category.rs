@@ -26,11 +26,14 @@ pub enum Category {
     Memory = 7,
     /// Annotations and exporter metadata.
     Meta = 8,
+    /// Per-transaction latency spans (begin/end pairs for sampled
+    /// transactions, with the phase-bucket breakdown on the end event).
+    Txn = 9,
 }
 
 impl Category {
     /// Every category, in bit order.
-    pub const ALL: [Category; 9] = [
+    pub const ALL: [Category; 10] = [
         Category::Packet,
         Category::Hop,
         Category::Pillar,
@@ -40,6 +43,7 @@ impl Category {
         Category::Bank,
         Category::Memory,
         Category::Meta,
+        Category::Txn,
     ];
 
     /// Stable lowercase name (the trace `cat` field and filter token).
@@ -54,6 +58,7 @@ impl Category {
             Category::Bank => "bank",
             Category::Memory => "memory",
             Category::Meta => "meta",
+            Category::Txn => "txn",
         }
     }
 
@@ -80,7 +85,7 @@ pub struct CategoryMask(u16);
 
 impl CategoryMask {
     /// Every category enabled.
-    pub const ALL: CategoryMask = CategoryMask((1 << 9) - 1);
+    pub const ALL: CategoryMask = CategoryMask((1 << 10) - 1);
     /// Nothing enabled.
     pub const NONE: CategoryMask = CategoryMask(0);
 

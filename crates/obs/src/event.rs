@@ -76,6 +76,24 @@ pub enum EventData {
     MemFill { line: u64 },
     /// Free-form annotation (also exercises JSON escaping).
     Note { label: String },
+    /// A sampled transaction was issued (opens a Perfetto async span;
+    /// paired with [`EventData::TxnEnd`] via the transaction id).
+    TxnBegin {
+        txn: u64,
+        cpu: u32,
+        kind: &'static str,
+    },
+    /// A sampled transaction completed, carrying its full latency
+    /// decomposition: the five buckets sum to `total` exactly.
+    TxnEnd {
+        txn: u64,
+        noc_hop: u64,
+        pillar_wait: u64,
+        resource_queue: u64,
+        l2_service: u64,
+        mem_wait: u64,
+        total: u64,
+    },
 }
 
 impl EventData {
@@ -97,6 +115,7 @@ impl EventData {
             EventData::BankAccess { .. } | EventData::Eviction { .. } => Category::Bank,
             EventData::MemRequest { .. } | EventData::MemFill { .. } => Category::Memory,
             EventData::Note { .. } => Category::Meta,
+            EventData::TxnBegin { .. } | EventData::TxnEnd { .. } => Category::Txn,
         }
     }
 
@@ -123,6 +142,18 @@ impl EventData {
             EventData::MemRequest { .. } => "mem_request",
             EventData::MemFill { .. } => "mem_fill",
             EventData::Note { .. } => "note",
+            EventData::TxnBegin { .. } | EventData::TxnEnd { .. } => "txn",
+        }
+    }
+
+    /// Chrome `ph` phase and async-span id: instant events are
+    /// `("i", None)`; transaction spans pair `"b"`/`"e"` events through
+    /// the transaction id so Perfetto renders them as one async slice.
+    fn phase(&self) -> (&'static str, Option<u64>) {
+        match self {
+            EventData::TxnBegin { txn, .. } => ("b", Some(*txn)),
+            EventData::TxnEnd { txn, .. } => ("e", Some(*txn)),
+            _ => ("i", None),
         }
     }
 
@@ -212,6 +243,25 @@ impl EventData {
                 out.push_str("\"label\":");
                 push_json_string(out, label);
             }
+            EventData::TxnBegin { txn, cpu, kind } => {
+                let _ = write!(out, "\"txn\":{txn},\"cpu\":{cpu},\"kind\":\"{kind}\"");
+            }
+            EventData::TxnEnd {
+                txn,
+                noc_hop,
+                pillar_wait,
+                resource_queue,
+                l2_service,
+                mem_wait,
+                total,
+            } => {
+                let _ = write!(
+                    out,
+                    "\"txn\":{txn},\"noc_hop\":{noc_hop},\"pillar_wait\":{pillar_wait},\
+                     \"resource_queue\":{resource_queue},\"l2_service\":{l2_service},\
+                     \"mem_wait\":{mem_wait},\"total\":{total}"
+                );
+            }
         }
     }
 }
@@ -222,14 +272,30 @@ impl Event {
     /// cycle, mapped 1 cycle = 1 µs; `tid` is the category track.
     pub fn write_chrome_json(&self, out: &mut String) {
         let cat = self.data.category();
-        let _ = write!(
-            out,
-            "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"i\",\"ts\":{},\"pid\":0,\"tid\":{},\"s\":\"t\",\"args\":{{",
-            self.data.name(),
-            cat.name(),
-            self.cycle,
-            cat.index()
-        );
+        match self.data.phase() {
+            // Async span halves carry an `id` (pairs "b" with "e") and
+            // no instant scope.
+            (ph, Some(id)) => {
+                let _ = write!(
+                    out,
+                    "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"{ph}\",\"id\":{id},\"ts\":{},\"pid\":0,\"tid\":{},\"args\":{{",
+                    self.data.name(),
+                    cat.name(),
+                    self.cycle,
+                    cat.index()
+                );
+            }
+            _ => {
+                let _ = write!(
+                    out,
+                    "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"i\",\"ts\":{},\"pid\":0,\"tid\":{},\"s\":\"t\",\"args\":{{",
+                    self.data.name(),
+                    cat.name(),
+                    self.cycle,
+                    cat.index()
+                );
+            }
+        }
         self.data.write_args(out);
         out.push_str("}}");
     }
@@ -255,6 +321,46 @@ mod tests {
             out,
             "{\"name\":\"slot_grant\",\"cat\":\"pillar\",\"ph\":\"i\",\"ts\":42,\"pid\":0,\
              \"tid\":2,\"s\":\"t\",\"args\":{\"pillar\":3,\"from_layer\":0,\"to_layer\":1}}"
+        );
+    }
+
+    #[test]
+    fn txn_spans_serialize_as_async_pairs() {
+        let b = Event {
+            cycle: 100,
+            data: EventData::TxnBegin {
+                txn: 7,
+                cpu: 2,
+                kind: "read",
+            },
+        };
+        let mut out = String::new();
+        b.write_chrome_json(&mut out);
+        assert_eq!(
+            out,
+            "{\"name\":\"txn\",\"cat\":\"txn\",\"ph\":\"b\",\"id\":7,\"ts\":100,\"pid\":0,\
+             \"tid\":9,\"args\":{\"txn\":7,\"cpu\":2,\"kind\":\"read\"}}"
+        );
+
+        let e = Event {
+            cycle: 130,
+            data: EventData::TxnEnd {
+                txn: 7,
+                noc_hop: 19,
+                pillar_wait: 0,
+                resource_queue: 6,
+                l2_service: 5,
+                mem_wait: 0,
+                total: 30,
+            },
+        };
+        out.clear();
+        e.write_chrome_json(&mut out);
+        assert_eq!(
+            out,
+            "{\"name\":\"txn\",\"cat\":\"txn\",\"ph\":\"e\",\"id\":7,\"ts\":130,\"pid\":0,\
+             \"tid\":9,\"args\":{\"txn\":7,\"noc_hop\":19,\"pillar_wait\":0,\
+             \"resource_queue\":6,\"l2_service\":5,\"mem_wait\":0,\"total\":30}}"
         );
     }
 

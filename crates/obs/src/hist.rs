@@ -61,6 +61,16 @@ impl LatencyHistogram {
         }
         1 << 16
     }
+
+    /// The standard latency readout — (p50, p95, p99) upper bounds —
+    /// in one call. All zeros for an empty histogram.
+    pub fn percentiles(&self) -> (u64, u64, u64) {
+        (
+            self.quantile_upper_bound(0.50),
+            self.quantile_upper_bound(0.95),
+            self.quantile_upper_bound(0.99),
+        )
+    }
 }
 
 impl fmt::Display for LatencyHistogram {
@@ -115,6 +125,8 @@ mod tests {
         assert_eq!(h.quantile_upper_bound(0.5), 16);
         assert_eq!(h.quantile_upper_bound(0.99), 128);
         assert_eq!(LatencyHistogram::default().quantile_upper_bound(0.5), 0);
+        assert_eq!(h.percentiles(), (16, 128, 128));
+        assert_eq!(LatencyHistogram::default().percentiles(), (0, 0, 0));
     }
 
     #[test]

@@ -73,6 +73,9 @@ pub struct ObsConfig {
     pub mask: CategoryMask,
     /// Snapshot metrics every this many cycles (0 disables sampling).
     pub sample_every: u64,
+    /// Emit begin/end latency spans for every Nth transaction
+    /// (0 disables transaction spans).
+    pub txn_sample: u64,
 }
 
 impl Default for ObsConfig {
@@ -82,6 +85,7 @@ impl Default for ObsConfig {
             trace_capacity: 1 << 20,
             mask: CategoryMask::default_trace(),
             sample_every: 0,
+            txn_sample: 0,
         }
     }
 }
@@ -95,6 +99,7 @@ struct Inner {
     sample_every: u64,
     next_sample: Cell<u64>,
     sampler: RefCell<EpochSampler>,
+    txn_sample: u64,
 }
 
 /// Shared observability handle threaded through the simulator.
@@ -141,6 +146,7 @@ impl Obs {
                 sample_every: config.sample_every,
                 next_sample: Cell::new(config.sample_every.max(1)),
                 sampler: RefCell::new(EpochSampler::new(config.sample_every.max(1))),
+                txn_sample: config.txn_sample,
             })),
         }
     }
@@ -172,6 +178,23 @@ impl Obs {
     pub fn wants(&self, cat: Category) -> bool {
         match &self.inner {
             Some(inner) => inner.tracing && inner.mask.contains(cat),
+            None => false,
+        }
+    }
+
+    /// Whether transaction `txn_id` is selected for begin/end span
+    /// emission: tracing must be on, [`Category::Txn`] unfiltered, and
+    /// the id a multiple of the configured sampling stride. One branch
+    /// when disabled.
+    #[inline]
+    pub fn txn_span_due(&self, txn_id: u64) -> bool {
+        match &self.inner {
+            Some(inner) => {
+                inner.txn_sample > 0
+                    && inner.tracing
+                    && inner.mask.contains(Category::Txn)
+                    && txn_id.is_multiple_of(inner.txn_sample)
+            }
             None => false,
         }
     }
@@ -492,6 +515,36 @@ mod tests {
         assert_eq!(obs.next_sample_at(), Some(200));
         obs.record_sample(437, &[("m", 2.0)]);
         assert_eq!(obs.next_sample_at(), Some(500));
+    }
+
+    #[test]
+    fn txn_span_sampling_strides_over_ids() {
+        assert!(!Obs::disabled().txn_span_due(0));
+        let off = Obs::new(ObsConfig {
+            trace: true,
+            ..ObsConfig::default()
+        });
+        assert!(!off.txn_span_due(0), "txn_sample 0 keeps spans off");
+        let every3 = Obs::new(ObsConfig {
+            trace: true,
+            txn_sample: 3,
+            ..ObsConfig::default()
+        });
+        assert!(every3.txn_span_due(0));
+        assert!(!every3.txn_span_due(1));
+        assert!(every3.txn_span_due(6));
+        let untraced = Obs::new(ObsConfig {
+            txn_sample: 1,
+            ..ObsConfig::default()
+        });
+        assert!(!untraced.txn_span_due(0), "spans need the trace ring");
+        let filtered = Obs::new(ObsConfig {
+            trace: true,
+            txn_sample: 1,
+            mask: CategoryMask::ALL.without(Category::Txn),
+            ..ObsConfig::default()
+        });
+        assert!(!filtered.txn_span_due(0));
     }
 
     #[test]

@@ -140,12 +140,8 @@ impl MetricsRegistry {
                         }
                         let _ = write!(out, "{b}");
                     }
-                    let _ = write!(
-                        out,
-                        "],\"p50\":{},\"p99\":{}}}",
-                        h.quantile_upper_bound(0.5),
-                        h.quantile_upper_bound(0.99)
-                    );
+                    let (p50, p95, p99) = h.percentiles();
+                    let _ = write!(out, "],\"p50\":{p50},\"p95\":{p95},\"p99\":{p99}}}");
                 }
             }
         }
@@ -191,5 +187,7 @@ mod tests {
         assert!(out.contains("\"g\":1.5"));
         assert!(out.contains("\"count\":1"));
         assert!(out.contains("\"p50\":16"));
+        assert!(out.contains("\"p95\":16"));
+        assert!(out.contains("\"p99\":16"));
     }
 }

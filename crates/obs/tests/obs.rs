@@ -10,7 +10,7 @@ fn ring_wrap_keeps_newest_and_counts_dropped() {
         trace: true,
         trace_capacity: 4,
         mask: CategoryMask::ALL,
-        sample_every: 0,
+        ..ObsConfig::default()
     });
     for cycle in 0..10u64 {
         obs.set_now(cycle);

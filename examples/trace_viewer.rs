@@ -3,8 +3,10 @@
 //!
 //! Writes `nim-trace.json` in the current directory — a Chrome
 //! `trace_event` JSON array with one track per event category (packets,
-//! dTDMA pillar slots, NUCA search probes, migrations, coherence, banks)
-//! and counter tracks for the epoch-sampled series. Open it at
+//! dTDMA pillar slots, NUCA search probes, migrations, coherence, banks),
+//! async begin/end spans for sampled L2 transactions (each end event
+//! carries the five-phase latency breakdown in its args), and counter
+//! tracks for the epoch-sampled series. Open it at
 //! <https://ui.perfetto.dev> or `chrome://tracing`; 1 µs on the timeline
 //! is 1 simulated cycle.
 //!
@@ -22,11 +24,13 @@ use network_in_memory::workload::BenchmarkProfile;
 
 fn main() -> Result<(), Box<dyn Error>> {
     // Everything except the per-flit hop firehose, sampled every 500
-    // cycles. Add `.with(Category::Hop)` to see individual router hops.
+    // cycles, plus a span for every 20th transaction. Add
+    // `.with(Category::Hop)` to see individual router hops.
     let obs = Obs::new(ObsConfig {
         trace: true,
         mask: CategoryMask::default_trace(),
         sample_every: 500,
+        txn_sample: 20,
         ..ObsConfig::default()
     });
     SystemBuilder::new(Scheme::CmpDnuca3d)
@@ -49,6 +53,9 @@ fn main() -> Result<(), Box<dyn Error>> {
         obs.cycles_per_sec(),
     );
     println!("open it at https://ui.perfetto.dev — tracks are event categories;");
-    println!("counter tracks carry the epoch-sampled occupancy/hit series.");
+    println!("counter tracks carry the epoch-sampled occupancy/hit series;");
+    println!("the txn track holds sampled transaction spans whose end events");
+    println!("carry the noc_hop/pillar_wait/resource_queue/l2_service/mem_wait");
+    println!("latency breakdown in their args.");
     Ok(())
 }

@@ -15,8 +15,8 @@ use std::fs::File;
 use std::io::BufWriter;
 use std::process::ExitCode;
 
-use network_in_memory::core::experiments::table3_thermal;
-use network_in_memory::core::{Scheme, SystemBuilder};
+use network_in_memory::core::experiments::{latency_breakdown, table3_thermal, ExperimentScale};
+use network_in_memory::core::{Phase, Scheme, SystemBuilder};
 use network_in_memory::obs::{CategoryMask, Obs, ObsConfig};
 use network_in_memory::workload::BenchmarkProfile;
 
@@ -29,6 +29,7 @@ USAGE:
 COMMANDS:
     run        simulate one scheme on one benchmark
     compare    simulate all four schemes on one benchmark
+    breakdown  per-phase latency decomposition, all four schemes
     thermal    print the Table 3 thermal profiles
     list       list benchmarks and schemes
     help       show this message
@@ -53,6 +54,9 @@ OBSERVABILITY (run only; all off by default):
                               all except the per-flit 'hop' firehose)
     --metrics-out <path>      write final metrics + epoch samples JSON
     --sample-every <cycles>   snapshot metrics every N cycles (0 = off)
+    --trace-txn-sample <n>    emit begin/end spans with the per-phase
+                              latency breakdown for every n-th
+                              transaction (0 = off; implies tracing)
 ";
 
 fn parse_scheme(s: &str) -> Result<Scheme, String> {
@@ -79,6 +83,7 @@ struct Options {
     trace_filter: CategoryMask,
     metrics_out: Option<String>,
     sample_every: u64,
+    txn_sample: u64,
 }
 
 impl Default for Options {
@@ -96,6 +101,7 @@ impl Default for Options {
             trace_filter: CategoryMask::default_trace(),
             metrics_out: None,
             sample_every: 0,
+            txn_sample: 0,
         }
     }
 }
@@ -104,13 +110,21 @@ impl Options {
     /// Builds the observability handle the flags ask for — a disabled
     /// handle (one branch per instrumentation point) when no flag is set.
     fn obs(&self) -> Obs {
-        if self.trace_out.is_none() && self.metrics_out.is_none() && self.sample_every == 0 {
+        if self.trace_out.is_none()
+            && self.metrics_out.is_none()
+            && self.sample_every == 0
+            && self.txn_sample == 0
+        {
             return Obs::disabled();
         }
         Obs::new(ObsConfig {
-            trace: self.trace_out.is_some(),
+            // Transaction spans live in the trace ring, so sampling them
+            // implies tracing even without --trace-out (the run summary
+            // still reports the event count).
+            trace: self.trace_out.is_some() || self.txn_sample > 0,
             mask: self.trace_filter,
             sample_every: self.sample_every,
+            txn_sample: self.txn_sample,
             ..ObsConfig::default()
         })
     }
@@ -152,6 +166,11 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 opts.sample_every = value()?
                     .parse()
                     .map_err(|e| format!("--sample-every: {e}"))?
+            }
+            "--trace-txn-sample" => {
+                opts.txn_sample = value()?
+                    .parse()
+                    .map_err(|e| format!("--trace-txn-sample: {e}"))?
             }
             other => return Err(format!("unknown option '{other}'")),
         }
@@ -242,6 +261,30 @@ fn main() -> ExitCode {
             .and_then(|opts| {
                 println!("benchmark: {}", opts.bench.name);
                 run_one(&opts, opts.scheme, opts.obs())
+            }),
+        "breakdown" => parse_options(&args[1..])
+            .map_err(Into::into)
+            .and_then(|opts| {
+                println!("benchmark: {}", opts.bench.name);
+                let scale = ExperimentScale {
+                    seed: opts.seed,
+                    warmup: opts.warmup,
+                    sample: opts.sample,
+                };
+                let rows = latency_breakdown(std::slice::from_ref(&opts.bench), scale)?;
+                print!("{:<14}", "scheme");
+                for phase in Phase::ALL {
+                    print!(" {:>14}", phase.name());
+                }
+                println!(" {:>14}", "total");
+                for row in rows {
+                    print!("{:<14}", row.scheme.label());
+                    for mean in row.phases {
+                        print!(" {:>14.2}", mean);
+                    }
+                    println!(" {:>14.2}", row.total());
+                }
+                Ok(())
             }),
         "compare" => parse_options(&args[1..])
             .map_err(Into::into)
@@ -339,6 +382,19 @@ mod tests {
     #[test]
     fn obs_defaults_to_disabled() {
         assert!(!parse_options(&[]).unwrap().obs().is_enabled());
+    }
+
+    #[test]
+    fn txn_sampling_implies_tracing() {
+        let opts = parse_options(&args(&["--trace-txn-sample", "100"])).unwrap();
+        assert_eq!(opts.txn_sample, 100);
+        let obs = opts.obs();
+        assert!(obs.is_enabled(), "span sampling enables observability");
+        assert!(obs.txn_span_due(0), "txn 0 is on the stride");
+        assert!(!obs.txn_span_due(1), "txn 1 is off the stride");
+        assert!(parse_options(&args(&["--trace-txn-sample", "x"]))
+            .unwrap_err()
+            .contains("--trace-txn-sample"));
     }
 
     #[test]
