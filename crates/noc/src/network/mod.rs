@@ -1,0 +1,507 @@
+//! The cycle-accurate network engine.
+//!
+//! [`Network`] owns every router, pillar bus, injection queue, and delivery
+//! queue of the chip and advances them one clock cycle per [`Network::tick`].
+//! Each cycle runs three phases:
+//!
+//! 1. **Bus phase** ([`bus_phase`]) — every dTDMA pillar transfers at most
+//!    one flit from a transceiver interface to the destination layer's
+//!    pillar router (round-robin over active interfaces = dynamic slot
+//!    allocation).
+//! 2. **Router phase** ([`router_phase`]) — every active router performs
+//!    switch allocation: per output port, the winning flit traverses to
+//!    the next router's input VC (single-stage router: one hop per cycle
+//!    on a win).
+//! 3. **Injection phase** ([`injection`]) — each node's network interface
+//!    streams at most one flit of its oldest pending packet into a
+//!    local-input VC.
+//!
+//! A flit stamped `arrived == now` cannot move again in the same cycle, so
+//! ordering of phases never lets a flit traverse two hops per cycle.
+//! Routers with no buffered flits are skipped entirely via a dirty list,
+//! buses with nothing queued via an active-pillar list, which keeps big
+//! idle meshes cheap to tick.
+//!
+//! Beyond per-cycle ticking, [`Network::next_event_at`] reports the
+//! earliest future cycle at which any phase could change state, and
+//! [`Network::advance_to`] batch-advances the clock across the provably
+//! dead span before it — the hook `System::run` uses to skip serialisation
+//! stalls and event waits even with traffic in flight. All flit storage
+//! lives in one pooled [`FlitArena`](crate::packet::FlitArena), so queue
+//! operations never reallocate and the hot path stays cache-local.
+
+mod bus_phase;
+mod injection;
+mod router_phase;
+
+use std::collections::VecDeque;
+
+use nim_obs::{Category, EventData, Obs};
+use nim_topology::ChipLayout;
+use nim_types::{Coord, Cycle, Dir, NetworkConfig, PacketId};
+
+use crate::dtdma::{BusStats, DtdmaBus};
+use crate::packet::{Delivered, Flit, FlitArena, SendRequest};
+use crate::router::Router;
+use crate::routing::VerticalMode;
+use crate::stats::NetworkStats;
+
+/// One pending packet at a node's network interface.
+#[derive(Clone, Copy, Debug)]
+struct Pending {
+    id: PacketId,
+    req: SendRequest,
+    seq: u32,
+    injected: Cycle,
+}
+
+/// Per-node injection state.
+#[derive(Clone, Debug, Default)]
+struct Injector {
+    queue: VecDeque<Pending>,
+    /// VC the current packet is streaming into.
+    vc: Option<usize>,
+}
+
+/// One movable head flit found during a router's single input scan,
+/// with its route already computed (look-ahead routing runs once per
+/// flit instead of once per output port probed).
+#[derive(Clone, Copy, Debug)]
+struct Candidate {
+    /// `in_dir * vcs + vc`, the round-robin arbitration slot.
+    slot: u16,
+    /// Output port the flit requests.
+    out: Dir,
+    flit: Flit,
+}
+
+/// The on-chip network: stacked wormhole meshes joined by dTDMA pillars
+/// (or by a full 3D mesh in the ablation mode).
+#[derive(Clone, Debug)]
+pub struct Network {
+    layout: ChipLayout,
+    mode: VerticalMode,
+    vcs: usize,
+    /// Cycles a flit dwells in a router before it may leave (Table 4:
+    /// 1-cycle single-stage router; the 7-port ablation uses 2).
+    router_latency: u64,
+    /// Bus cycles per flit on the pillars (1 for a flit-wide bus; more
+    /// when the via budget only affords a narrower vertical bus).
+    bus_cycles_per_flit: u64,
+    /// Per-bus earliest next grant time (serialisation of narrow buses).
+    bus_ready_at: Vec<u64>,
+    routers: Vec<Router>,
+    buses: Vec<DtdmaBus>,
+    /// Bus index at each node position, if the node is a pillar node.
+    bus_of_node: Vec<Option<u16>>,
+    injectors: Vec<Injector>,
+    outbox: Vec<VecDeque<Delivered>>,
+    delivered_nodes: Vec<u32>,
+    in_delivered: Vec<bool>,
+    dirty: Vec<u32>,
+    in_dirty: Vec<bool>,
+    inj_active: Vec<u32>,
+    in_inj: Vec<bool>,
+    /// Buses with at least one queued flit (the pillar analogue of the
+    /// router dirty list).
+    bus_active: Vec<u16>,
+    in_bus_active: Vec<bool>,
+    /// Pooled backing store for every VC and transceiver FIFO.
+    arena: FlitArena,
+    /// Retired work lists, kept to reuse their capacity each tick.
+    dirty_scratch: Vec<u32>,
+    inj_scratch: Vec<u32>,
+    bus_scratch: Vec<u16>,
+    cand_scratch: Vec<Candidate>,
+    now: Cycle,
+    next_pkt: u64,
+    flits_in_flight: u64,
+    stats: NetworkStats,
+    /// Flit traversals through each router (node-indexed), for
+    /// utilisation maps and hotspot analysis.
+    traversals: Vec<u64>,
+    /// Observability sink; disabled by default (one branch per event).
+    obs: Obs,
+}
+
+/// A [`Coord`] as the `[x, y, layer]` triple trace events carry.
+#[inline]
+fn c3(c: Coord) -> [u16; 3] {
+    [u16::from(c.x), u16::from(c.y), u16::from(c.layer)]
+}
+
+impl Network {
+    /// Builds the network for a chip layout.
+    ///
+    /// `mode` selects the vertical interconnect: [`VerticalMode::Pillars`]
+    /// is the paper's hybrid NoC/bus design; [`VerticalMode::Mesh3d`] is
+    /// the rejected 7-port router kept for the design-search ablation.
+    pub fn new(layout: &ChipLayout, cfg: &NetworkConfig, mode: VerticalMode) -> Self {
+        let vcs = cfg.vcs_per_port as usize;
+        let depth = cfg.vc_depth_flits as usize;
+        let n = layout.num_nodes();
+        let mut arena = FlitArena::default();
+        let mut routers = Vec::with_capacity(n);
+        let mut bus_of_node = vec![None; n];
+        for i in 0..n {
+            let c = layout.coord_of_index(i);
+            let mut dirs = vec![Dir::Local];
+            for d in Dir::MESH {
+                if d.step(c.x, c.y, layout.width(), layout.height()).is_some() {
+                    dirs.push(d);
+                }
+            }
+            match mode {
+                VerticalMode::Pillars => {
+                    if layout.layers() > 1 && layout.is_pillar_node(c) {
+                        dirs.push(Dir::Vertical);
+                    }
+                }
+                VerticalMode::Mesh3d => {
+                    if c.layer + 1 < layout.layers() {
+                        dirs.push(Dir::Up);
+                    }
+                    if c.layer > 0 {
+                        dirs.push(Dir::Down);
+                    }
+                }
+            }
+            routers.push(Router::new(&mut arena, c, &dirs, &dirs, vcs, depth));
+        }
+        let mut buses = Vec::new();
+        if mode == VerticalMode::Pillars && layout.layers() > 1 {
+            for p in 0..layout.num_pillars() {
+                let pillar = nim_types::PillarId(p);
+                let xy = layout.pillar_xy(pillar);
+                for layer in 0..layout.layers() {
+                    let idx = layout.node_index(Coord::new(xy.0, xy.1, layer));
+                    bus_of_node[idx] = Some(p);
+                }
+                buses.push(DtdmaBus::new(
+                    &mut arena,
+                    pillar,
+                    xy,
+                    layout.layers(),
+                    depth,
+                ));
+            }
+        }
+        Self {
+            layout: layout.clone(),
+            mode,
+            vcs,
+            router_latency: u64::from(cfg.router_latency).max(1),
+            bus_cycles_per_flit: u64::from(cfg.bus_cycles_per_flit()).max(1),
+            bus_ready_at: vec![
+                0;
+                if mode == VerticalMode::Pillars && layout.layers() > 1 {
+                    layout.num_pillars() as usize
+                } else {
+                    0
+                }
+            ],
+            in_bus_active: vec![false; buses.len()],
+            routers,
+            buses,
+            bus_of_node,
+            injectors: vec![Injector::default(); n],
+            outbox: vec![VecDeque::new(); n],
+            delivered_nodes: Vec::new(),
+            in_delivered: vec![false; n],
+            dirty: Vec::new(),
+            in_dirty: vec![false; n],
+            inj_active: Vec::new(),
+            in_inj: vec![false; n],
+            bus_active: Vec::new(),
+            arena,
+            dirty_scratch: Vec::new(),
+            inj_scratch: Vec::new(),
+            bus_scratch: Vec::new(),
+            cand_scratch: Vec::new(),
+            now: Cycle::ZERO,
+            next_pkt: 0,
+            flits_in_flight: 0,
+            stats: NetworkStats::default(),
+            traversals: vec![0; n],
+            obs: Obs::disabled(),
+        }
+    }
+
+    /// Attaches an observability handle; events and per-tick cycle
+    /// stamps flow into it from now on. The network drives
+    /// [`Obs::set_now`], so the same handle shared by other components
+    /// sees a consistent clock.
+    pub fn set_obs(&mut self, obs: Obs) {
+        obs.set_now(self.now.0);
+        self.obs = obs;
+    }
+
+    /// The current simulated time.
+    #[inline]
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Whether no flits are buffered, queued, or awaiting injection.
+    #[inline]
+    pub fn is_idle(&self) -> bool {
+        self.flits_in_flight == 0
+    }
+
+    /// Accumulated statistics.
+    #[inline]
+    pub fn stats(&self) -> &NetworkStats {
+        &self.stats
+    }
+
+    /// Per-bus statistics, indexed by pillar.
+    pub fn bus_stats(&self) -> Vec<BusStats> {
+        let mut out = Vec::new();
+        self.bus_stats_into(&mut out);
+        out
+    }
+
+    /// Clears `buf` and fills it with per-bus statistics, indexed by
+    /// pillar — the allocation-free variant callers on a sampling path
+    /// use with a reused buffer (mirrors
+    /// [`Network::drain_delivered_into`]).
+    pub fn bus_stats_into(&self, buf: &mut Vec<BusStats>) {
+        buf.clear();
+        buf.extend(self.buses.iter().map(|b| b.stats));
+    }
+
+    /// Flits currently queued at each pillar bus's transceiver
+    /// interfaces, indexed by pillar — the instantaneous occupancy the
+    /// epoch sampler snapshots.
+    pub fn bus_occupancies(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.bus_occupancies_into(&mut out);
+        out
+    }
+
+    /// Clears `buf` and fills it with the per-pillar queued-flit counts;
+    /// see [`Network::bus_stats_into`].
+    pub fn bus_occupancies_into(&self, buf: &mut Vec<usize>) {
+        buf.clear();
+        buf.extend(self.buses.iter().map(|b| b.queued()));
+    }
+
+    /// Flit traversals through each router, indexed like
+    /// [`ChipLayout::node_index`](nim_topology::ChipLayout::node_index) —
+    /// the utilisation map behind congestion analysis.
+    pub fn traversals(&self) -> &[u64] {
+        &self.traversals
+    }
+
+    /// Queues a packet for injection at `req.src`. Returns its id.
+    ///
+    /// The packet's latency clock starts now; injection itself contends
+    /// for the node's single flit-wide link into its router.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `req.flits == 0` or an endpoint is outside the mesh.
+    pub fn send(&mut self, req: SendRequest) -> PacketId {
+        assert!(req.flits >= 1, "packet must have at least one flit");
+        assert!(
+            self.layout.contains(req.src),
+            "src {} outside mesh",
+            req.src
+        );
+        assert!(
+            self.layout.contains(req.dst),
+            "dst {} outside mesh",
+            req.dst
+        );
+        let id = PacketId(self.next_pkt);
+        self.next_pkt += 1;
+        let node = self.layout.node_index(req.src);
+        self.injectors[node].queue.push_back(Pending {
+            id,
+            req,
+            seq: 0,
+            injected: self.now,
+        });
+        self.mark_inj(node);
+        self.flits_in_flight += u64::from(req.flits);
+        self.stats.packets_sent += 1;
+        self.obs.emit(Category::Packet, || EventData::PacketInject {
+            packet: id.0,
+            src: c3(req.src),
+            dst: c3(req.dst),
+            class: req.class.name(),
+            flits: req.flits,
+        });
+        id
+    }
+
+    /// Pops the oldest packet delivered at node `c`, if any.
+    pub fn pop_delivered(&mut self, c: Coord) -> Option<Delivered> {
+        let idx = self.layout.node_index(c);
+        self.outbox[idx].pop_front()
+    }
+
+    /// Drains every delivered packet, in (node, arrival) order.
+    pub fn drain_delivered(&mut self) -> Vec<Delivered> {
+        let mut out = Vec::new();
+        self.drain_delivered_into(&mut out);
+        out
+    }
+
+    /// Whether any delivered packets await pickup.
+    #[inline]
+    pub fn has_deliveries(&self) -> bool {
+        !self.delivered_nodes.is_empty()
+    }
+
+    /// Drains all delivered packets into `buf` (in node order, then
+    /// arrival order per node), touching only the nodes that actually
+    /// received something.
+    pub fn drain_delivered_into(&mut self, buf: &mut Vec<Delivered>) {
+        // Single receiver — the common case when draining every cycle —
+        // needs no sort.
+        if let [n] = self.delivered_nodes[..] {
+            self.delivered_nodes.clear();
+            self.in_delivered[n as usize] = false;
+            buf.extend(self.outbox[n as usize].drain(..));
+            return;
+        }
+        let mut nodes = std::mem::take(&mut self.delivered_nodes);
+        nodes.sort_unstable();
+        for &n in &nodes {
+            self.in_delivered[n as usize] = false;
+            buf.extend(self.outbox[n as usize].drain(..));
+        }
+        nodes.clear();
+        self.delivered_nodes = nodes;
+    }
+
+    /// Advances the clock over a known-quiet span without ticking.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any flit is in flight — skipping would change behaviour.
+    pub fn advance_idle(&mut self, cycles: u64) {
+        assert!(self.is_idle(), "advance_idle with traffic in flight");
+        self.advance_to(Cycle(self.now.0 + cycles));
+    }
+
+    /// Batch-advances the clock to `to` without running per-cycle phases,
+    /// even with traffic in flight.
+    ///
+    /// Callers must only jump across provably-dead spans: `to` must lie
+    /// strictly before [`Network::next_event_at`], so that every skipped
+    /// cycle would have been a no-op tick.
+    pub fn advance_to(&mut self, to: Cycle) {
+        debug_assert!(to.0 >= self.now.0, "advance_to moving backwards");
+        debug_assert!(
+            self.next_event_at().is_none_or(|t| to.0 < t.0),
+            "advance_to({}) skips a cycle where a phase fires",
+            to.0
+        );
+        self.now = to;
+        self.obs.set_now(self.now.0);
+    }
+
+    /// The earliest future cycle at which any phase could change state —
+    /// the next-event horizon — or `None` when the network is idle.
+    ///
+    /// The bound is exact-or-early, never late: the returned cycle may
+    /// turn out to be a no-op (a speculative bus grant or switch
+    /// allocation can still fail on VC backpressure, which mutates
+    /// nothing), but every cycle strictly before it is provably dead, so
+    /// [`Network::advance_to`] may jump to `horizon - 1` unconditionally.
+    pub fn next_event_at(&self) -> Option<Cycle> {
+        if self.is_idle() {
+            return None;
+        }
+        let next = self.now.0 + 1;
+        let mut earliest = u64::MAX;
+        // Injection streams one flit per cycle while packets are pending.
+        if !self.inj_active.is_empty() {
+            earliest = next;
+        }
+        // A bus grants once it is free of any serialisation window and a
+        // queued flit has dwelt one cycle at its transceiver interface.
+        for &b in &self.bus_active {
+            let b = b as usize;
+            let front = self.buses[b]
+                .ifaces
+                .iter()
+                .filter_map(|i| i.q.front(&self.arena))
+                .map(|f| f.arrived.0 + 1)
+                .min();
+            if let Some(t) = front {
+                earliest = earliest.min(t.max(self.bus_ready_at[b]).max(next));
+            }
+        }
+        // A router moves a front flit once it has dwelt `router_latency`.
+        for &n in &self.dirty {
+            let r = &self.routers[n as usize];
+            if r.occupancy == 0 {
+                continue;
+            }
+            for port in r.inputs.iter().flatten() {
+                for vc in 0..self.vcs {
+                    if let Some(f) = port.vc(vc).front(&self.arena) {
+                        earliest = earliest.min((f.arrived.0 + self.router_latency).max(next));
+                    }
+                }
+            }
+        }
+        // Flits in flight always sit in some queue the scans above cover;
+        // fall back to the very next cycle rather than ever over-skipping.
+        Some(Cycle(if earliest == u64::MAX { next } else { earliest }))
+    }
+
+    /// Advances the network by one clock cycle.
+    pub fn tick(&mut self) {
+        self.now += 1;
+        self.obs.set_now(self.now.0);
+        self.bus_phase(self.now);
+        self.router_phase(self.now);
+        self.injection_phase(self.now);
+    }
+
+    /// Ticks until the network is idle, up to `max_cycles`. Returns the
+    /// number of cycles consumed, or `None` if traffic is still in flight
+    /// at the limit (useful to catch livelock in tests).
+    pub fn run_until_idle(&mut self, max_cycles: u64) -> Option<u64> {
+        let start = self.now;
+        while !self.is_idle() {
+            if self.now - start >= max_cycles {
+                return None;
+            }
+            self.tick();
+        }
+        Some(self.now - start)
+    }
+
+    #[inline]
+    fn mark_dirty(&mut self, node: usize) {
+        if !self.in_dirty[node] {
+            self.in_dirty[node] = true;
+            self.dirty.push(node as u32);
+        }
+    }
+
+    #[inline]
+    fn mark_inj(&mut self, node: usize) {
+        if !self.in_inj[node] {
+            self.in_inj[node] = true;
+            self.inj_active.push(node as u32);
+        }
+    }
+
+    #[inline]
+    fn mark_bus(&mut self, bus: usize) {
+        if !self.in_bus_active[bus] {
+            self.in_bus_active[bus] = true;
+            self.bus_active.push(bus as u16);
+        }
+    }
+}
+
+#[cfg(test)]
+#[path = "../network_tests.rs"]
+mod tests;
