@@ -1,10 +1,14 @@
 //! Machine-readable parallel-sweep benchmark.
 //!
 //! Runs the Figure-13 grid (every benchmark × every scheme) twice — once
-//! with one worker, once with `NIM_JOBS` (default: all cores) — and
-//! writes `BENCH_sweep.json` with cycles simulated, wall seconds,
-//! cycles/sec, and the jobs=N speedup over jobs=1, plus a `deterministic`
-//! flag asserting the two sweeps produced identical reports.
+//! with one worker, once with `NIM_JOBS` (default: all cores, clamped to
+//! the cores actually available) — and writes `BENCH_sweep.json` with
+//! cycles simulated, wall seconds, cycles/sec, and the jobs=N speedup
+//! over jobs=1, plus a `deterministic` flag asserting the two sweeps
+//! produced identical reports. A second section times one *single* run
+//! sequentially and with the network cut into 2 shards
+//! (`SystemBuilder::shards`), reporting `cycles_per_sec_sharded` and
+//! asserting the sharded report is bit-identical.
 //!
 //! ```sh
 //! NIM_SCALE=quick NIM_JOBS=4 cargo run --release -p nim-bench --bin bench
@@ -20,7 +24,7 @@ use std::time::Instant;
 use nim_bench::scale_from_env;
 use nim_core::experiments::{run_cells, ExperimentScale, SweepSpec};
 use nim_core::parallel::{configured_jobs, set_jobs_override};
-use nim_core::{RunReport, Scheme};
+use nim_core::{RunReport, Scheme, SystemBuilder};
 use nim_workload::BenchmarkProfile;
 
 /// Pulls `"cycles_per_sec_1": <number>` out of a previously written
@@ -48,6 +52,25 @@ fn timed_sweep(
     Ok((reports?, wall))
 }
 
+/// Runs one 2-layer CmpDnuca3d cell with the network cut into `shards`
+/// regions, returning the report and the wall time of `System::run`
+/// alone (build and prewarm excluded).
+fn timed_sharded_run(
+    scale: ExperimentScale,
+    profile: &BenchmarkProfile,
+    shards: usize,
+) -> Result<(RunReport, f64), Box<dyn Error>> {
+    let mut sys = SystemBuilder::new(Scheme::CmpDnuca3d)
+        .seed(42)
+        .warmup_transactions(scale.warmup)
+        .sampled_transactions(scale.sample)
+        .shards(shards)
+        .build()?;
+    let start = Instant::now();
+    let report = sys.run(profile)?;
+    Ok((report, start.elapsed().as_secs_f64()))
+}
+
 fn main() -> Result<(), Box<dyn Error>> {
     let out_path = std::env::args()
         .nth(1)
@@ -65,9 +88,13 @@ fn main() -> Result<(), Box<dyn Error>> {
             specs.push(SweepSpec::new(scheme, bi));
         }
     }
-    let jobs = configured_jobs();
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    // Oversubscribing a small container (say NIM_JOBS=4 on one core)
+    // only adds scheduling overhead — the sweep is CPU-bound, so more
+    // workers than cores is strictly a loss. Clamp rather than obey.
+    let jobs = configured_jobs().min(cores);
     eprintln!(
-        "# bench: {} cells at scale {scale_name}, jobs=1 then jobs={jobs}",
+        "# bench: {} cells at scale {scale_name}, jobs=1 then jobs={jobs} ({cores} cores)",
         specs.len()
     );
 
@@ -83,11 +110,23 @@ fn main() -> Result<(), Box<dyn Error>> {
     let cps_n = cycles as f64 / wall_n.max(1e-9);
     let speedup = wall_1 / wall_n.max(1e-9);
 
+    // Single-run sharding: the same simulation with its network cut into
+    // 2 layer shards advancing concurrently between pillar grants.
+    eprintln!("# bench: single-run sharding, shards=1 then shards=2");
+    let sharded_profile = BenchmarkProfile::art();
+    let (seq_report, wall_s1) = timed_sharded_run(scale, &sharded_profile, 1)?;
+    let (sh_report, wall_s2) = timed_sharded_run(scale, &sharded_profile, 2)?;
+    let sharded_deterministic = format!("{seq_report:?}") == format!("{sh_report:?}");
+    let cps_s1 = seq_report.cycles as f64 / wall_s1.max(1e-9);
+    let cps_sharded = sh_report.cycles as f64 / wall_s2.max(1e-9);
+    let sharded_speedup = wall_s1 / wall_s2.max(1e-9);
+
     let mut json = String::new();
     json.push_str("{\n");
     let _ = writeln!(json, "  \"scale\": \"{scale_name}\",");
     let _ = writeln!(json, "  \"warmup_transactions\": {},", scale.warmup);
     let _ = writeln!(json, "  \"sampled_transactions\": {},", scale.sample);
+    let _ = writeln!(json, "  \"cores\": {cores},");
     let _ = writeln!(json, "  \"jobs\": {jobs},");
     let _ = writeln!(json, "  \"cells\": {},", specs.len());
     let _ = writeln!(json, "  \"cycles_simulated\": {cycles},");
@@ -96,6 +135,13 @@ fn main() -> Result<(), Box<dyn Error>> {
     let _ = writeln!(json, "  \"cycles_per_sec_1\": {cps_1:.1},");
     let _ = writeln!(json, "  \"cycles_per_sec_n\": {cps_n:.1},");
     let _ = writeln!(json, "  \"speedup\": {speedup:.3},");
+    let _ = writeln!(json, "  \"cycles_per_sec_sharded_1\": {cps_s1:.1},");
+    let _ = writeln!(json, "  \"cycles_per_sec_sharded\": {cps_sharded:.1},");
+    let _ = writeln!(json, "  \"sharded_speedup\": {sharded_speedup:.3},");
+    let _ = writeln!(
+        json,
+        "  \"sharded_deterministic\": {sharded_deterministic},"
+    );
     // Before/after throughput relative to whatever sweep last wrote this
     // file (absent on a first run).
     if let Some(prev) = prev_cps_1 {
@@ -114,6 +160,9 @@ fn main() -> Result<(), Box<dyn Error>> {
     eprintln!("# wrote {out_path}");
     if !deterministic {
         return Err("parallel sweep diverged from the sequential sweep".into());
+    }
+    if !sharded_deterministic {
+        return Err("sharded run diverged from the sequential run".into());
     }
     Ok(())
 }

@@ -50,7 +50,18 @@ pub struct SystemBuilder {
     replication: bool,
     edge_memory: bool,
     skip: bool,
+    shards: usize,
     obs: Obs,
+}
+
+/// Default shard count: the `NIM_SHARDS` environment variable, else 1
+/// (plain sequential simulation).
+fn shards_from_env() -> usize {
+    std::env::var("NIM_SHARDS")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(1)
 }
 
 impl SystemBuilder {
@@ -67,6 +78,7 @@ impl SystemBuilder {
             replication: false,
             edge_memory: false,
             skip: std::env::var_os("NIM_NO_SKIP").is_none(),
+            shards: shards_from_env(),
             obs: Obs::disabled(),
         }
     }
@@ -165,6 +177,19 @@ impl SystemBuilder {
         self
     }
 
+    /// Cuts the network into `n` independently-clocked shards (layer
+    /// groups) that advance concurrently between dTDMA pillar grants —
+    /// see `Network::advance_window` in `nim-noc`. Results are
+    /// bit-identical for any shard count; the request is clamped to the
+    /// largest divisor of the layer count (always 1 for 2D schemes).
+    /// Defaults to the `NIM_SHARDS` environment variable, else 1.
+    /// Requires [`SystemBuilder::horizon_skipping`] (the default) to
+    /// have any effect on the run loop.
+    pub fn shards(mut self, n: usize) -> Self {
+        self.shards = n.max(1);
+        self
+    }
+
     /// Attaches an observability handle (see [`nim_obs::Obs`]): the
     /// network, NUCA L2, directory, and the system's own transaction
     /// machinery all emit trace events and metrics through it. The
@@ -202,7 +227,8 @@ impl SystemBuilder {
             cluster_cpus[layout.cluster_of(seat.coord).index()] |= 1 << seat.cpu.index();
             cpu_at.insert(seat.coord, seat.cpu);
         }
-        let mut net = Network::new(&layout, &cfg.network, VerticalMode::Pillars);
+        let mut net =
+            Network::new_sharded(&layout, &cfg.network, VerticalMode::Pillars, self.shards);
         net.set_obs(self.obs.clone());
         let mut l2 = NucaL2::new(&cfg.l2);
         l2.set_obs(self.obs.clone());
@@ -252,6 +278,7 @@ impl SystemBuilder {
             data_flits: cfg.network.data_packet_flits,
             layout,
         };
+        let sharded = fabric.net.shards() > 1;
         Ok(System {
             scheme: self.scheme,
             cfg,
@@ -263,6 +290,7 @@ impl SystemBuilder {
             sample: self.sample,
             prewarm: self.prewarm,
             skip: self.skip,
+            sharded,
             obs: self.obs,
         })
     }

@@ -80,6 +80,10 @@ pub struct System {
     ///
     /// [`SystemBuilder::horizon_skipping`]: crate::SystemBuilder::horizon_skipping
     pub(crate) skip: bool,
+    /// The network was cut into more than one shard (see
+    /// [`SystemBuilder::shards`](crate::SystemBuilder::shards)); enables
+    /// the multi-threaded window path in the run loop.
+    pub(crate) sharded: bool,
     pub(crate) obs: Obs,
 }
 
@@ -190,6 +194,9 @@ impl System {
                 });
             }
             self.try_fast_forward();
+            if self.sharded {
+                self.try_shard_window();
+            }
             self.fabric.net.tick();
             let now = self.fabric.net.now();
             if self.obs.sample_due(now.0) {
@@ -418,13 +425,65 @@ impl System {
             core.skip(delta);
         }
         self.fabric.net.advance_to(Cycle(now + delta));
-        // The naive loop records a sample row at every armed boundary it
-        // ticks across; replay those rows so the sampler output is
-        // bit-identical. No sampled column changes inside a dead span,
-        // so each catch-up row carries the same values the per-cycle
-        // loop would have snapshotted.
+        self.replay_skipped_samples(now + delta);
+    }
+
+    /// Advances the sharded network concurrently through a window where
+    /// nothing outside it can act: every core is mid-gap or waiting
+    /// ([`InOrderCore::next_wakeup`]), no timed event comes due, and no
+    /// sample boundary is crossed (sampled columns like `net/flit_hops`
+    /// *do* move inside a window, unlike in a dead span, so the window
+    /// is capped strictly before the next boundary). Within those caps
+    /// the network decides how far it can safely run from its own
+    /// pillar-grant horizon ([`Network::advance_window`]) and advances
+    /// bit-identically to ticking; the cores then batch-skip the same
+    /// span. Runs right after [`System::try_fast_forward`], picking up
+    /// traffic-heavy stretches that dead-span elision cannot touch.
+    fn try_shard_window(&mut self) {
+        if !self.skip || self.fabric.net.has_deliveries() {
+            return;
+        }
+        let core_bound = self
+            .engine
+            .cores
+            .iter()
+            .map(|c| match c.next_wakeup() {
+                u64::MAX => u64::MAX,
+                wake => wake - 1,
+            })
+            .min()
+            .unwrap_or(0);
+        if core_bound == 0 {
+            return;
+        }
+        let now = self.fabric.net.now().0;
+        let mut end = now.saturating_add(core_bound);
+        if let Some(&Reverse((due, _, _))) = self.fabric.events.peek() {
+            end = end.min(due - 1);
+        }
+        if let Some(boundary) = self.obs.next_sample_at() {
+            end = end.min(boundary.saturating_sub(1));
+        }
+        if end <= now {
+            return;
+        }
+        let advanced = self.fabric.net.advance_window(end);
+        if advanced > 0 {
+            for core in &mut self.engine.cores {
+                core.skip(advanced);
+            }
+        }
+    }
+
+    /// The naive loop records a sample row at every armed boundary it
+    /// ticks across; replay those rows after a dead-span skip so the
+    /// sampler output is bit-identical. No sampled column changes inside
+    /// a dead span, so each catch-up row carries the same values the
+    /// per-cycle loop would have snapshotted. (Shard windows never need
+    /// this: they are capped strictly before the next boundary.)
+    fn replay_skipped_samples(&mut self, to: u64) {
         while let Some(boundary) = self.obs.next_sample_at() {
-            if boundary > now + delta {
+            if boundary > to {
                 break;
             }
             self.record_obs_sample(boundary);

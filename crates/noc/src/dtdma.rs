@@ -11,10 +11,16 @@
 //! Each layer's pillar router feeds the bus through a small transceiver
 //! interface buffer; the network moves flits router → interface, and the
 //! bus arbiter moves them interface → destination layer's pillar router.
+//!
+//! The interface buffers themselves live in
+//! [`Network`](crate::network::Network), grouped by the shard that owns
+//! their layer, so a shard can fill its own interfaces without touching
+//! any other shard's state; [`DtdmaBus`] keeps only the arbiter state
+//! (round-robin pointer, statistics) that the sequential bus phase owns.
 
 use nim_types::PillarId;
 
-use crate::packet::{Flit, FlitArena, FlitFifo};
+use crate::packet::{FlitArena, FlitFifo};
 
 /// Counters kept per pillar bus.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -40,66 +46,42 @@ pub(crate) struct Iface {
     pub bound_vc: Option<usize>,
 }
 
-/// A dTDMA pillar bus.
+impl Iface {
+    pub(crate) fn new(arena: &mut FlitArena, cap: usize) -> Self {
+        Self {
+            q: FlitFifo::new(arena, cap),
+            bound_vc: None,
+        }
+    }
+}
+
+/// A dTDMA pillar bus: the arbiter state shared across all layers.
 #[derive(Clone, Debug)]
 pub(crate) struct DtdmaBus {
     #[allow(dead_code)] // identifies the bus in diagnostics and tests
     pub pillar: PillarId,
     /// Pillar position, identical on every layer.
     pub xy: (u8, u8),
-    /// One interface per device layer.
-    pub ifaces: Vec<Iface>,
     /// Round-robin pointer over interfaces (the dynamic slot schedule).
     pub rr: usize,
     pub stats: BusStats,
 }
 
 impl DtdmaBus {
-    pub(crate) fn new(
-        arena: &mut FlitArena,
-        pillar: PillarId,
-        xy: (u8, u8),
-        layers: u8,
-        iface_cap: usize,
-    ) -> Self {
+    pub(crate) fn new(pillar: PillarId, xy: (u8, u8)) -> Self {
         Self {
             pillar,
             xy,
-            ifaces: (0..layers)
-                .map(|_| Iface {
-                    q: FlitFifo::new(arena, iface_cap),
-                    bound_vc: None,
-                })
-                .collect(),
             rr: 0,
             stats: BusStats::default(),
         }
-    }
-
-    /// Whether the interface on `layer` can take one more flit.
-    #[inline]
-    pub(crate) fn can_enqueue(&self, layer: u8) -> bool {
-        !self.ifaces[layer as usize].q.is_full()
-    }
-
-    /// Queues a flit at the `layer` interface (router → transceiver).
-    pub(crate) fn enqueue(&mut self, arena: &mut FlitArena, layer: u8, flit: Flit) {
-        debug_assert!(self.can_enqueue(layer));
-        self.ifaces[layer as usize].q.push_back(arena, flit);
-        let queued: u64 = self.ifaces.iter().map(|i| i.q.len() as u64).sum();
-        self.stats.peak_queued = self.stats.peak_queued.max(queued);
-    }
-
-    /// Total flits queued across all interfaces.
-    pub(crate) fn queued(&self) -> usize {
-        self.ifaces.iter().map(|i| i.q.len()).sum()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::packet::{FlitKind, TrafficClass};
+    use crate::packet::{Flit, FlitKind, TrafficClass};
     use nim_types::{Coord, Cycle, PacketId};
 
     fn flit() -> Flit {
@@ -119,23 +101,23 @@ mod tests {
     }
 
     #[test]
-    fn enqueue_respects_capacity() {
+    fn iface_respects_capacity() {
         let mut arena = FlitArena::default();
-        let mut bus = DtdmaBus::new(&mut arena, PillarId(0), (2, 2), 2, 2);
-        assert!(bus.can_enqueue(0));
-        bus.enqueue(&mut arena, 0, flit());
-        bus.enqueue(&mut arena, 0, flit());
-        assert!(!bus.can_enqueue(0));
-        assert!(bus.can_enqueue(1), "interfaces are independent");
-        assert_eq!(bus.queued(), 2);
-        assert_eq!(bus.stats.peak_queued, 2);
+        let mut a = Iface::new(&mut arena, 2);
+        let b = Iface::new(&mut arena, 2);
+        a.q.push_back(&mut arena, flit());
+        a.q.push_back(&mut arena, flit());
+        assert!(a.q.is_full());
+        assert!(!b.q.is_full(), "interfaces are independent");
+        assert_eq!(a.q.len() + b.q.len(), 2);
+        assert_eq!(a.bound_vc, None);
     }
 
     #[test]
-    fn one_interface_per_layer() {
-        let mut arena = FlitArena::default();
-        let bus = DtdmaBus::new(&mut arena, PillarId(3), (1, 1), 4, 4);
-        assert_eq!(bus.ifaces.len(), 4);
+    fn bus_starts_with_zeroed_arbiter() {
+        let bus = DtdmaBus::new(PillarId(3), (1, 1));
         assert_eq!(bus.pillar, PillarId(3));
+        assert_eq!(bus.rr, 0);
+        assert_eq!(bus.stats, BusStats::default());
     }
 }

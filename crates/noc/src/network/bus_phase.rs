@@ -2,6 +2,13 @@
 //!
 //! Runs first each tick, so a flit granted the bus (stamped
 //! `arrived == now`) cannot also traverse a router in the same cycle.
+//!
+//! Unlike the router and injection phases, a bus grant moves a flit
+//! *between* layer groups — out of the sending layer's transceiver
+//! interface (owned by its shard) into the destination layer's pillar
+//! router (owned by another shard). The bus phase therefore always runs
+//! sequentially, at ticks and at window barriers; bus-grant latency is
+//! exactly the conservative lookahead the window planner exploits.
 
 use nim_obs::{Category, EventData};
 use nim_types::{Coord, Cycle, Dir};
@@ -22,7 +29,7 @@ impl Network {
         for &b in &work {
             let b = b as usize;
             self.process_bus(b, now);
-            if self.buses[b].queued() > 0 {
+            if self.bus_queued(b) > 0 {
                 self.mark_bus(b);
             }
         }
@@ -36,19 +43,31 @@ impl Network {
         if self.bus_ready_at[b] > now.0 {
             return;
         }
-        let layers = self.buses[b].ifaces.len();
-        let eligible = self.buses[b]
-            .ifaces
-            .iter()
-            .filter(|i| i.q.front(&self.arena).is_some_and(|f| f.arrived < now))
-            .count();
+        let layers = self.layout.layers() as usize;
+        let mut eligible = 0u64;
+        for layer in 0..self.layout.layers() {
+            let (s, i) = self.iface_pos(b, layer);
+            let st = &self.shards[s];
+            if st.ifaces[i]
+                .q
+                .front(&st.arena)
+                .is_some_and(|f| f.arrived < now)
+            {
+                eligible += 1;
+            }
+        }
         if eligible == 0 {
             return;
         }
         let rr = self.buses[b].rr;
         for off in 0..layers {
             let i = (rr + off) % layers;
-            let Some(front) = self.buses[b].ifaces[i].q.front(&self.arena).copied() else {
+            let (src_shard, src_iface) = self.iface_pos(b, i as u8);
+            let front = {
+                let st = &self.shards[src_shard];
+                st.ifaces[src_iface].q.front(&st.arena).copied()
+            };
+            let Some(front) = front else {
                 continue;
             };
             if front.arrived >= now {
@@ -63,7 +82,7 @@ impl Network {
             let vc_sel = if front.kind.is_head() {
                 port.free_vc()
             } else {
-                self.buses[b].ifaces[i]
+                self.shards[src_shard].ifaces[src_iface]
                     .bound_vc
                     .filter(|&v| port.vc(v).accepts_continuation(front.pkt))
             };
@@ -81,23 +100,30 @@ impl Network {
                         waiting: eligible as u32,
                     });
             }
-            let mut f = self.buses[b].ifaces[i]
-                .q
-                .pop_front(&self.arena)
-                .expect("front checked");
+            // The flit leaves the sending layer's shard arena and enters
+            // the destination layer's; popping needs only a shared arena
+            // borrow, so the cross-shard move is two plain statements.
+            let mut f = {
+                let st = &mut self.shards[src_shard];
+                st.ifaces[src_iface]
+                    .q
+                    .pop_front(&st.arena)
+                    .expect("front checked")
+            };
             // `arrived` still holds the bus-enqueue stamp: the span up
             // to this grant is time spent waiting for a dTDMA slot.
             f.bus_wait += (now.0 - f.arrived.0) as u32;
             f.arrived = now;
             f.hops += 1;
+            let dest_shard = self.shard_of_node(dest_idx);
             self.routers[dest_idx].inputs[vi]
                 .as_mut()
                 .expect("checked above")
                 .vc_mut(vc)
-                .push(&mut self.arena, f);
+                .push(&mut self.shards[dest_shard].arena, f);
             self.routers[dest_idx].occupancy += 1;
             self.mark_dirty(dest_idx);
-            let iface = &mut self.buses[b].ifaces[i];
+            let iface = &mut self.shards[src_shard].ifaces[src_iface];
             iface.bound_vc = if f.kind.is_tail() {
                 None
             } else if f.kind.is_head() {

@@ -1,33 +1,54 @@
 //! The injection phase: each node's network interface streams at most
 //! one flit of its oldest pending packet into a local-input VC.
+//!
+//! Like the router phase, the body lives on [`Lane`] so the sequential
+//! tick and the window executor share one implementation. Injection
+//! touches only shard-local state (the node's local port and its own
+//! injection queue) and emits no trace events.
 
 use nim_types::{Cycle, Dir};
 
 use crate::packet::{Flit, FlitKind};
 
+use super::lane::Lane;
 use super::Network;
 
 impl Network {
     pub(super) fn injection_phase(&mut self, now: Cycle) {
-        if self.inj_active.is_empty() {
+        for s in 0..self.shards.len() {
+            if self.shards[s].inj_active.is_empty() {
+                continue;
+            }
+            let (mut lane, _sink) = self.live_parts(s);
+            lane.injection_phase(now);
+        }
+    }
+}
+
+impl Lane<'_> {
+    pub(super) fn injection_phase(&mut self, now: Cycle) {
+        if self.st.inj_active.is_empty() {
             return;
         }
-        let mut active =
-            std::mem::replace(&mut self.inj_active, std::mem::take(&mut self.inj_scratch));
+        let mut active = std::mem::replace(
+            &mut self.st.inj_active,
+            std::mem::take(&mut self.st.inj_scratch),
+        );
         active.sort_unstable();
         for &n in &active {
-            self.in_inj[n as usize] = false;
+            self.in_inj[n as usize - self.base] = false;
         }
         for &n in &active {
             let n = n as usize;
+            let local = n - self.base;
             let li = Dir::Local.index();
-            if let Some(p) = self.injectors[n].queue.front().copied() {
+            if let Some(p) = self.injectors[local].queue.front().copied() {
                 let kind = FlitKind::for_position(p.seq, p.req.flits);
-                let port = self.routers[n].inputs[li].as_mut().expect("local port");
+                let port = self.routers[local].inputs[li].as_mut().expect("local port");
                 let vc_sel = if kind.is_head() {
                     port.free_vc()
                 } else {
-                    self.injectors[n]
+                    self.injectors[local]
                         .vc
                         .filter(|&v| port.vc(v).accepts_continuation(p.id))
                 };
@@ -45,14 +66,14 @@ impl Network {
                         hops: 0,
                         bus_wait: 0,
                     };
-                    self.routers[n].inputs[li]
+                    self.routers[local].inputs[li]
                         .as_mut()
                         .expect("local port")
                         .vc_mut(v)
-                        .push(&mut self.arena, flit);
-                    self.routers[n].occupancy += 1;
+                        .push(&mut self.st.arena, flit);
+                    self.routers[local].occupancy += 1;
                     self.mark_dirty(n);
-                    let inj = &mut self.injectors[n];
+                    let inj = &mut self.injectors[local];
                     let front = inj.queue.front_mut().expect("checked above");
                     front.seq += 1;
                     if front.seq == front.req.flits {
@@ -63,11 +84,11 @@ impl Network {
                     }
                 }
             }
-            if !self.injectors[n].queue.is_empty() {
+            if !self.injectors[local].queue.is_empty() {
                 self.mark_inj(n);
             }
         }
         active.clear();
-        self.inj_scratch = active;
+        self.st.inj_scratch = active;
     }
 }

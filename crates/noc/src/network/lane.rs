@@ -1,0 +1,281 @@
+//! The per-shard execution view.
+//!
+//! [`Lane`] borrows exactly the state one shard's router and injection
+//! phases may touch — its [`ShardState`](super::ShardState) plus the
+//! node-indexed slices (routers, injectors, mark flags, traversal
+//! counters) restricted to the shard's contiguous node range. Both the
+//! sequential tick and the multi-threaded window executor run the *same*
+//! phase code through a `Lane`; only the [`DeliverySink`] differs:
+//!
+//! * [`LiveSink`] — the sequential tick's sink. Performs delivery
+//!   bookkeeping and emits trace events immediately through the (thread
+//!   -bound) [`Obs`] handle.
+//! * [`WindowSink`] — the window executor's sink. Defers `FlitHop`
+//!   events into a per-shard buffer for deterministic replay at the
+//!   barrier, and treats a delivery as a bug: the window planner proved
+//!   no flit can reach a local port inside the window.
+//!
+//! Statistics counters that outlive a phase (`flit_hops`,
+//! `switch_contention`, …) accumulate on the `Lane` itself and are
+//! folded into [`NetworkStats`] when the lane retires, so threaded
+//! lanes never contend on shared counters.
+
+use std::collections::VecDeque;
+
+use nim_obs::{Category, EventData, Obs};
+use nim_topology::ChipLayout;
+use nim_types::{Coord, Cycle};
+
+use crate::packet::{Delivered, Flit};
+use crate::routing::VerticalMode;
+use crate::stats::NetworkStats;
+
+use super::{c3, Injector, Network, ShardState};
+
+/// A `FlitHop` event deferred by a window lane: (cycle, position,
+/// traffic-class name).
+pub(super) type DeferredHop = (u64, [u16; 3], &'static str);
+
+/// Where a lane's router phase reports flits that left the network: a
+/// flit ejected at a local port, or a router-to-router hop to trace.
+pub(super) trait DeliverySink {
+    /// A flit was popped at node `node`'s local port at time `now`.
+    fn local_pop(&mut self, node: usize, flit: Flit, now: Cycle);
+    /// A flit traversed router `at` (mesh hop or vertical enqueue).
+    fn flit_hop(&mut self, now: Cycle, at: Coord, class: &'static str);
+}
+
+/// The sequential tick's sink: full delivery bookkeeping plus immediate
+/// trace emission. Holds the non-`Send` [`Obs`] handle, so it only ever
+/// exists on the simulation thread.
+pub(super) struct LiveSink<'a> {
+    pub obs: &'a Obs,
+    pub outbox: &'a mut [VecDeque<Delivered>],
+    pub in_delivered: &'a mut [bool],
+    pub delivered_nodes: &'a mut Vec<u32>,
+    pub flits_in_flight: &'a mut u64,
+    pub stats: &'a mut NetworkStats,
+}
+
+impl DeliverySink for LiveSink<'_> {
+    fn local_pop(&mut self, node: usize, f: Flit, now: Cycle) {
+        *self.flits_in_flight -= 1;
+        if f.kind.is_tail() {
+            let d = Delivered {
+                packet: f.pkt,
+                src: f.src,
+                dst: f.dst,
+                class: f.class,
+                token: f.token,
+                injected: f.injected,
+                delivered: now,
+                hops: f.hops,
+                bus_wait: f.bus_wait,
+            };
+            self.stats.record_delivery(&d);
+            self.obs
+                .emit(Category::Packet, || EventData::PacketDeliver {
+                    packet: d.packet.0,
+                    dst: c3(d.dst),
+                    latency: d.latency(),
+                    hops: u32::from(d.hops),
+                });
+            self.outbox[node].push_back(d);
+            if !self.in_delivered[node] {
+                self.in_delivered[node] = true;
+                self.delivered_nodes.push(node as u32);
+            }
+        }
+    }
+
+    fn flit_hop(&mut self, _now: Cycle, at: Coord, class: &'static str) {
+        self.obs
+            .emit(Category::Hop, || EventData::FlitHop { at: c3(at), class });
+    }
+}
+
+/// A window lane's sink: `Send`, defers hops, and rejects deliveries
+/// (the conservative horizon guarantees none can occur in-window).
+pub(super) struct WindowSink {
+    pub hops: Vec<DeferredHop>,
+    /// Whether hop events are wanted at all; when the trace category is
+    /// off, deferring them would only burn memory.
+    pub record: bool,
+}
+
+impl DeliverySink for WindowSink {
+    fn local_pop(&mut self, node: usize, f: Flit, now: Cycle) {
+        unreachable!(
+            "packet {} delivered at node {node} in cycle {} inside a \
+             conservative shard window — the horizon planner under-estimated",
+            f.pkt.0, now.0
+        );
+    }
+
+    fn flit_hop(&mut self, now: Cycle, at: Coord, class: &'static str) {
+        if self.record {
+            self.hops.push((now.0, c3(at), class));
+        }
+    }
+}
+
+/// One shard's mutable working set: everything its router and injection
+/// phases may read or write. Node-indexed borrows are sliced to the
+/// shard's contiguous `[base, base + len)` range; methods take *global*
+/// node ids and translate.
+pub(super) struct Lane<'a> {
+    /// Global node id of the shard's first node.
+    pub base: usize,
+    /// First device layer owned by the shard.
+    pub base_layer: u8,
+    pub layers_per_shard: u8,
+    pub st: &'a mut ShardState,
+    pub routers: &'a mut [crate::router::Router],
+    pub injectors: &'a mut [Injector],
+    pub in_dirty: &'a mut [bool],
+    pub in_inj: &'a mut [bool],
+    pub traversals: &'a mut [u64],
+    pub layout: &'a ChipLayout,
+    pub mode: VerticalMode,
+    pub vcs: usize,
+    pub router_latency: u64,
+    pub bus_of_node: &'a [Option<u16>],
+    /// Counters folded into [`NetworkStats`] when the lane retires.
+    pub flit_hops: u64,
+    pub flit_hops_by_class: [u64; 4],
+    pub switch_contention: u64,
+}
+
+impl Lane<'_> {
+    #[inline]
+    pub(super) fn mark_dirty(&mut self, node: usize) {
+        let local = node - self.base;
+        if !self.in_dirty[local] {
+            self.in_dirty[local] = true;
+            self.st.dirty.push(node as u32);
+        }
+    }
+
+    #[inline]
+    pub(super) fn mark_inj(&mut self, node: usize) {
+        let local = node - self.base;
+        if !self.in_inj[local] {
+            self.in_inj[local] = true;
+            self.st.inj_active.push(node as u32);
+        }
+    }
+
+    /// The earliest cycle `>= after` at which this shard's router or
+    /// injection phase could change state, or `u64::MAX` when the shard
+    /// is quiescent. The shard-local analogue of
+    /// [`Network::next_event_at`](super::Network::next_event_at): cycles
+    /// strictly before the result are provably dead *for this shard*.
+    pub(super) fn next_local_event(&self, after: u64) -> u64 {
+        let mut earliest = u64::MAX;
+        if !self.st.inj_active.is_empty() {
+            earliest = after;
+        }
+        for &n in &self.st.dirty {
+            let r = &self.routers[n as usize - self.base];
+            if r.occupancy == 0 {
+                continue;
+            }
+            for port in r.inputs.iter().flatten() {
+                for vc in 0..self.vcs {
+                    if let Some(f) = port.vc(vc).front(&self.st.arena) {
+                        earliest = earliest.min((f.arrived.0 + self.router_latency).max(after));
+                    }
+                }
+            }
+        }
+        earliest
+    }
+
+    /// Runs this shard's router and injection phases for every cycle in
+    /// `[from, to]`, skipping spans where the shard is provably dead.
+    /// Bit-identical to ticking the shard cycle by cycle: a skipped
+    /// cycle has no movable flit and nothing to inject, so its phases
+    /// would not have mutated anything.
+    pub(super) fn run_window(&mut self, from: u64, to: u64, sink: &mut impl DeliverySink) {
+        let mut t = from;
+        while t <= to {
+            let event = self.next_local_event(t);
+            if event > to {
+                return;
+            }
+            t = event;
+            let now = Cycle(t);
+            self.router_phase(now, sink);
+            self.injection_phase(now);
+            t += 1;
+        }
+    }
+}
+
+impl Network {
+    /// Splits `self` into shard `s`'s [`Lane`] plus the [`LiveSink`]
+    /// holding the network-global delivery state — the sequential tick's
+    /// per-shard working set, built on the stack with no allocation.
+    pub(super) fn live_parts(&mut self, s: usize) -> (Lane<'_>, LiveSink<'_>) {
+        let nodes = self.nodes_per_shard;
+        let base = s * nodes;
+        let Network {
+            shards,
+            routers,
+            injectors,
+            in_dirty,
+            in_inj,
+            traversals,
+            outbox,
+            in_delivered,
+            delivered_nodes,
+            flits_in_flight,
+            stats,
+            obs,
+            layout,
+            mode,
+            vcs,
+            router_latency,
+            bus_of_node,
+            layers_per_shard,
+            ..
+        } = self;
+        let lane = Lane {
+            base,
+            base_layer: s as u8 * *layers_per_shard,
+            layers_per_shard: *layers_per_shard,
+            st: &mut shards[s],
+            routers: &mut routers[base..base + nodes],
+            injectors: &mut injectors[base..base + nodes],
+            in_dirty: &mut in_dirty[base..base + nodes],
+            in_inj: &mut in_inj[base..base + nodes],
+            traversals: &mut traversals[base..base + nodes],
+            layout,
+            mode: *mode,
+            vcs: *vcs,
+            router_latency: *router_latency,
+            bus_of_node,
+            flit_hops: 0,
+            flit_hops_by_class: [0; 4],
+            switch_contention: 0,
+        };
+        let sink = LiveSink {
+            obs,
+            outbox,
+            in_delivered,
+            delivered_nodes,
+            flits_in_flight,
+            stats,
+        };
+        (lane, sink)
+    }
+
+    /// Folds a retired lane's counters into the global statistics.
+    pub(super) fn fold_lane(&mut self, flit_hops: u64, by_class: [u64; 4], contention: u64) {
+        self.stats.flit_hops += flit_hops;
+        for (total, add) in self.stats.flit_hops_by_class.iter_mut().zip(by_class) {
+            *total += add;
+        }
+        self.stats.switch_contention += contention;
+    }
+}

@@ -26,13 +26,24 @@
 //! earliest future cycle at which any phase could change state, and
 //! [`Network::advance_to`] batch-advances the clock across the provably
 //! dead span before it — the hook `System::run` uses to skip serialisation
-//! stalls and event waits even with traffic in flight. All flit storage
-//! lives in one pooled [`FlitArena`](crate::packet::FlitArena), so queue
-//! operations never reallocate and the hot path stays cache-local.
+//! stalls and event waits even with traffic in flight.
+//!
+//! All mutable per-node state — routers, VC flit storage, injection
+//! queues, dirty lists, and the dTDMA transceiver interfaces of the
+//! node's layers — is grouped into one [`ShardState`] per *shard*: a
+//! contiguous group of device layers. Router and injection phases only
+//! ever touch the shard that owns the node (mesh hops stay on a layer;
+//! a vertical move only fills the node's own transceiver interface), so
+//! shards can advance independently between pillar-bus grants — see
+//! [`window`] for the conservative multi-threaded window executor built
+//! on that property. The default single shard makes the whole chip one
+//! region and behaves exactly like the pre-sharding engine.
 
 mod bus_phase;
 mod injection;
+mod lane;
 mod router_phase;
+mod window;
 
 use std::collections::VecDeque;
 
@@ -40,11 +51,13 @@ use nim_obs::{Category, EventData, Obs};
 use nim_topology::ChipLayout;
 use nim_types::{Coord, Cycle, Dir, NetworkConfig, PacketId};
 
-use crate::dtdma::{BusStats, DtdmaBus};
+use crate::dtdma::{BusStats, DtdmaBus, Iface};
 use crate::packet::{Delivered, Flit, FlitArena, SendRequest};
 use crate::router::Router;
 use crate::routing::VerticalMode;
 use crate::stats::NetworkStats;
+
+use lane::DeferredHop;
 
 /// One pending packet at a node's network interface.
 #[derive(Clone, Copy, Debug)]
@@ -75,6 +88,38 @@ struct Candidate {
     flit: Flit,
 }
 
+/// The mutable state owned by one shard: a contiguous group of device
+/// layers that router and injection phases can advance without touching
+/// any other shard.
+///
+/// The flit arena, work lists, and scratch buffers are per-shard so a
+/// shard's phases never share a cache line (or a `&mut`) with another
+/// shard's. The dTDMA transceiver interfaces of the shard's layers live
+/// here too — a vertical move fills the sender's own interface; only the
+/// (sequential) bus phase drains interfaces across shards.
+#[derive(Clone, Debug, Default)]
+pub(super) struct ShardState {
+    /// Pooled backing store for every VC and transceiver FIFO of the
+    /// shard's nodes.
+    arena: FlitArena,
+    /// Transceiver interfaces for the shard's layers, indexed
+    /// `bus * layers_per_shard + local_layer`.
+    ifaces: Vec<Iface>,
+    /// Routers (global node ids) with buffered flits.
+    dirty: Vec<u32>,
+    /// Nodes (global ids) with packets pending injection.
+    inj_active: Vec<u32>,
+    /// Retired work lists, kept to reuse their capacity each cycle.
+    dirty_scratch: Vec<u32>,
+    inj_scratch: Vec<u32>,
+    cand_scratch: Vec<Candidate>,
+    /// Buses that received a flit since the last settle
+    /// ([`Network::settle_touched`] folds them into the active list and
+    /// peak-occupancy statistics at the next barrier).
+    touched_buses: Vec<u16>,
+    in_touched: Vec<bool>,
+}
+
 /// The on-chip network: stacked wormhole meshes joined by dTDMA pillars
 /// (or by a full 3D mesh in the ablation mode).
 #[derive(Clone, Debug)]
@@ -98,21 +143,29 @@ pub struct Network {
     outbox: Vec<VecDeque<Delivered>>,
     delivered_nodes: Vec<u32>,
     in_delivered: Vec<bool>,
-    dirty: Vec<u32>,
     in_dirty: Vec<bool>,
-    inj_active: Vec<u32>,
     in_inj: Vec<bool>,
     /// Buses with at least one queued flit (the pillar analogue of the
     /// router dirty list).
     bus_active: Vec<u16>,
     in_bus_active: Vec<bool>,
-    /// Pooled backing store for every VC and transceiver FIFO.
-    arena: FlitArena,
-    /// Retired work lists, kept to reuse their capacity each tick.
-    dirty_scratch: Vec<u32>,
-    inj_scratch: Vec<u32>,
+    /// Per-shard mutable state; one entry when unsharded.
+    shards: Vec<ShardState>,
+    /// Nodes per shard (layer-major indexing keeps a shard's nodes
+    /// contiguous, so `node / nodes_per_shard` is its shard).
+    nodes_per_shard: usize,
+    layers_per_shard: u8,
+    /// Worker threads the window executor may use (≤ shard count).
+    window_workers: usize,
+    /// Minimum window length (cycles) before threads are spawned;
+    /// shorter windows run inline, bit-identically.
+    window_spawn_min: u64,
+    /// Per-shard deferred-hop buffers and the merge scratch, reused
+    /// across windows.
+    hop_bufs: Vec<Vec<DeferredHop>>,
+    hop_scratch: Vec<DeferredHop>,
+    /// Retired bus work list, kept to reuse its capacity each tick.
     bus_scratch: Vec<u16>,
-    cand_scratch: Vec<Candidate>,
     now: Cycle,
     next_pkt: u64,
     flits_in_flight: u64,
@@ -130,17 +183,56 @@ fn c3(c: Coord) -> [u16; 3] {
     [u16::from(c.x), u16::from(c.y), u16::from(c.layer)]
 }
 
+/// The shard count actually usable for a layout: shards must divide the
+/// layer count so every shard owns the same contiguous layer group, and
+/// only pillar mode keeps all router-phase traffic intra-layer (the 3D
+/// mesh ablation's `Up`/`Down` hops cross layers freely, so it cannot be
+/// cut). Returns the largest divisor of `layers` not exceeding the
+/// request.
+fn effective_shards(layout: &ChipLayout, mode: VerticalMode, requested: usize) -> usize {
+    let layers = layout.layers() as usize;
+    if mode != VerticalMode::Pillars || layers <= 1 {
+        return 1;
+    }
+    let req = requested.clamp(1, layers);
+    (1..=req)
+        .rev()
+        .find(|&d| layers.is_multiple_of(d))
+        .unwrap_or(1)
+}
+
 impl Network {
-    /// Builds the network for a chip layout.
+    /// Builds the network for a chip layout as a single shard — the
+    /// plain sequential engine.
     ///
     /// `mode` selects the vertical interconnect: [`VerticalMode::Pillars`]
     /// is the paper's hybrid NoC/bus design; [`VerticalMode::Mesh3d`] is
     /// the rejected 7-port router kept for the design-search ablation.
     pub fn new(layout: &ChipLayout, cfg: &NetworkConfig, mode: VerticalMode) -> Self {
+        Self::new_sharded(layout, cfg, mode, 1)
+    }
+
+    /// Builds the network cut into `shards` independently-advancing
+    /// layer groups, run concurrently between pillar-bus grants by
+    /// [`Network::advance_window`].
+    ///
+    /// The request is clamped to the largest divisor of the layer count
+    /// (and to 1 for single-layer chips or the 3D-mesh ablation), so any
+    /// value is safe; results are bit-identical for every shard count.
+    pub fn new_sharded(
+        layout: &ChipLayout,
+        cfg: &NetworkConfig,
+        mode: VerticalMode,
+        shards: usize,
+    ) -> Self {
         let vcs = cfg.vcs_per_port as usize;
         let depth = cfg.vc_depth_flits as usize;
         let n = layout.num_nodes();
-        let mut arena = FlitArena::default();
+        let num_shards = effective_shards(layout, mode, shards);
+        let nodes_per_shard = n / num_shards;
+        let layers_per_shard = layout.layers() / num_shards as u8;
+        let mut shard_states: Vec<ShardState> =
+            (0..num_shards).map(|_| ShardState::default()).collect();
         let mut routers = Vec::with_capacity(n);
         let mut bus_of_node = vec![None; n];
         for i in 0..n {
@@ -166,7 +258,8 @@ impl Network {
                     }
                 }
             }
-            routers.push(Router::new(&mut arena, c, &dirs, &dirs, vcs, depth));
+            let arena = &mut shard_states[i / nodes_per_shard].arena;
+            routers.push(Router::new(arena, c, &dirs, &dirs, vcs, depth));
         }
         let mut buses = Vec::new();
         if mode == VerticalMode::Pillars && layout.layers() > 1 {
@@ -177,15 +270,22 @@ impl Network {
                     let idx = layout.node_index(Coord::new(xy.0, xy.1, layer));
                     bus_of_node[idx] = Some(p);
                 }
-                buses.push(DtdmaBus::new(
-                    &mut arena,
-                    pillar,
-                    xy,
-                    layout.layers(),
-                    depth,
-                ));
+                buses.push(DtdmaBus::new(pillar, xy));
+            }
+            for st in &mut shard_states {
+                st.ifaces.reserve(buses.len() * layers_per_shard as usize);
+                for _bus in 0..buses.len() {
+                    for _l in 0..layers_per_shard {
+                        let iface = Iface::new(&mut st.arena, depth);
+                        st.ifaces.push(iface);
+                    }
+                }
+                st.in_touched = vec![false; buses.len()];
             }
         }
+        let window_workers = std::thread::available_parallelism()
+            .map_or(1, std::num::NonZeroUsize::get)
+            .min(num_shards);
         Self {
             layout: layout.clone(),
             mode,
@@ -208,16 +308,17 @@ impl Network {
             outbox: vec![VecDeque::new(); n],
             delivered_nodes: Vec::new(),
             in_delivered: vec![false; n],
-            dirty: Vec::new(),
             in_dirty: vec![false; n],
-            inj_active: Vec::new(),
             in_inj: vec![false; n],
             bus_active: Vec::new(),
-            arena,
-            dirty_scratch: Vec::new(),
-            inj_scratch: Vec::new(),
+            shards: shard_states,
+            nodes_per_shard,
+            layers_per_shard,
+            window_workers,
+            window_spawn_min: window::DEFAULT_SPAWN_MIN,
+            hop_bufs: vec![Vec::new(); num_shards],
+            hop_scratch: Vec::new(),
             bus_scratch: Vec::new(),
-            cand_scratch: Vec::new(),
             now: Cycle::ZERO,
             next_pkt: 0,
             flits_in_flight: 0,
@@ -225,6 +326,23 @@ impl Network {
             traversals: vec![0; n],
             obs: Obs::disabled(),
         }
+    }
+
+    /// How many independently-advancing shards the chip was cut into
+    /// (1 = the plain sequential engine).
+    #[inline]
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Overrides the window executor's tuning: the minimum window length
+    /// before worker threads spawn, and the worker count. Results are
+    /// bit-identical for any values; this only exists so tests can force
+    /// the threaded path onto short windows.
+    #[doc(hidden)]
+    pub fn set_window_tuning(&mut self, spawn_min: u64, workers: usize) {
+        self.window_spawn_min = spawn_min.max(1);
+        self.window_workers = workers.clamp(1, self.shards.len());
     }
 
     /// Attaches an observability handle; events and per-tick cycle
@@ -283,7 +401,7 @@ impl Network {
     /// see [`Network::bus_stats_into`].
     pub fn bus_occupancies_into(&self, buf: &mut Vec<usize>) {
         buf.clear();
-        buf.extend(self.buses.iter().map(|b| b.queued()));
+        buf.extend((0..self.buses.len()).map(|b| self.bus_queued(b)));
     }
 
     /// Flit traversals through each router, indexed like
@@ -417,36 +535,40 @@ impl Network {
         }
         let next = self.now.0 + 1;
         let mut earliest = u64::MAX;
-        // Injection streams one flit per cycle while packets are pending.
-        if !self.inj_active.is_empty() {
-            earliest = next;
+        for st in &self.shards {
+            // Injection streams one flit per cycle while packets pend.
+            if !st.inj_active.is_empty() {
+                earliest = next;
+            }
+            // A router moves a front flit once it has dwelt
+            // `router_latency`.
+            for &n in &st.dirty {
+                let r = &self.routers[n as usize];
+                if r.occupancy == 0 {
+                    continue;
+                }
+                for port in r.inputs.iter().flatten() {
+                    for vc in 0..self.vcs {
+                        if let Some(f) = port.vc(vc).front(&st.arena) {
+                            earliest = earliest.min((f.arrived.0 + self.router_latency).max(next));
+                        }
+                    }
+                }
+            }
         }
         // A bus grants once it is free of any serialisation window and a
         // queued flit has dwelt one cycle at its transceiver interface.
         for &b in &self.bus_active {
             let b = b as usize;
-            let front = self.buses[b]
-                .ifaces
-                .iter()
-                .filter_map(|i| i.q.front(&self.arena))
-                .map(|f| f.arrived.0 + 1)
-                .min();
-            if let Some(t) = front {
-                earliest = earliest.min(t.max(self.bus_ready_at[b]).max(next));
-            }
-        }
-        // A router moves a front flit once it has dwelt `router_latency`.
-        for &n in &self.dirty {
-            let r = &self.routers[n as usize];
-            if r.occupancy == 0 {
-                continue;
-            }
-            for port in r.inputs.iter().flatten() {
-                for vc in 0..self.vcs {
-                    if let Some(f) = port.vc(vc).front(&self.arena) {
-                        earliest = earliest.min((f.arrived.0 + self.router_latency).max(next));
-                    }
+            let mut front = u64::MAX;
+            for layer in 0..self.layout.layers() {
+                let (s, i) = self.iface_pos(b, layer);
+                if let Some(f) = self.shards[s].ifaces[i].q.front(&self.shards[s].arena) {
+                    front = front.min(f.arrived.0 + 1);
                 }
+            }
+            if front != u64::MAX {
+                earliest = earliest.min(front.max(self.bus_ready_at[b]).max(next));
             }
         }
         // Flits in flight always sit in some queue the scans above cover;
@@ -461,6 +583,7 @@ impl Network {
         self.bus_phase(self.now);
         self.router_phase(self.now);
         self.injection_phase(self.now);
+        self.settle_touched();
     }
 
     /// Ticks until the network is idle, up to `max_cycles`. Returns the
@@ -477,11 +600,64 @@ impl Network {
         Some(self.now - start)
     }
 
+    /// The (shard, interface-slot) holding the transceiver interface of
+    /// bus `b` on `layer`.
+    #[inline]
+    fn iface_pos(&self, b: usize, layer: u8) -> (usize, usize) {
+        let lps = self.layers_per_shard as usize;
+        let l = layer as usize;
+        (l / lps, b * lps + l % lps)
+    }
+
+    /// Total flits queued across all of bus `b`'s interfaces.
+    fn bus_queued(&self, b: usize) -> usize {
+        (0..self.layout.layers())
+            .map(|layer| {
+                let (s, i) = self.iface_pos(b, layer);
+                self.shards[s].ifaces[i].q.len()
+            })
+            .sum()
+    }
+
+    /// Folds per-shard bus-touch records into the global bus state:
+    /// marks each touched bus active and settles its peak-occupancy
+    /// statistic. Interface totals only grow between bus-phase drains
+    /// (router phases enqueue, never dequeue), so settling at the end of
+    /// a tick — or of a whole multi-cycle shard window — observes the
+    /// running maximum the per-enqueue update used to record.
+    fn settle_touched(&mut self) {
+        for s in 0..self.shards.len() {
+            if self.shards[s].touched_buses.is_empty() {
+                continue;
+            }
+            let mut work = std::mem::take(&mut self.shards[s].touched_buses);
+            for &b in &work {
+                self.shards[s].in_touched[b as usize] = false;
+            }
+            for &b in &work {
+                let b = b as usize;
+                let queued = self.bus_queued(b) as u64;
+                let stats = &mut self.buses[b].stats;
+                stats.peak_queued = stats.peak_queued.max(queued);
+                self.mark_bus(b);
+            }
+            work.clear();
+            self.shards[s].touched_buses = work;
+        }
+    }
+
+    /// The shard owning a (layer-major) node index.
+    #[inline]
+    fn shard_of_node(&self, node: usize) -> usize {
+        node / self.nodes_per_shard
+    }
+
     #[inline]
     fn mark_dirty(&mut self, node: usize) {
         if !self.in_dirty[node] {
             self.in_dirty[node] = true;
-            self.dirty.push(node as u32);
+            let s = self.shard_of_node(node);
+            self.shards[s].dirty.push(node as u32);
         }
     }
 
@@ -489,7 +665,8 @@ impl Network {
     fn mark_inj(&mut self, node: usize) {
         if !self.in_inj[node] {
             self.in_inj[node] = true;
-            self.inj_active.push(node as u32);
+            let s = self.shard_of_node(node);
+            self.shards[s].inj_active.push(node as u32);
         }
     }
 

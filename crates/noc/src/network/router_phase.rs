@@ -1,37 +1,65 @@
 //! The router phase: switch allocation and flit traversal for every
 //! active router, in node-index order.
+//!
+//! The phase body lives on [`Lane`] so the sequential tick and the
+//! window executor share one implementation; only the
+//! [`DeliverySink`] differs. Node-major indexing is layer-major, so
+//! processing shards in order and each shard's sorted dirty list within
+//! equals processing one globally sorted dirty list — the sharded phase
+//! is order-identical to the pre-sharding code.
 
-use nim_obs::{Category, EventData};
 use nim_types::{Coord, Cycle, Dir};
 
-use crate::packet::{Delivered, Flit};
+use crate::packet::Flit;
 use crate::router::Hold;
 use crate::routing::route;
 
-use super::{c3, Candidate, Network};
+use super::lane::{DeliverySink, Lane};
+use super::{Candidate, Network};
 
 impl Network {
     pub(super) fn router_phase(&mut self, now: Cycle) {
-        if self.dirty.is_empty() {
+        for s in 0..self.shards.len() {
+            if self.shards[s].dirty.is_empty() {
+                continue;
+            }
+            let (mut lane, mut sink) = self.live_parts(s);
+            lane.router_phase(now, &mut sink);
+            let (hops, by_class, cont) = (
+                lane.flit_hops,
+                lane.flit_hops_by_class,
+                lane.switch_contention,
+            );
+            self.fold_lane(hops, by_class, cont);
+        }
+    }
+}
+
+impl Lane<'_> {
+    pub(super) fn router_phase(&mut self, now: Cycle, sink: &mut impl DeliverySink) {
+        if self.st.dirty.is_empty() {
             return;
         }
-        let mut work = std::mem::replace(&mut self.dirty, std::mem::take(&mut self.dirty_scratch));
+        let mut work = std::mem::replace(
+            &mut self.st.dirty,
+            std::mem::take(&mut self.st.dirty_scratch),
+        );
         work.sort_unstable();
         for &n in &work {
-            self.in_dirty[n as usize] = false;
+            self.in_dirty[n as usize - self.base] = false;
         }
         for &n in &work {
             let n = n as usize;
-            if self.routers[n].occupancy == 0 {
+            if self.routers[n - self.base].occupancy == 0 {
                 continue;
             }
-            self.process_router(n, now);
-            if self.routers[n].occupancy > 0 {
+            self.process_router(n, now, sink);
+            if self.routers[n - self.base].occupancy > 0 {
                 self.mark_dirty(n);
             }
         }
         work.clear();
-        self.dirty_scratch = work;
+        self.st.dirty_scratch = work;
     }
 
     /// Switch allocation for one router: a single scan over the input VCs
@@ -40,15 +68,16 @@ impl Network {
     /// order. Moves performed while an output is served only ever change
     /// the fronts of inputs recorded in `used_input`, which later outputs
     /// skip, so the pre-collected candidates stay exact.
-    fn process_router(&mut self, n: usize, now: Cycle) {
+    fn process_router(&mut self, n: usize, now: Cycle, sink: &mut impl DeliverySink) {
         let vcs = self.vcs;
-        let at = self.routers[n].coord;
-        let mut cands = std::mem::take(&mut self.cand_scratch);
+        let local = n - self.base;
+        let at = self.routers[local].coord;
+        let mut cands = std::mem::take(&mut self.st.cand_scratch);
         debug_assert!(cands.is_empty());
-        for (in_dir, input) in self.routers[n].inputs.iter().enumerate() {
+        for (in_dir, input) in self.routers[local].inputs.iter().enumerate() {
             let Some(port) = input else { continue };
             for vc in 0..vcs {
-                let Some(front) = port.vc(vc).front(&self.arena) else {
+                let Some(front) = port.vc(vc).front(&self.st.arena) else {
                     continue;
                 };
                 if front.arrived.0 + self.router_latency > now.0 || !front.kind.is_head() {
@@ -56,19 +85,19 @@ impl Network {
                 }
                 cands.push(Candidate {
                     slot: (in_dir * vcs + vc) as u16,
-                    out: route(&self.layout, self.mode, at, front.dst, front.via),
+                    out: route(self.layout, self.mode, at, front.dst, front.via),
                     flit: *front,
                 });
             }
         }
         let mut used_input = [false; Dir::COUNT];
         for out in Dir::ALL {
-            if self.routers[n].has_output(out) {
-                self.process_output(n, out, now, &mut used_input, &cands);
+            if self.routers[local].has_output(out) {
+                self.process_output(n, out, now, &mut used_input, &cands, sink);
             }
         }
         cands.clear();
-        self.cand_scratch = cands;
+        self.st.cand_scratch = cands;
     }
 
     /// Switch allocation and traversal for one output port of one router.
@@ -79,35 +108,37 @@ impl Network {
         now: Cycle,
         used_input: &mut [bool; Dir::COUNT],
         cands: &[Candidate],
+        sink: &mut impl DeliverySink,
     ) {
         let oi = out.index();
+        let local = n - self.base;
         // An output already claimed by a packet serves only that packet.
-        if let Some(hold) = self.routers[n].held[oi] {
+        if let Some(hold) = self.routers[local].held[oi] {
             if used_input[hold.in_dir] {
                 return;
             }
-            let front = self.routers[n].inputs[hold.in_dir]
+            let front = self.routers[local].inputs[hold.in_dir]
                 .as_ref()
-                .and_then(|p| p.vc(hold.vc).front(&self.arena))
+                .and_then(|p| p.vc(hold.vc).front(&self.st.arena))
                 .copied();
             let Some(front) = front else { return };
             if front.pkt != hold.pkt || front.arrived.0 + self.router_latency > now.0 {
                 return;
             }
-            if self.try_move(n, hold.in_dir, hold.vc, out, &front, now) {
+            if self.try_move(n, hold.in_dir, hold.vc, out, &front, now, sink) {
                 used_input[hold.in_dir] = true;
                 if front.kind.is_tail() {
-                    self.routers[n].held[oi] = None;
+                    self.routers[local].held[oi] = None;
                 }
             } else {
-                self.stats.switch_contention += 1;
+                self.switch_contention += 1;
             }
             return;
         }
         // Free output: round-robin over head flits requesting it.
         let vcs = self.vcs;
         let total = (Dir::COUNT * vcs) as u16;
-        let rrp = self.routers[n].rr[oi];
+        let rrp = self.routers[local].rr[oi];
         let mut winner: Option<Candidate> = None;
         let mut best_rank = u16::MAX;
         let mut eligible = 0u64;
@@ -123,29 +154,30 @@ impl Network {
             }
         }
         if eligible > 1 {
-            self.stats.switch_contention += eligible - 1;
+            self.switch_contention += eligible - 1;
         }
         let Some(c) = winner else {
             return;
         };
         let (in_dir, vc) = (usize::from(c.slot) / vcs, usize::from(c.slot) % vcs);
-        if self.try_move(n, in_dir, vc, out, &c.flit, now) {
+        if self.try_move(n, in_dir, vc, out, &c.flit, now, sink) {
             used_input[in_dir] = true;
             if !c.flit.kind.is_tail() {
-                self.routers[n].held[oi] = Some(Hold {
+                self.routers[local].held[oi] = Some(Hold {
                     pkt: c.flit.pkt,
                     in_dir,
                     vc,
                 });
             }
-            self.routers[n].rr[oi] = (c.slot + 1) % total;
+            self.routers[local].rr[oi] = (c.slot + 1) % total;
         } else {
-            self.stats.switch_contention += 1;
+            self.switch_contention += 1;
         }
     }
 
     /// Attempts the actual flit traversal. Returns `false` when downstream
     /// has no space or no free VC (speculation failure — retry next cycle).
+    #[allow(clippy::too_many_arguments)]
     fn try_move(
         &mut self,
         n: usize,
@@ -154,74 +186,55 @@ impl Network {
         out: Dir,
         front: &Flit,
         now: Cycle,
+        sink: &mut impl DeliverySink,
     ) -> bool {
+        let local = n - self.base;
         match out {
             Dir::Local => {
-                let f = self.routers[n].inputs[in_dir]
+                let f = self.routers[local].inputs[in_dir]
                     .as_mut()
                     .expect("input exists")
                     .vc_mut(vc)
-                    .pop(&self.arena)
+                    .pop(&self.st.arena)
                     .expect("front checked");
-                self.routers[n].occupancy -= 1;
-                self.flits_in_flight -= 1;
-                if f.kind.is_tail() {
-                    let d = Delivered {
-                        packet: f.pkt,
-                        src: f.src,
-                        dst: f.dst,
-                        class: f.class,
-                        token: f.token,
-                        injected: f.injected,
-                        delivered: now,
-                        hops: f.hops,
-                        bus_wait: f.bus_wait,
-                    };
-                    self.stats.record_delivery(&d);
-                    self.obs
-                        .emit(Category::Packet, || EventData::PacketDeliver {
-                            packet: d.packet.0,
-                            dst: c3(d.dst),
-                            latency: d.latency(),
-                            hops: u32::from(d.hops),
-                        });
-                    self.outbox[n].push_back(d);
-                    if !self.in_delivered[n] {
-                        self.in_delivered[n] = true;
-                        self.delivered_nodes.push(n as u32);
-                    }
-                }
+                self.routers[local].occupancy -= 1;
+                sink.local_pop(n, f, now);
                 true
             }
             Dir::Vertical => {
+                // The vertical move fills this node's own transceiver
+                // interface — shard-local state; the (sequential) bus
+                // phase is what later drains it across shards.
                 let bus_idx =
                     self.bus_of_node[n].expect("vertical output on non-pillar node") as usize;
-                let layer = self.routers[n].coord.layer;
-                if !self.buses[bus_idx].can_enqueue(layer) {
+                let layer = self.routers[local].coord.layer;
+                let iface_idx =
+                    bus_idx * self.layers_per_shard as usize + (layer - self.base_layer) as usize;
+                if self.st.ifaces[iface_idx].q.is_full() {
                     return false;
                 }
-                let mut f = self.routers[n].inputs[in_dir]
+                let mut f = self.routers[local].inputs[in_dir]
                     .as_mut()
                     .expect("input exists")
                     .vc_mut(vc)
-                    .pop(&self.arena)
+                    .pop(&self.st.arena)
                     .expect("front checked");
                 f.arrived = now;
-                self.buses[bus_idx].enqueue(&mut self.arena, layer, f);
-                self.mark_bus(bus_idx);
-                self.routers[n].occupancy -= 1;
-                self.stats.flit_hops += 1;
-                self.stats.flit_hops_by_class[f.class.index()] += 1;
-                self.traversals[n] += 1;
-                let at = self.routers[n].coord;
-                self.obs.emit(Category::Hop, || EventData::FlitHop {
-                    at: c3(at),
-                    class: f.class.name(),
-                });
+                self.st.ifaces[iface_idx].q.push_back(&mut self.st.arena, f);
+                if !self.st.in_touched[bus_idx] {
+                    self.st.in_touched[bus_idx] = true;
+                    self.st.touched_buses.push(bus_idx as u16);
+                }
+                self.routers[local].occupancy -= 1;
+                self.flit_hops += 1;
+                self.flit_hops_by_class[f.class.index()] += 1;
+                self.traversals[local] += 1;
+                let at = self.routers[local].coord;
+                sink.flit_hop(now, at, f.class.name());
                 true
             }
             _ => {
-                let c = self.routers[n].coord;
+                let c = self.routers[local].coord;
                 let dest = match out {
                     Dir::Up => Coord::new(c.x, c.y, c.layer + 1),
                     Dir::Down => Coord::new(c.x, c.y, c.layer - 1),
@@ -232,11 +245,15 @@ impl Network {
                         Coord::new(x, y, c.layer)
                     }
                 };
-                let dest_idx = self.layout.node_index(dest);
-                debug_assert_ne!(dest_idx, n);
+                // Mesh hops stay on the layer; `Up`/`Down` exist only in
+                // the (unsharded) 3D-mesh ablation. Either way the
+                // destination is inside this lane's node range.
+                let dest_local = self.layout.node_index(dest) - self.base;
+                debug_assert_ne!(dest_local, local);
+                debug_assert!(dest_local < self.routers.len());
                 let ii = out.opposite().index();
                 let dvc = {
-                    let port = self.routers[dest_idx].inputs[ii]
+                    let port = self.routers[dest_local].inputs[ii]
                         .as_ref()
                         .expect("link implies input port");
                     if front.kind.is_head() {
@@ -248,29 +265,26 @@ impl Network {
                 let Some(dvc) = dvc else {
                     return false;
                 };
-                let mut f = self.routers[n].inputs[in_dir]
+                let mut f = self.routers[local].inputs[in_dir]
                     .as_mut()
                     .expect("input exists")
                     .vc_mut(vc)
-                    .pop(&self.arena)
+                    .pop(&self.st.arena)
                     .expect("front checked");
                 f.arrived = now;
                 f.hops += 1;
-                self.routers[dest_idx].inputs[ii]
+                self.routers[dest_local].inputs[ii]
                     .as_mut()
                     .expect("checked above")
                     .vc_mut(dvc)
-                    .push(&mut self.arena, f);
-                self.routers[n].occupancy -= 1;
-                self.routers[dest_idx].occupancy += 1;
-                self.mark_dirty(dest_idx);
-                self.stats.flit_hops += 1;
-                self.stats.flit_hops_by_class[f.class.index()] += 1;
-                self.traversals[n] += 1;
-                self.obs.emit(Category::Hop, || EventData::FlitHop {
-                    at: c3(c),
-                    class: f.class.name(),
-                });
+                    .push(&mut self.st.arena, f);
+                self.routers[local].occupancy -= 1;
+                self.routers[dest_local].occupancy += 1;
+                self.mark_dirty(dest_local + self.base);
+                self.flit_hops += 1;
+                self.flit_hops_by_class[f.class.index()] += 1;
+                self.traversals[local] += 1;
+                sink.flit_hop(now, c, f.class.name());
                 true
             }
         }

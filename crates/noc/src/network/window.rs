@@ -1,0 +1,306 @@
+//! The conservative shard-window executor.
+//!
+//! Between two dTDMA pillar grants, every shard (contiguous layer
+//! group) evolves independently: router-phase moves stay on a layer,
+//! vertical moves only fill the sender's own transceiver interface, and
+//! injection is node-local. [`Network::advance_window`] exploits this to
+//! run all shards *concurrently* over a window of cycles, with a
+//! barrier at each window end where the sequential bus phase resumes.
+//!
+//! # Soundness
+//!
+//! A window `[now+1, end]` is safe iff no *coupling event* can occur in
+//! it: a bus grant (the only cross-shard mutation, and the only place
+//! bus statistics or contention are recorded) or a local delivery (the
+//! only network event the engine observes). [`Network::window_horizon`]
+//! lower-bounds the earliest possible coupling event from first
+//! principles:
+//!
+//! * every router traversal costs at least `router_latency` dwell (a
+//!   moved flit is restamped `arrived = now`), so a flit at Manhattan
+//!   distance `d` from its goal needs at least `d` traversals, each
+//!   `router_latency` apart, before it can matter;
+//! * a bus grant requires the flit queued at a transceiver interface
+//!   one full cycle, after the bus's serialisation window
+//!   (`bus_ready_at`) expires — the multi-cycle grant latency of the
+//!   dTDMA pillar is exactly the lookahead that makes windows non-empty;
+//! * a VC only ever holds flits of one packet (the owner protocol in
+//!   `vc.rs`), and at most one flit per input port moves per cycle, so
+//!   scanning only VC *front* flits bounds every queued flit: the k-th
+//!   flit behind a front cannot beat the front's bound by construction.
+//!
+//! Cycles inside the window are then run per shard by
+//! [`Lane::run_window`] — the same phase code as the sequential tick —
+//! and are bit-identical to ticking: within a cycle, shard-order
+//! processing equals global node-order processing because node indexing
+//! is layer-major.
+//!
+//! # Determinism
+//!
+//! Worker threads claim whole shards from an atomic cursor; no two
+//! threads ever touch the same shard, and shards share no mutable
+//! state, so the interleaving cannot influence results. Trace (`FlitHop`)
+//! events are deferred into per-shard buffers and replayed at the
+//! barrier in (cycle, shard) order — exactly the order the sequential
+//! engine would have emitted them.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use nim_obs::{Category, EventData};
+use nim_types::{Coord, Cycle, PillarId};
+
+use super::lane::{Lane, WindowSink};
+use super::Network;
+
+/// Windows shorter than this run inline on the calling thread: spawning
+/// scoped workers costs more than it saves on a short window. Results
+/// are bit-identical either way.
+pub(super) const DEFAULT_SPAWN_MIN: u64 = 16;
+
+impl Network {
+    /// Advances every shard concurrently to `min(max_end, horizon - 1)`,
+    /// where the horizon is the earliest cycle a coupling event (bus
+    /// grant or delivery) could possibly occur. Returns the number of
+    /// cycles advanced (0 when sharding is off, `max_end` is not ahead,
+    /// or a coupling event is imminent).
+    ///
+    /// The caller must ensure nothing *outside* the network is due in
+    /// the window (core wakeups, engine events, observability sample
+    /// boundaries) — the network itself is advanced bit-identically to
+    /// ticking `max_end - now` times.
+    pub fn advance_window(&mut self, max_end: u64) -> u64 {
+        if self.shards.len() <= 1 {
+            return 0;
+        }
+        let start = self.now.0;
+        if max_end <= start {
+            return 0;
+        }
+        let end = max_end.min(self.window_horizon().saturating_sub(1));
+        if end <= start {
+            return 0;
+        }
+        debug_assert!(
+            !self.has_deliveries(),
+            "undrained deliveries at window start"
+        );
+        let record = self.obs.wants(Category::Hop);
+        self.run_lanes(start + 1, end, record);
+        self.settle_touched();
+        self.now = Cycle(end);
+        self.replay_hops();
+        self.obs.set_now(end);
+        end - start
+    }
+
+    /// Lower-bounds the earliest future cycle at which a coupling event
+    /// — a dTDMA bus grant or a local delivery — could occur, scanning
+    /// every queue a flit can sit in. `u64::MAX` when nothing is in
+    /// flight.
+    fn window_horizon(&self) -> u64 {
+        let next = self.now.0 + 1;
+        let mut horizon = u64::MAX;
+        for st in &self.shards {
+            // Buffered flits: VC fronts bound everything behind them.
+            for &n in &st.dirty {
+                let r = &self.routers[n as usize];
+                if r.occupancy == 0 {
+                    continue;
+                }
+                for port in r.inputs.iter().flatten() {
+                    for vc in 0..self.vcs {
+                        let Some(f) = port.vc(vc).front(&st.arena) else {
+                            continue;
+                        };
+                        let movable = (f.arrived.0 + self.router_latency).max(next);
+                        horizon = horizon.min(self.flit_bound(r.coord, f.dst, f.via, movable));
+                    }
+                }
+            }
+            // Pending injections: every queued packet can start flowing
+            // inside a long window, so bound each one. Packet k's first
+            // remaining flit enters a local VC no earlier than one cycle
+            // per flit still ahead of it in the queue, then dwells
+            // before moving.
+            for &n in &st.inj_active {
+                let mut flits_ahead = 0u64;
+                for p in &self.injectors[n as usize].queue {
+                    let movable = next + flits_ahead + self.router_latency;
+                    horizon =
+                        horizon.min(self.flit_bound(p.req.src, p.req.dst, p.req.via, movable));
+                    flits_ahead += u64::from(p.req.flits - p.seq);
+                }
+            }
+        }
+        // Flits already queued at transceiver interfaces: a grant needs
+        // one full cycle at the interface and a free bus.
+        for &b in &self.bus_active {
+            let b = b as usize;
+            let mut front = u64::MAX;
+            for layer in 0..self.layout.layers() {
+                let (s, i) = self.iface_pos(b, layer);
+                if let Some(f) = self.shards[s].ifaces[i].q.front(&self.shards[s].arena) {
+                    front = front.min(f.arrived.0 + 1);
+                }
+            }
+            if front != u64::MAX {
+                horizon = horizon.min(front.max(self.bus_ready_at[b]).max(next));
+            }
+        }
+        horizon
+    }
+
+    /// The earliest cycle a flit at `at`, first movable at `movable`,
+    /// could trigger a coupling event en route to `dst`.
+    fn flit_bound(&self, at: Coord, dst: Coord, via: Option<PillarId>, movable: u64) -> u64 {
+        let lat = self.router_latency;
+        if at.layer == dst.layer {
+            // Delivery: at least one traversal per remaining mesh hop,
+            // each costing a fresh `router_latency` dwell, then the
+            // final local pop (`d == 0` means the pop itself is next).
+            let d = u64::from(at.x.abs_diff(dst.x)) + u64::from(at.y.abs_diff(dst.y));
+            movable + d * lat
+        } else {
+            // Bus grant: reach some pillar, dwell one cycle at its
+            // interface, and wait out the bus's serialisation window.
+            let via_pillar = |p: PillarId| {
+                let (px, py) = self.layout.pillar_xy(p);
+                let d = u64::from(at.x.abs_diff(px)) + u64::from(at.y.abs_diff(py));
+                (movable + d * lat + 1).max(self.bus_ready_at[p.0 as usize])
+            };
+            match via {
+                Some(p) => via_pillar(p),
+                // Adaptive routing re-picks the nearest pillar per hop;
+                // whichever it ends up using is covered by the min.
+                None => (0..self.layout.num_pillars())
+                    .map(|p| via_pillar(PillarId(p)))
+                    .min()
+                    .unwrap_or(movable),
+            }
+        }
+    }
+
+    /// Builds one [`Lane`] + [`WindowSink`] per shard and runs them all
+    /// over `[from, to]` — inline for short windows, else on scoped
+    /// worker threads claiming shards from an atomic cursor.
+    fn run_lanes(&mut self, from: u64, to: u64, record: bool) {
+        let nodes = self.nodes_per_shard;
+        let lps = self.layers_per_shard;
+        let workers = self.window_workers;
+        let threaded = workers > 1 && (to - from + 1) >= self.window_spawn_min;
+        let (mut fh, mut byc, mut sc) = (0u64, [0u64; 4], 0u64);
+        {
+            let Network {
+                shards,
+                routers,
+                injectors,
+                in_dirty,
+                in_inj,
+                traversals,
+                layout,
+                mode,
+                vcs,
+                router_latency,
+                bus_of_node,
+                hop_bufs,
+                ..
+            } = self;
+            let cells_iter = shards
+                .iter_mut()
+                .zip(hop_bufs.iter_mut())
+                .zip(routers.chunks_mut(nodes))
+                .zip(injectors.chunks_mut(nodes))
+                .zip(in_dirty.chunks_mut(nodes))
+                .zip(in_inj.chunks_mut(nodes))
+                .zip(traversals.chunks_mut(nodes))
+                .enumerate();
+            let mut cells: Vec<(Lane<'_>, WindowSink, &mut Vec<_>)> = cells_iter
+                .map(
+                    |(s, ((((((st, hop_buf), routers), injectors), in_dirty), in_inj), trav))| {
+                        let lane = Lane {
+                            base: s * nodes,
+                            base_layer: s as u8 * lps,
+                            layers_per_shard: lps,
+                            st,
+                            routers,
+                            injectors,
+                            in_dirty,
+                            in_inj,
+                            traversals: trav,
+                            layout,
+                            mode: *mode,
+                            vcs: *vcs,
+                            router_latency: *router_latency,
+                            bus_of_node,
+                            flit_hops: 0,
+                            flit_hops_by_class: [0; 4],
+                            switch_contention: 0,
+                        };
+                        let sink = WindowSink {
+                            hops: std::mem::take(hop_buf),
+                            record,
+                        };
+                        (lane, sink, hop_buf)
+                    },
+                )
+                .collect();
+            if threaded {
+                let cursor = AtomicUsize::new(0);
+                let slots: Vec<Mutex<&mut (Lane<'_>, WindowSink, &mut Vec<_>)>> =
+                    cells.iter_mut().map(Mutex::new).collect();
+                std::thread::scope(|scope| {
+                    for _ in 0..workers.min(slots.len()) {
+                        scope.spawn(|| loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            let Some(slot) = slots.get(i) else { break };
+                            let mut cell = slot.lock().expect("window lane poisoned");
+                            let (lane, sink, _) = &mut **cell;
+                            lane.run_window(from, to, sink);
+                        });
+                    }
+                });
+            } else {
+                for (lane, sink, _) in &mut cells {
+                    lane.run_window(from, to, sink);
+                }
+            }
+            for (lane, sink, hop_buf) in cells {
+                fh += lane.flit_hops;
+                for (total, add) in byc.iter_mut().zip(lane.flit_hops_by_class) {
+                    *total += add;
+                }
+                sc += lane.switch_contention;
+                *hop_buf = sink.hops;
+            }
+        }
+        self.fold_lane(fh, byc, sc);
+    }
+
+    /// Replays deferred `FlitHop` events in (cycle, shard) order —
+    /// within a cycle the sequential engine processes routers in node
+    /// order, i.e. shard order, and each shard's buffer is already in
+    /// its own emission order, so a stable sort by cycle reconstructs
+    /// the exact sequential event stream.
+    fn replay_hops(&mut self) {
+        if self.hop_bufs.iter().all(Vec::is_empty) {
+            return;
+        }
+        let mut merged = std::mem::take(&mut self.hop_scratch);
+        debug_assert!(merged.is_empty());
+        for buf in &mut self.hop_bufs {
+            merged.append(buf);
+        }
+        merged.sort_by_key(|&(cycle, _, _)| cycle);
+        let mut current = u64::MAX;
+        for (cycle, at, class) in merged.drain(..) {
+            if cycle != current {
+                self.obs.set_now(cycle);
+                current = cycle;
+            }
+            self.obs
+                .emit(Category::Hop, || EventData::FlitHop { at, class });
+        }
+        self.hop_scratch = merged;
+    }
+}

@@ -346,3 +346,148 @@ fn mesh3d_four_layer_traffic() {
         "each layer crossing is a mesh hop in 3D-mesh mode"
     );
 }
+
+/// Drives a sharded network to idle through the window path (forcing
+/// the threaded executor onto every window) and returns everything
+/// observable: deliveries in arrival order, network stats, per-bus
+/// stats, and the traversal map.
+fn drain_via_windows(net: &mut Network) -> (Vec<Delivered>, NetworkStats, Vec<BusStats>, Vec<u64>) {
+    let mut delivered = Vec::new();
+    let mut guard = 0;
+    while !net.is_idle() {
+        net.advance_window(net.now().0 + 10_000);
+        net.tick();
+        net.drain_delivered_into(&mut delivered);
+        guard += 1;
+        assert!(guard < 100_000, "sharded run livelocked");
+    }
+    (
+        delivered,
+        net.stats().clone(),
+        net.bus_stats(),
+        net.traversals().to_vec(),
+    )
+}
+
+/// A deterministic many-packet workload mixing same-layer, cross-layer,
+/// pinned-pillar, and multi-flit traffic across all layers.
+fn mixed_traffic(net: &mut Network, layout: &ChipLayout) {
+    let (w, h, l) = (layout.width(), layout.height(), layout.layers());
+    for i in 0..60u32 {
+        let src = Coord::new(
+            (i % 7) as u8 % w,
+            (i / 7) as u8 % h,
+            (i % u32::from(l)) as u8,
+        );
+        let dst = Coord::new(
+            ((i * 3) % 7) as u8 % w,
+            ((i * 5) % 11) as u8 % h,
+            ((i + 1) % u32::from(l)) as u8,
+        );
+        let via = (i % 3 == 0).then(|| PillarId((i % u32::from(layout.num_pillars())) as u16));
+        send_one(net, src, dst, via, 1 + i % 4);
+    }
+}
+
+#[test]
+fn shard_request_clamps_to_layer_divisors() {
+    let cfg = SystemConfig::default(); // 2 layers
+    let layout = ChipLayout::new(&cfg).unwrap();
+    assert_eq!(
+        Network::new_sharded(&layout, &cfg.network, VerticalMode::Pillars, 3).shards(),
+        2,
+        "3 does not divide 2 layers; largest divisor wins"
+    );
+    assert_eq!(
+        Network::new_sharded(&layout, &cfg.network, VerticalMode::Mesh3d, 2).shards(),
+        1,
+        "the 3D mesh couples layers every cycle and cannot be cut"
+    );
+    let cfg4 = SystemConfig::default().with_layers(4);
+    let layout4 = ChipLayout::new(&cfg4).unwrap();
+    assert_eq!(
+        Network::new_sharded(&layout4, &cfg4.network, VerticalMode::Pillars, 4).shards(),
+        4
+    );
+}
+
+#[test]
+fn sharded_windows_match_sequential_bit_for_bit() {
+    for layers in [2u8, 4] {
+        let cfg = SystemConfig::default().with_layers(layers);
+        let layout = ChipLayout::new(&cfg).unwrap();
+
+        let mut reference = Network::new(&layout, &cfg.network, VerticalMode::Pillars);
+        mixed_traffic(&mut reference, &layout);
+        reference.run_until_idle(100_000).expect("drains");
+        let mut want = reference.drain_delivered();
+        want.sort_by_key(|d| d.packet.0);
+
+        for shards in [2usize, usize::from(layers)] {
+            let mut net =
+                Network::new_sharded(&layout, &cfg.network, VerticalMode::Pillars, shards);
+            assert_eq!(net.shards(), shards);
+            // Force the threaded executor onto even one-cycle windows so
+            // this test exercises real cross-thread scheduling.
+            net.set_window_tuning(1, shards);
+            mixed_traffic(&mut net, &layout);
+            let (mut got, stats, bus, traversals) = drain_via_windows(&mut net);
+            got.sort_by_key(|d| d.packet.0);
+            assert_eq!(got, want, "{shards} shards, {layers} layers: deliveries");
+            assert_eq!(
+                &stats,
+                reference.stats(),
+                "{shards} shards, {layers} layers: stats"
+            );
+            assert_eq!(
+                bus,
+                reference.bus_stats(),
+                "{shards} shards, {layers} layers: bus stats"
+            );
+            assert_eq!(
+                traversals,
+                reference.traversals(),
+                "{shards} shards, {layers} layers: traversal map"
+            );
+            assert_eq!(net.now(), reference.now(), "final clock");
+        }
+    }
+}
+
+#[test]
+fn window_exchange_is_deterministic_across_interleavings() {
+    // Thread scheduling varies run to run; shard claiming must not.
+    // Five repetitions of the same threaded run must be byte-identical.
+    let cfg = SystemConfig::default().with_layers(4);
+    let layout = ChipLayout::new(&cfg).unwrap();
+    let mut baseline = None;
+    for _ in 0..5 {
+        let mut net = Network::new_sharded(&layout, &cfg.network, VerticalMode::Pillars, 4);
+        net.set_window_tuning(1, 4);
+        mixed_traffic(&mut net, &layout);
+        let outcome = drain_via_windows(&mut net);
+        let rendered = format!("{outcome:?}");
+        match &baseline {
+            None => baseline = Some(rendered),
+            Some(b) => assert_eq!(b, &rendered, "nondeterministic sharded run"),
+        }
+    }
+}
+
+#[test]
+fn window_advance_respects_caller_cap() {
+    let cfg = SystemConfig::default();
+    let layout = ChipLayout::new(&cfg).unwrap();
+    let mut net = Network::new_sharded(&layout, &cfg.network, VerticalMode::Pillars, 2);
+    // Long route: plenty of lookahead before anything couples.
+    send_one(
+        &mut net,
+        Coord::new(0, 0, 0),
+        Coord::new(layout.width() - 1, layout.height() - 1, 1),
+        None,
+        1,
+    );
+    let advanced = net.advance_window(net.now().0 + 3);
+    assert!(advanced <= 3, "window overran the caller's cap");
+    assert_eq!(net.now().0, advanced, "clock advanced by the return value");
+}

@@ -43,6 +43,10 @@ OPTIONS (run / compare):
     --warmup <n>                               warm-up transactions (default 2000)
     --sample <n>                               sampled transactions (default 20000)
     --seed <n>                                 workload seed (default 42)
+    --shards <n>                               advance the network as n
+                                               layer-group shards on worker
+                                               threads (bit-identical;
+                                               default: NIM_SHARDS, else 1)
 
 OBSERVABILITY (run only; all off by default):
     --trace-out <path>        write a Chrome trace_event JSON file
@@ -79,6 +83,8 @@ struct Options {
     warmup: u64,
     sample: u64,
     seed: u64,
+    /// `None` keeps the builder default (`NIM_SHARDS`, else 1).
+    shards: Option<usize>,
     trace_out: Option<String>,
     trace_filter: CategoryMask,
     metrics_out: Option<String>,
@@ -97,6 +103,7 @@ impl Default for Options {
             warmup: 2_000,
             sample: 20_000,
             seed: 42,
+            shards: None,
             trace_out: None,
             trace_filter: CategoryMask::default_trace(),
             metrics_out: None,
@@ -156,6 +163,9 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--warmup" => opts.warmup = value()?.parse().map_err(|e| format!("--warmup: {e}"))?,
             "--sample" => opts.sample = value()?.parse().map_err(|e| format!("--sample: {e}"))?,
             "--seed" => opts.seed = value()?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--shards" => {
+                opts.shards = Some(value()?.parse().map_err(|e| format!("--shards: {e}"))?)
+            }
             "--trace-out" => opts.trace_out = Some(value()?),
             "--trace-filter" => {
                 opts.trace_filter =
@@ -179,16 +189,18 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
 }
 
 fn run_one(opts: &Options, scheme: Scheme, obs: Obs) -> Result<(), Box<dyn Error>> {
-    let report = SystemBuilder::new(scheme)
+    let mut builder = SystemBuilder::new(scheme)
         .layers(opts.layers)
         .pillars(opts.pillars)
         .l2_scale(opts.l2_scale)
         .warmup_transactions(opts.warmup)
         .sampled_transactions(opts.sample)
         .seed(opts.seed)
-        .observability(obs.clone())
-        .build()?
-        .run(&opts.bench)?;
+        .observability(obs.clone());
+    if let Some(n) = opts.shards {
+        builder = builder.shards(n);
+    }
+    let report = builder.build()?.run(&opts.bench)?;
     println!(
         "{:<14} avg L2 hit {:>7.2} cy | IPC {:>6.4} | migrations {:>7} | miss {:>6.4} | L2 energy {:>8.4} mJ",
         scheme.label(),
@@ -345,6 +357,8 @@ mod tests {
             "100",
             "--seed",
             "7",
+            "--shards",
+            "2",
         ]))
         .unwrap();
         assert_eq!(opts.scheme, Scheme::CmpSnuca3d);
@@ -355,6 +369,15 @@ mod tests {
         assert_eq!(opts.warmup, 10);
         assert_eq!(opts.sample, 100);
         assert_eq!(opts.seed, 7);
+        assert_eq!(opts.shards, Some(2));
+    }
+
+    #[test]
+    fn shards_defaults_to_builder_choice() {
+        assert_eq!(parse_options(&[]).unwrap().shards, None);
+        assert!(parse_options(&args(&["--shards", "zero?"]))
+            .unwrap_err()
+            .contains("--shards"));
     }
 
     #[test]
