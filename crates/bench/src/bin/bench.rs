@@ -8,7 +8,11 @@
 //! produced identical reports. A second section times one *single* run
 //! sequentially and with the network cut into 2 shards
 //! (`SystemBuilder::shards`), reporting `cycles_per_sec_sharded` and
-//! asserting the sharded report is bit-identical.
+//! asserting the sharded report is bit-identical. A third section runs
+//! the same cell on the ideal contention-free fabric
+//! (`SystemBuilder::fabric`), reporting `cycles_per_sec_ideal_fabric` —
+//! skipping per-flit simulation must beat the cycle-accurate NoC on
+//! wall-clock throughput, and CI gates on it.
 //!
 //! ```sh
 //! NIM_SCALE=quick NIM_JOBS=4 cargo run --release -p nim-bench --bin bench
@@ -24,7 +28,7 @@ use std::time::Instant;
 use nim_bench::scale_from_env;
 use nim_core::experiments::{run_cells, ExperimentScale, SweepSpec};
 use nim_core::parallel::{configured_jobs, set_jobs_override};
-use nim_core::{RunReport, Scheme, SystemBuilder};
+use nim_core::{FabricKind, RunReport, Scheme, SystemBuilder};
 use nim_workload::BenchmarkProfile;
 
 /// Pulls `"cycles_per_sec_1": <number>` out of a previously written
@@ -53,18 +57,20 @@ fn timed_sweep(
 }
 
 /// Runs one 2-layer CmpDnuca3d cell with the network cut into `shards`
-/// regions, returning the report and the wall time of `System::run`
-/// alone (build and prewarm excluded).
-fn timed_sharded_run(
+/// regions on the given interconnect substrate, returning the report and
+/// the wall time of `System::run` alone (build and prewarm excluded).
+fn timed_single_run(
     scale: ExperimentScale,
     profile: &BenchmarkProfile,
     shards: usize,
+    fabric: FabricKind,
 ) -> Result<(RunReport, f64), Box<dyn Error>> {
     let mut sys = SystemBuilder::new(Scheme::CmpDnuca3d)
         .seed(42)
         .warmup_transactions(scale.warmup)
         .sampled_transactions(scale.sample)
         .shards(shards)
+        .fabric(fabric)
         .build()?;
     let start = Instant::now();
     let report = sys.run(profile)?;
@@ -114,12 +120,20 @@ fn main() -> Result<(), Box<dyn Error>> {
     // 2 layer shards advancing concurrently between pillar grants.
     eprintln!("# bench: single-run sharding, shards=1 then shards=2");
     let sharded_profile = BenchmarkProfile::art();
-    let (seq_report, wall_s1) = timed_sharded_run(scale, &sharded_profile, 1)?;
-    let (sh_report, wall_s2) = timed_sharded_run(scale, &sharded_profile, 2)?;
+    let (seq_report, wall_s1) = timed_single_run(scale, &sharded_profile, 1, FabricKind::Sim)?;
+    let (sh_report, wall_s2) = timed_single_run(scale, &sharded_profile, 2, FabricKind::Sim)?;
     let sharded_deterministic = format!("{seq_report:?}") == format!("{sh_report:?}");
     let cps_s1 = seq_report.cycles as f64 / wall_s1.max(1e-9);
     let cps_sharded = sh_report.cycles as f64 / wall_s2.max(1e-9);
     let sharded_speedup = wall_s1 / wall_s2.max(1e-9);
+
+    // Ideal contention-free fabric: the same cell with every packet's
+    // latency computed analytically instead of simulated flit by flit.
+    eprintln!("# bench: single-run ideal fabric, shards=1");
+    let (ideal_report, wall_ideal) =
+        timed_single_run(scale, &sharded_profile, 1, FabricKind::Ideal)?;
+    let cps_ideal = ideal_report.cycles as f64 / wall_ideal.max(1e-9);
+    let ideal_fabric_speedup = cps_ideal / cps_s1.max(1e-9);
 
     let mut json = String::new();
     json.push_str("{\n");
@@ -141,6 +155,11 @@ fn main() -> Result<(), Box<dyn Error>> {
     let _ = writeln!(
         json,
         "  \"sharded_deterministic\": {sharded_deterministic},"
+    );
+    let _ = writeln!(json, "  \"cycles_per_sec_ideal_fabric\": {cps_ideal:.1},");
+    let _ = writeln!(
+        json,
+        "  \"ideal_fabric_speedup\": {ideal_fabric_speedup:.3},"
     );
     // Before/after throughput relative to whatever sweep last wrote this
     // file (absent on a first run).

@@ -11,11 +11,11 @@ use nim_coherence::{Directory, WritePolicy};
 use nim_cpu::InOrderCore;
 use nim_noc::{Network, VerticalMode};
 use nim_obs::Obs;
-use nim_topology::ChipLayout;
-use nim_types::{FxHashMap, SystemConfig};
+use nim_topology::{ChipLayout, MeshTopology, TopoSpec};
+use nim_types::{FxHashMap, PillarPlacement, SystemConfig};
 
 use crate::error::BuildError;
-use crate::fabric::SimFabric;
+use crate::fabric::{FabricKind, LatencyModel, SimFabric};
 use crate::policy::{policy_for, PolicyKnobs};
 use crate::protocol::Engine;
 use crate::report::Counters;
@@ -51,6 +51,7 @@ pub struct SystemBuilder {
     edge_memory: bool,
     skip: bool,
     shards: usize,
+    fabric: FabricKind,
     obs: Obs,
 }
 
@@ -79,6 +80,7 @@ impl SystemBuilder {
             edge_memory: false,
             skip: std::env::var_os("NIM_NO_SKIP").is_none(),
             shards: shards_from_env(),
+            fabric: FabricKind::default(),
             obs: Obs::disabled(),
         }
     }
@@ -99,6 +101,35 @@ impl SystemBuilder {
     /// Number of vertical pillars.
     pub fn pillars(mut self, pillars: u16) -> Self {
         self.cfg.network.pillars = pillars;
+        self
+    }
+
+    /// Number of CPUs seated on the chip.
+    pub fn cpus(mut self, n: u32) -> Self {
+        self.cfg.num_cpus = n;
+        self
+    }
+
+    /// Where the vertical pillars land on each layer's mesh (spread,
+    /// corners, or diagonal — see [`PillarPlacement`]).
+    pub fn pillar_placement(mut self, placement: PillarPlacement) -> Self {
+        self.cfg.network.pillar_placement = placement;
+        self
+    }
+
+    /// Applies a parsed topology override (layer count, pillar count,
+    /// pillar placement — see [`TopoSpec`]) on top of the current
+    /// configuration. Later explicit knobs still win.
+    pub fn topology(mut self, spec: &TopoSpec) -> Self {
+        spec.apply(&mut self.cfg);
+        self
+    }
+
+    /// Selects the interconnect substrate: the cycle-accurate flit-level
+    /// network (default), the analytic latency-table fabric, or the
+    /// ideal contention-free fabric — see [`FabricKind`].
+    pub fn fabric(mut self, kind: FabricKind) -> Self {
+        self.fabric = kind;
         self
     }
 
@@ -247,8 +278,20 @@ impl SystemBuilder {
                 memory_latency: u64::from(cfg.memory_latency),
             },
         );
+        let model = match self.fabric {
+            FabricKind::Sim => None,
+            FabricKind::LatencyTable => Some(LatencyModel::latency_table(
+                MeshTopology::new(layout.clone(), cfg.network.router_latency),
+                &cfg.network,
+            )),
+            FabricKind::Ideal => Some(LatencyModel::ideal(
+                MeshTopology::new(layout.clone(), cfg.network.router_latency),
+                &cfg.network,
+            )),
+        };
         let fabric = SimFabric::new(
             net,
+            model,
             TagArrays::new(
                 layout.num_clusters() as usize,
                 u64::from(cfg.l2.tag_latency),

@@ -13,16 +13,18 @@
 //!   the same timing models, and no network is ever constructed.
 //!
 //! This seam is what makes the protocol transitions unit-testable and
-//! is the hook for future execution substrates (a sharded or
-//! message-passing fabric can implement [`Fabric`] without the protocol
-//! code changing).
+//! is the hook for alternative execution substrates: [`SimFabric`] can
+//! swap its flit-level network for an analytic latency model
+//! ([`FabricKind::LatencyTable`] / [`FabricKind::Ideal`]) without the
+//! protocol code changing.
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use nim_noc::{Network, SendRequest};
+use nim_noc::{zero_load_path, Network, SendRequest};
 use nim_obs::{Category, EventData, Obs};
-use nim_types::{ClusterId, Coord, Cycle, PillarId};
+use nim_topology::{MeshTopology, Topology};
+use nim_types::{ClusterId, Coord, Cycle, NetworkConfig, PacketId, PillarId};
 
 use crate::timing::{Banks, MemoryChannels, TagArrays};
 use crate::token::{TimedEvent, Token};
@@ -78,10 +80,132 @@ pub(crate) trait Fabric {
     fn obs(&self) -> &Obs;
 }
 
+/// Which interconnect substrate a run simulates. Selected at build time
+/// ([`SystemBuilder::fabric`](crate::SystemBuilder::fabric)); the
+/// protocol engine cannot tell them apart.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum FabricKind {
+    /// The cycle-accurate flit-level NoC: wormhole meshes, virtual
+    /// channels, switch arbitration, dTDMA pillar buses (the default).
+    #[default]
+    Sim,
+    /// Analytic latency-table fabric: every packet's latency comes from
+    /// the validated zero-load model ([`nim_noc::zero_load_path`]) with
+    /// hop costs precomputed per topology, plus a per-pillar ready-at
+    /// table that serialises dTDMA grants — no per-flit simulation.
+    /// Mesh-link contention is not modeled.
+    LatencyTable,
+    /// Ideal contention-free fabric: pure zero-load latency for every
+    /// packet, with no shared-resource state at all. The upper bound a
+    /// real interconnect is measured against.
+    Ideal,
+}
+
+impl FabricKind {
+    /// Every kind, in CLI listing order.
+    pub const ALL: [FabricKind; 3] = [FabricKind::Sim, FabricKind::LatencyTable, FabricKind::Ideal];
+
+    /// The CLI-facing name.
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            FabricKind::Sim => "sim",
+            FabricKind::LatencyTable => "latency-table",
+            FabricKind::Ideal => "ideal",
+        }
+    }
+
+    /// Parses a CLI-facing name; the unknown input comes back as `Err`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the input string if it names no fabric kind.
+    pub fn parse(s: &str) -> Result<Self, &str> {
+        Self::ALL.into_iter().find(|k| k.name() == s).ok_or(s)
+    }
+}
+
+impl std::fmt::Display for FabricKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The analytic timing engine behind [`FabricKind::LatencyTable`] and
+/// [`FabricKind::Ideal`]: zero-load path costs from the topology, plus
+/// (latency-table only) a per-pillar ready-at table that replays the
+/// dTDMA bus's serialisation — the dominant shared resource in the
+/// paper's design — without simulating flits.
+#[derive(Debug)]
+pub(crate) struct LatencyModel {
+    topo: MeshTopology,
+    router_latency: u64,
+    bus_k: u64,
+    /// Earliest cycle each pillar's bus can issue its next grant. Empty
+    /// in the ideal fabric, which models no contention at all.
+    ready_at: Vec<u64>,
+}
+
+impl LatencyModel {
+    /// A latency-table model (pillar serialisation on) for `topo`.
+    pub(crate) fn latency_table(topo: MeshTopology, net: &NetworkConfig) -> Self {
+        let pillars = topo.num_pillars() as usize;
+        Self::build(topo, net, vec![0; pillars])
+    }
+
+    /// An ideal contention-free model for `topo`.
+    pub(crate) fn ideal(topo: MeshTopology, net: &NetworkConfig) -> Self {
+        Self::build(topo, net, Vec::new())
+    }
+
+    fn build(topo: MeshTopology, net: &NetworkConfig, ready_at: Vec<u64>) -> Self {
+        Self {
+            topo,
+            router_latency: u64::from(net.router_latency),
+            bus_k: u64::from(net.bus_cycles_per_flit()),
+            ready_at,
+        }
+    }
+}
+
+/// A delivery synthesized by the [`LatencyModel`], ordered by
+/// `(due, seq)` so same-cycle deliveries pop in send order — the same
+/// tie-break the timed-event heap uses.
+#[derive(Debug)]
+struct Modeled {
+    due: u64,
+    seq: u64,
+    delivery: Delivered,
+}
+
+impl PartialEq for Modeled {
+    fn eq(&self, other: &Self) -> bool {
+        (self.due, self.seq) == (other.due, other.seq)
+    }
+}
+impl Eq for Modeled {}
+impl PartialOrd for Modeled {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Modeled {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.due, self.seq).cmp(&(other.due, other.seq))
+    }
+}
+
 /// The real fabric: the 3D NoC, the timed-event heap, and the shared
 /// resource timing models, owned together so the run loop in
 /// [`System`](crate::System) can drive phases and fast-forward while
 /// protocol code stays behind the [`Fabric`] trait.
+///
+/// With a [`LatencyModel`] attached, sends bypass the flit-level
+/// network entirely: each packet's delivery is computed analytically at
+/// injection and queued on the modeled-delivery heap, which the run
+/// loop drains alongside network deliveries. The network object remains
+/// the clock owner but never carries traffic, so its statistics stay
+/// zero under modeled fabrics.
 #[derive(Debug)]
 pub(crate) struct SimFabric {
     /// The cycle-accurate 3D mesh + dTDMA pillar network.
@@ -90,6 +214,11 @@ pub(crate) struct SimFabric {
     /// events fire in scheduling order.
     pub(crate) events: BinaryHeap<Reverse<(u64, u64, TimedEvent)>>,
     next_seq: u64,
+    /// `Some` for modeled fabrics; `None` runs the flit-level network.
+    model: Option<LatencyModel>,
+    /// Deliveries synthesized by the model, due at `Modeled::due`.
+    modeled: BinaryHeap<Reverse<Modeled>>,
+    modeled_seq: u64,
     tags: TagArrays,
     banks: Banks,
     memory: MemoryChannels,
@@ -99,6 +228,7 @@ pub(crate) struct SimFabric {
 impl SimFabric {
     pub(crate) fn new(
         net: Network,
+        model: Option<LatencyModel>,
         tags: TagArrays,
         banks: Banks,
         memory: MemoryChannels,
@@ -108,6 +238,9 @@ impl SimFabric {
             net,
             events: BinaryHeap::new(),
             next_seq: 0,
+            model,
+            modeled: BinaryHeap::new(),
+            modeled_seq: 0,
             tags,
             banks,
             memory,
@@ -119,6 +252,85 @@ impl SimFabric {
     /// activity-driven power and thermal analysis.
     pub(crate) fn bank_access_counts(&self) -> &[u64] {
         self.banks.access_counts()
+    }
+
+    /// Whether any modeled delivery is still queued (always `false`
+    /// under [`FabricKind::Sim`]).
+    pub(crate) fn has_modeled(&self) -> bool {
+        !self.modeled.is_empty()
+    }
+
+    /// The due cycle of the earliest queued modeled delivery.
+    pub(crate) fn next_modeled_at(&self) -> Option<u64> {
+        self.modeled.peek().map(|Reverse(m)| m.due)
+    }
+
+    /// Pops the earliest modeled delivery if it is due at or before
+    /// `now`.
+    pub(crate) fn pop_modeled(&mut self, now: u64) -> Option<Delivered> {
+        if self.modeled.peek().is_some_and(|Reverse(m)| m.due <= now) {
+            self.modeled.pop().map(|Reverse(m)| m.delivery)
+        } else {
+            None
+        }
+    }
+
+    /// Computes one packet's delivery analytically and queues it.
+    fn send_modeled(
+        &mut self,
+        src: Coord,
+        dst: Coord,
+        class: TrafficClass,
+        flits: u32,
+        token: Token,
+        via: Option<PillarId>,
+    ) {
+        let model = self.model.as_mut().expect("modeled send requires a model");
+        let now = self.net.now();
+        let path = zero_load_path(
+            &model.topo,
+            src,
+            dst,
+            via,
+            flits,
+            model.router_latency,
+            model.bus_k,
+        );
+        let mut latency = path.latency;
+        let mut bus_wait = path.bus_wait;
+        if let Some(p) = path.pillar {
+            if let Some(slot) = model.ready_at.get_mut(p.0 as usize) {
+                // The head flit reaches the pillar's transceiver
+                // `bus_enqueue` cycles after the send and becomes
+                // grant-eligible one cycle later; an earlier packet's
+                // serialisation window pushes the grant (and the whole
+                // delivery) back by `delta`, which the tail flit
+                // experiences as extra bus wait.
+                let uncontended = now.0 + path.bus_enqueue + 1;
+                let grant = uncontended.max(*slot);
+                let delta = grant - uncontended;
+                latency += delta;
+                bus_wait = bus_wait.saturating_add(u32::try_from(delta).unwrap_or(u32::MAX));
+                *slot = grant + u64::from(flits) * model.bus_k;
+            }
+        }
+        self.modeled_seq += 1;
+        let due = now.0 + latency;
+        self.modeled.push(Reverse(Modeled {
+            due,
+            seq: self.modeled_seq,
+            delivery: Delivered {
+                packet: PacketId(self.modeled_seq),
+                src,
+                dst,
+                class,
+                token: token.encode(),
+                injected: now,
+                delivered: Cycle(due),
+                hops: path.hops,
+                bus_wait,
+            },
+        }));
     }
 }
 
@@ -132,6 +344,10 @@ impl Fabric for SimFabric {
         token: Token,
         via: Option<PillarId>,
     ) {
+        if self.model.is_some() {
+            self.send_modeled(src, dst, class, flits, token, via);
+            return;
+        }
         self.net.send(SendRequest {
             src,
             dst,

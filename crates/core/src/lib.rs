@@ -51,6 +51,7 @@ mod txn;
 
 pub use builder::SystemBuilder;
 pub use error::{BuildError, RunError};
+pub use fabric::FabricKind;
 pub use report::{Counters, RunReport};
 pub use scheme::Scheme;
 pub use system::System;

@@ -206,6 +206,19 @@ impl RunReport {
     pub fn energy(&self) -> EnergyBreakdown {
         EnergyModel::default().estimate(&self.activity())
     }
+
+    /// A stable 64-bit digest of everything a run can disagree on —
+    /// every counter, every latency sum, the network statistics — via
+    /// [`nim_types::FxHasher`] (not SipHash, so the value is identical
+    /// across platforms and toolchains). Two runs of the same cell must
+    /// produce the same fingerprint; the `scale` experiment and the CI
+    /// topology/shards matrix gate on it.
+    pub fn fingerprint(&self) -> u64 {
+        use std::hash::Hasher as _;
+        let mut h = nim_types::FxHasher::default();
+        h.write(format!("{self:?}").as_bytes());
+        h.finish()
+    }
 }
 
 #[cfg(test)]

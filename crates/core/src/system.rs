@@ -179,6 +179,7 @@ impl System {
             // watchdog out.
             if self.fabric.net.is_idle()
                 && self.fabric.events.is_empty()
+                && !self.fabric.has_modeled()
                 && self.engine.txns.is_empty()
                 && self.engine.cores.iter().all(InOrderCore::is_halted)
             {
@@ -210,12 +211,17 @@ impl System {
                 let Reverse((_, _, ev)) = self.fabric.events.pop().expect("peeked");
                 self.engine.handle_event(&mut self.fabric, ev, now);
             }
-            // Network deliveries.
+            // Network deliveries (flit-level fabric) and modeled
+            // deliveries (latency-table / ideal fabrics) — at most one
+            // stream is ever populated for a given run.
             if self.fabric.net.has_deliveries() {
                 self.fabric.net.drain_delivered_into(&mut delivered);
                 for d in delivered.drain(..) {
                     self.engine.handle_delivered(&mut self.fabric, d, now);
                 }
+            }
+            while let Some(d) = self.fabric.pop_modeled(now.0) {
+                self.engine.handle_delivered(&mut self.fabric, d, now);
             }
             // Cores. Halted cores are skipped outright: `tick` on a
             // halted core is a no-op (it returns before touching stats),
@@ -414,7 +420,14 @@ impl System {
             Some(t) => t.0 - (now + 1),
             None => u64::MAX,
         };
-        let delta = core_bound.min(event_bound).min(net_bound);
+        let modeled_bound = match self.fabric.next_modeled_at() {
+            Some(due) => due.saturating_sub(now + 1),
+            None => u64::MAX,
+        };
+        let delta = core_bound
+            .min(event_bound)
+            .min(net_bound)
+            .min(modeled_bound);
         if delta == 0 || delta == u64::MAX {
             // Either something needs attention next cycle, or everything
             // is blocked with no pending horizon (the watchdog will catch
@@ -460,6 +473,9 @@ impl System {
         let mut end = now.saturating_add(core_bound);
         if let Some(&Reverse((due, _, _))) = self.fabric.events.peek() {
             end = end.min(due - 1);
+        }
+        if let Some(due) = self.fabric.next_modeled_at() {
+            end = end.min(due.saturating_sub(1));
         }
         if let Some(boundary) = self.obs.next_sample_at() {
             end = end.min(boundary.saturating_sub(1));

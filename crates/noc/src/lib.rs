@@ -42,6 +42,7 @@
 #![warn(missing_docs)]
 
 mod dtdma;
+mod latency;
 mod network;
 mod packet;
 mod router;
@@ -50,6 +51,7 @@ mod stats;
 mod vc;
 
 pub use dtdma::BusStats;
+pub use latency::{zero_load_path, ZeroLoadPath};
 pub use network::Network;
 pub use packet::{Delivered, FlitKind, SendRequest, TrafficClass};
 pub use routing::VerticalMode;

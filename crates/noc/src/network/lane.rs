@@ -23,7 +23,7 @@
 use std::collections::VecDeque;
 
 use nim_obs::{Category, EventData, Obs};
-use nim_topology::ChipLayout;
+use nim_topology::{ChipLayout, RouteMap};
 use nim_types::{Coord, Cycle};
 
 use crate::packet::{Delivered, Flit};
@@ -136,6 +136,7 @@ pub(super) struct Lane<'a> {
     pub in_inj: &'a mut [bool],
     pub traversals: &'a mut [u64],
     pub layout: &'a ChipLayout,
+    pub routes: &'a RouteMap,
     pub mode: VerticalMode,
     pub vcs: usize,
     pub router_latency: u64,
@@ -233,6 +234,7 @@ impl Network {
             stats,
             obs,
             layout,
+            routes,
             mode,
             vcs,
             router_latency,
@@ -251,6 +253,7 @@ impl Network {
             in_inj: &mut in_inj[base..base + nodes],
             traversals: &mut traversals[base..base + nodes],
             layout,
+            routes,
             mode: *mode,
             vcs: *vcs,
             router_latency: *router_latency,

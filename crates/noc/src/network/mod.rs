@@ -48,7 +48,7 @@ mod window;
 use std::collections::VecDeque;
 
 use nim_obs::{Category, EventData, Obs};
-use nim_topology::ChipLayout;
+use nim_topology::{ChipLayout, RouteMap};
 use nim_types::{Coord, Cycle, Dir, NetworkConfig, PacketId};
 
 use crate::dtdma::{BusStats, DtdmaBus, Iface};
@@ -125,6 +125,9 @@ pub(super) struct ShardState {
 #[derive(Clone, Debug)]
 pub struct Network {
     layout: ChipLayout,
+    /// Precomputed nearest-pillar table (decision-identical to the
+    /// layout's linear scan) — the O(1) fallback for unpinned routes.
+    routes: RouteMap,
     mode: VerticalMode,
     vcs: usize,
     /// Cycles a flit dwells in a router before it may leave (Table 4:
@@ -288,6 +291,7 @@ impl Network {
             .min(num_shards);
         Self {
             layout: layout.clone(),
+            routes: RouteMap::new(layout),
             mode,
             vcs,
             router_latency: u64::from(cfg.router_latency).max(1),

@@ -85,7 +85,14 @@ impl Lane<'_> {
                 }
                 cands.push(Candidate {
                     slot: (in_dir * vcs + vc) as u16,
-                    out: route(self.layout, self.mode, at, front.dst, front.via),
+                    out: route(
+                        self.layout,
+                        self.routes,
+                        self.mode,
+                        at,
+                        front.dst,
+                        front.via,
+                    ),
                     flit: *front,
                 });
             }

@@ -199,6 +199,7 @@ impl Network {
                 in_inj,
                 traversals,
                 layout,
+                routes,
                 mode,
                 vcs,
                 router_latency,
@@ -229,6 +230,7 @@ impl Network {
                             in_inj,
                             traversals: trav,
                             layout,
+                            routes,
                             mode: *mode,
                             vcs: *vcs,
                             router_latency: *router_latency,

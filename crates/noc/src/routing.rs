@@ -14,7 +14,7 @@
 //! the pillar detour preserves this because each packet crosses layers at
 //! most once, so the channel dependency graph stays acyclic.
 
-use nim_topology::ChipLayout;
+use nim_topology::{ChipLayout, RouteMap};
 use nim_types::{Coord, Dir, PillarId};
 
 /// How the layers of the stack are interconnected.
@@ -45,7 +45,9 @@ pub(crate) fn xy_toward(at: Coord, dst_x: u8, dst_y: u8) -> Dir {
 }
 
 /// Output port for a flit standing at `at`, heading for `dst`, riding
-/// pillar `via` for any layer change.
+/// pillar `via` for any layer change. Unpinned cross-layer routes fall
+/// back to the precomputed nearest-pillar table (`routes`), which is
+/// decision-identical to the layout's linear scan.
 ///
 /// # Panics
 ///
@@ -53,6 +55,7 @@ pub(crate) fn xy_toward(at: Coord, dst_x: u8, dst_y: u8) -> Dir {
 /// with no pillars.
 pub(crate) fn route(
     layout: &ChipLayout,
+    routes: &RouteMap,
     mode: VerticalMode,
     at: Coord,
     dst: Coord,
@@ -64,7 +67,7 @@ pub(crate) fn route(
                 xy_toward(at, dst.x, dst.y)
             } else {
                 let pillar = via
-                    .or_else(|| layout.nearest_pillar(at))
+                    .or_else(|| routes.nearest_pillar(at))
                     .expect("cross-layer route requires a pillar");
                 let (px, py) = layout.pillar_xy(pillar);
                 if (at.x, at.y) == (px, py) {
@@ -96,6 +99,16 @@ mod tests {
 
     fn layout() -> ChipLayout {
         ChipLayout::new(&SystemConfig::default()).unwrap()
+    }
+
+    fn route(
+        layout: &ChipLayout,
+        mode: VerticalMode,
+        at: Coord,
+        dst: Coord,
+        via: Option<PillarId>,
+    ) -> Dir {
+        super::route(layout, &RouteMap::new(layout), mode, at, dst, via)
     }
 
     #[test]

@@ -9,7 +9,7 @@
 use core::error::Error;
 use core::fmt;
 
-use nim_types::{BankId, ClusterId, Coord, PillarId, SystemConfig};
+use nim_types::{BankId, ClusterId, Coord, PillarId, PillarPlacement, SystemConfig};
 
 /// Error building a [`ChipLayout`].
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -159,7 +159,12 @@ impl ChipLayout {
                 available: interior,
             });
         }
-        let pillars = pillar_sites(pillar_count, width as u8, height as u8);
+        let pillars = pillar_sites(
+            pillar_count,
+            width as u8,
+            height as u8,
+            cfg.network.pillar_placement,
+        );
         if pillars.len() < pillar_count as usize {
             return Err(TopologyError::TooManyPillars {
                 pillars: pillar_count,
@@ -470,19 +475,106 @@ impl ChipLayout {
     }
 }
 
-/// Chooses pillar positions. The paper's rule (§3.3): pillars are placed
-/// *as far apart from each other as possible* within the layer to avoid
-/// congested areas, but never on the edges. A uniform interior lattice
-/// realises this for most counts; for two pillars the lattice would
-/// collapse onto the centre row, so a quarter-inset diagonal keeps them
-/// genuinely far apart.
-fn pillar_sites(n: u16, w: u8, h: u8) -> Vec<(u8, u8)> {
-    if n == 2 && w >= 4 && h >= 4 {
-        let (x0, y0) = (w / 4, h / 4);
-        let (x1, y1) = (w - 1 - w / 4, h - 1 - h / 4);
-        return vec![(x0, y0), (x1, y1)];
+/// Chooses pillar positions for a placement strategy.
+///
+/// [`PillarPlacement::Spread`] is the paper's rule (§3.3): pillars are
+/// placed *as far apart from each other as possible* within the layer to
+/// avoid congested areas, but never on the edges. A uniform interior
+/// lattice realises this for most counts; for two pillars the lattice
+/// would collapse onto the centre row, so a quarter-inset diagonal keeps
+/// them genuinely far apart. The other strategies sweep the placement
+/// dimension of the design space (corners ring, interior diagonal); on
+/// meshes too small to have an interior they fall back to the spread
+/// lattice.
+fn pillar_sites(n: u16, w: u8, h: u8, placement: PillarPlacement) -> Vec<(u8, u8)> {
+    match placement {
+        PillarPlacement::Spread => {
+            if n == 2 && w >= 4 && h >= 4 {
+                let (x0, y0) = (w / 4, h / 4);
+                let (x1, y1) = (w - 1 - w / 4, h - 1 - h / 4);
+                return vec![(x0, y0), (x1, y1)];
+            }
+            spread_positions(n, w, h)
+        }
+        PillarPlacement::Corners => corner_positions(n, w, h),
+        PillarPlacement::Diagonal => diagonal_positions(n, w, h),
     }
-    spread_positions(n, w, h)
+}
+
+/// Pillars evenly spaced along the perimeter of the interior rectangle
+/// one node in from every edge (so the placement honours the no-edge
+/// rule of §3.3 while hugging the corners).
+fn corner_positions(n: u16, w: u8, h: u8) -> Vec<(u8, u8)> {
+    if n == 0 {
+        return Vec::new();
+    }
+    // The interior ring needs at least a 2×2 interior rectangle.
+    if w < 4 || h < 4 {
+        return spread_positions(n, w, h);
+    }
+    let (iw, ih) = (u32::from(w) - 2, u32::from(h) - 2);
+    let perimeter = 2 * (iw + ih) - 4;
+    let mut out = Vec::with_capacity(n as usize);
+    let mut used = std::collections::HashSet::new();
+    for i in 0..u32::from(n) {
+        let pos = i * perimeter / u32::from(n);
+        let (x, y) = perimeter_point_pub(pos, iw, ih);
+        let site = ((x + 1) as u8, (y + 1) as u8);
+        if used.insert(site) {
+            out.push(site);
+        }
+    }
+    refill_collisions(&mut out, &mut used, n, w, h);
+    out
+}
+
+/// Pillars along the main diagonal of the interior rectangle.
+fn diagonal_positions(n: u16, w: u8, h: u8) -> Vec<(u8, u8)> {
+    if n == 0 {
+        return Vec::new();
+    }
+    if w < 3 || h < 3 {
+        return spread_positions(n, w, h);
+    }
+    let (iw, ih) = (u32::from(w) - 2, u32::from(h) - 2);
+    let mut out = Vec::with_capacity(n as usize);
+    let mut used = std::collections::HashSet::new();
+    for i in 0..u32::from(n) {
+        // Cell-centre parameterisation of the diagonal, like the spread
+        // lattice: t = (2i + 1) / 2n.
+        let x = 1 + ((2 * i + 1) * (iw - 1) + u32::from(n)) / (2 * u32::from(n));
+        let y = 1 + ((2 * i + 1) * (ih - 1) + u32::from(n)) / (2 * u32::from(n));
+        let site = (x as u8, y as u8);
+        if used.insert(site) {
+            out.push(site);
+        }
+    }
+    refill_collisions(&mut out, &mut used, n, w, h);
+    out
+}
+
+/// Deterministically nudges colliding positions to free nodes (interior
+/// scan order) until `out` holds `n` distinct sites, or the mesh is
+/// full. `used` must already contain every member of `out`.
+fn refill_collisions(
+    out: &mut Vec<(u8, u8)>,
+    used: &mut std::collections::HashSet<(u8, u8)>,
+    n: u16,
+    w: u8,
+    h: u8,
+) {
+    'refill: while out.len() < n as usize {
+        for y in 0..h {
+            for x in 0..w {
+                if used.insert((x, y)) {
+                    out.push((x, y));
+                    continue 'refill;
+                }
+            }
+        }
+        break; // the mesh is full
+    }
+    out.truncate(n as usize);
 }
 
 /// Walks the layer perimeter clockwise from the south-west corner
@@ -749,6 +841,53 @@ mod tests {
         assert_eq!(balanced_factors(2), (2, 1));
         assert_eq!(balanced_factors(1), (1, 1));
         assert_eq!(balanced_factors(7), (7, 1));
+    }
+
+    #[test]
+    fn alternate_placements_are_interior_and_distinct() {
+        for placement in [PillarPlacement::Corners, PillarPlacement::Diagonal] {
+            for n in [2u16, 4, 7, 8] {
+                let sites = pillar_sites(n, 16, 8, placement);
+                assert_eq!(sites.len(), n as usize, "{placement:?} n={n}");
+                let set: std::collections::HashSet<_> = sites.iter().collect();
+                assert_eq!(set.len(), n as usize, "distinct for {placement:?} n={n}");
+                for &(x, y) in &sites {
+                    assert!((1..=14).contains(&x), "{placement:?} x={x} interior");
+                    assert!((1..=6).contains(&y), "{placement:?} y={y} interior");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn placement_changes_geometry_but_not_defaults() {
+        let spread = default_layout();
+        let corners = ChipLayout::new(
+            &SystemConfig::default().with_pillar_placement(PillarPlacement::Corners),
+        )
+        .unwrap();
+        assert_eq!(spread.num_pillars(), corners.num_pillars());
+        let xy = |l: &ChipLayout| -> Vec<(u8, u8)> {
+            (0..l.num_pillars())
+                .map(|p| l.pillar_xy(PillarId(p)))
+                .collect()
+        };
+        assert_ne!(xy(&spread), xy(&corners), "strategies genuinely differ");
+        // The default config must keep producing the exact sites the
+        // fingerprint tests were recorded against.
+        assert_eq!(xy(&spread), pillar_sites(8, 16, 8, PillarPlacement::Spread));
+    }
+
+    #[test]
+    fn tiny_meshes_fall_back_to_spread() {
+        assert_eq!(
+            pillar_sites(2, 3, 3, PillarPlacement::Corners),
+            pillar_sites(2, 3, 3, PillarPlacement::Spread)
+        );
+        assert_eq!(
+            pillar_sites(1, 2, 2, PillarPlacement::Diagonal),
+            pillar_sites(1, 2, 2, PillarPlacement::Spread)
+        );
     }
 
     #[test]

@@ -11,6 +11,8 @@
 //!   [`SystemConfig`](nim_types::SystemConfig).
 //! * [`placement`] — [`PlacementPolicy`] and the seating of CPUs.
 //! * [`floorplan`] — physical dimensions for the thermal model.
+//! * [`topology`] — the [`Topology`] trait, O(1) [`RouteMap`]s, and the
+//!   `--topology` spec grammar ([`TopoSpec`]).
 //!
 //! # Examples
 //!
@@ -34,7 +36,9 @@
 pub mod floorplan;
 pub mod layout;
 pub mod placement;
+pub mod topology;
 
 pub use floorplan::Floorplan;
 pub use layout::{ChipLayout, TopologyError};
 pub use placement::{CpuSeat, PlacementError, PlacementPolicy};
+pub use topology::{MeshTopology, RouteMap, TopoSpec, TopoSpecError, Topology};

@@ -1,0 +1,458 @@
+//! [`Topology`]: routes and per-hop latencies behind a trait.
+//!
+//! [`ChipLayout`] answers geometry questions with small linear scans;
+//! that is fine for construction-time work but not for the per-flit
+//! routing fast path or for the latency-table fabric, which wants route
+//! costs as table lookups. This module puts both behind one trait:
+//!
+//! * [`Topology`] — node/route enumeration, per-hop latency, pillar
+//!   placement. Implemented directly by [`ChipLayout`] (linear scans)
+//!   and by [`MeshTopology`] (precomputed [`RouteMap`], O(1) lookups).
+//! * [`RouteMap`] — per-position nearest-pillar table replicating
+//!   [`ChipLayout::nearest_pillar`]'s tie-break exactly, so swapping the
+//!   table in changes no routing decision.
+//! * [`TopoSpec`] — the CLI grammar behind `nim --topology`: presets
+//!   (`default`, `4-layer`, `8-layer`) or a comma list of
+//!   `layers=`/`pillars=`/`placement=` overrides applied to a
+//!   [`SystemConfig`].
+//!
+//! The route-cost metric is min-over-pillars: within a layer the XY
+//! Manhattan distance, across layers `min_p(d(a,p) + 1 + d(p,b))` where
+//! the `1` is the vertical bus hop. This is the shortest-path metric of
+//! the chip graph, so it is symmetric and obeys the triangle inequality
+//! for every placement — properties pinned by `tests/properties.rs`.
+
+use core::fmt;
+
+use nim_types::{Coord, PillarId, PillarPlacement, SystemConfig};
+
+use crate::layout::ChipLayout;
+
+/// Node/route enumeration and per-hop latencies of a stacked chip.
+///
+/// Everything the network and the latency-table fabric need to cost a
+/// route, independent of how the answers are computed.
+pub trait Topology {
+    /// Number of device layers.
+    fn layers(&self) -> u8;
+
+    /// Mesh width (nodes) of one layer.
+    fn width(&self) -> u8;
+
+    /// Mesh height (nodes) of one layer.
+    fn height(&self) -> u8;
+
+    /// Total mesh nodes across all layers.
+    fn num_nodes(&self) -> usize;
+
+    /// Number of vertical pillars (zero on a single-layer chip).
+    fn num_pillars(&self) -> u16;
+
+    /// The `(x, y)` position of a pillar (valid on every layer).
+    fn pillar_xy(&self, p: PillarId) -> (u8, u8);
+
+    /// The pillar whose position is nearest to `c` (2D Manhattan,
+    /// lowest id on ties); `None` on a single-layer chip.
+    fn nearest_pillar(&self, c: Coord) -> Option<PillarId>;
+
+    /// Cycles a flit dwells in one router.
+    fn hop_latency(&self) -> u32;
+
+    /// Hop count of the cheapest route from `a` to `b`: XY Manhattan
+    /// within a layer, `min_p(d(a,p) + 1 + d(p,b))` across layers.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a cross-layer query when the chip has no pillars.
+    fn route_cost(&self, a: Coord, b: Coord) -> u32 {
+        if a.same_layer(b) {
+            return a.manhattan_2d(b);
+        }
+        assert!(
+            self.num_pillars() > 0,
+            "cross-layer route on a chip without pillars"
+        );
+        (0..self.num_pillars())
+            .map(|p| {
+                let (x, y) = self.pillar_xy(PillarId(p));
+                let on_src = Coord::new(x, y, a.layer);
+                let on_dst = Coord::new(x, y, b.layer);
+                a.manhattan_2d(on_src) + 1 + on_dst.manhattan_2d(b)
+            })
+            .min()
+            .expect("at least one pillar")
+    }
+}
+
+impl Topology for ChipLayout {
+    fn layers(&self) -> u8 {
+        ChipLayout::layers(self)
+    }
+
+    fn width(&self) -> u8 {
+        ChipLayout::width(self)
+    }
+
+    fn height(&self) -> u8 {
+        ChipLayout::height(self)
+    }
+
+    fn num_nodes(&self) -> usize {
+        ChipLayout::num_nodes(self)
+    }
+
+    fn num_pillars(&self) -> u16 {
+        ChipLayout::num_pillars(self)
+    }
+
+    fn pillar_xy(&self, p: PillarId) -> (u8, u8) {
+        ChipLayout::pillar_xy(self, p)
+    }
+
+    fn nearest_pillar(&self, c: Coord) -> Option<PillarId> {
+        ChipLayout::nearest_pillar(self, c)
+    }
+
+    /// A bare layout carries no timing parameters; it reports the unit
+    /// per-hop latency (use [`MeshTopology`] for configured latencies).
+    fn hop_latency(&self) -> u32 {
+        1
+    }
+}
+
+/// Precomputed nearest-pillar table for one layer's `(x, y)` grid.
+///
+/// Replaces the linear pillar scan on the routing fast path with a
+/// single indexed load. The table is built with the exact tie-break of
+/// [`ChipLayout::nearest_pillar`] (first pillar id among the minima), so
+/// routing through the map is decision-identical to routing through the
+/// layout — the fingerprint-compatibility argument of DESIGN.md §6i.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RouteMap {
+    width: u8,
+    /// `nearest[y * width + x]`; empty when the chip has no pillars.
+    nearest: Vec<PillarId>,
+}
+
+impl RouteMap {
+    /// Builds the table for a layout.
+    pub fn new(layout: &ChipLayout) -> Self {
+        let (w, h) = (layout.width(), layout.height());
+        let mut nearest = Vec::new();
+        if layout.num_pillars() > 0 {
+            nearest.reserve(w as usize * h as usize);
+            for y in 0..h {
+                for x in 0..w {
+                    let c = Coord::new(x, y, 0);
+                    nearest.push(
+                        ChipLayout::nearest_pillar(layout, c).expect("pillars are non-empty"),
+                    );
+                }
+            }
+        }
+        Self { width: w, nearest }
+    }
+
+    /// The nearest pillar to `c` (lowest id on ties); `None` when the
+    /// chip has no pillars.
+    #[inline]
+    pub fn nearest_pillar(&self, c: Coord) -> Option<PillarId> {
+        if self.nearest.is_empty() {
+            return None;
+        }
+        Some(self.nearest[c.y as usize * self.width as usize + c.x as usize])
+    }
+}
+
+/// A [`ChipLayout`] paired with its [`RouteMap`] and per-hop latency:
+/// the O(1) [`Topology`] implementation the network and the modeled
+/// fabrics route through.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MeshTopology {
+    layout: ChipLayout,
+    routes: RouteMap,
+    router_latency: u32,
+}
+
+impl MeshTopology {
+    /// Builds the topology from an existing layout.
+    pub fn new(layout: ChipLayout, router_latency: u32) -> Self {
+        let routes = RouteMap::new(&layout);
+        Self {
+            layout,
+            routes,
+            router_latency,
+        }
+    }
+
+    /// Builds the topology straight from a configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError`](crate::TopologyError) when the layout
+    /// cannot be built.
+    pub fn from_config(cfg: &SystemConfig) -> Result<Self, crate::TopologyError> {
+        let layout = ChipLayout::new(cfg)?;
+        Ok(Self::new(layout, cfg.network.router_latency))
+    }
+
+    /// The underlying geometry.
+    #[inline]
+    pub fn layout(&self) -> &ChipLayout {
+        &self.layout
+    }
+
+    /// The nearest-pillar table.
+    #[inline]
+    pub fn routes(&self) -> &RouteMap {
+        &self.routes
+    }
+}
+
+impl Topology for MeshTopology {
+    fn layers(&self) -> u8 {
+        self.layout.layers()
+    }
+
+    fn width(&self) -> u8 {
+        self.layout.width()
+    }
+
+    fn height(&self) -> u8 {
+        self.layout.height()
+    }
+
+    fn num_nodes(&self) -> usize {
+        self.layout.num_nodes()
+    }
+
+    fn num_pillars(&self) -> u16 {
+        self.layout.num_pillars()
+    }
+
+    fn pillar_xy(&self, p: PillarId) -> (u8, u8) {
+        self.layout.pillar_xy(p)
+    }
+
+    fn nearest_pillar(&self, c: Coord) -> Option<PillarId> {
+        self.routes.nearest_pillar(c)
+    }
+
+    fn hop_latency(&self) -> u32 {
+        self.router_latency
+    }
+}
+
+/// Error parsing a [`TopoSpec`] from its CLI string.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TopoSpecError(String);
+
+impl fmt::Display for TopoSpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}; expected 'default', '4-layer', '8-layer', or a comma list of \
+             layers=N, pillars=N, placement={{spread|corners|diagonal}}",
+            self.0
+        )
+    }
+}
+
+impl core::error::Error for TopoSpecError {}
+
+/// The `nim --topology` grammar: a set of overrides applied on top of a
+/// [`SystemConfig`].
+///
+/// Presets name the common stacks (`default` changes nothing, `4-layer`
+/// and `8-layer` restack the same silicon); the explicit comma grammar
+/// (`layers=4,pillars=4,placement=corners`) reaches everything else.
+/// Unset fields keep whatever the base configuration had, so a spec
+/// composes with the other CLI flags.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TopoSpec {
+    /// Device layers, if overridden.
+    pub layers: Option<u8>,
+    /// Pillar count, if overridden.
+    pub pillars: Option<u16>,
+    /// Pillar placement strategy, if overridden.
+    pub placement: Option<PillarPlacement>,
+}
+
+impl TopoSpec {
+    /// Parses the CLI value.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TopoSpecError`] naming the offending token.
+    pub fn parse(s: &str) -> Result<Self, TopoSpecError> {
+        match s {
+            "default" => return Ok(Self::default()),
+            "4-layer" => {
+                return Ok(Self {
+                    layers: Some(4),
+                    ..Self::default()
+                });
+            }
+            "8-layer" => {
+                return Ok(Self {
+                    layers: Some(8),
+                    ..Self::default()
+                });
+            }
+            _ => {}
+        }
+        let mut spec = Self::default();
+        for part in s.split(',') {
+            let Some((key, value)) = part.split_once('=') else {
+                return Err(TopoSpecError(format!("unknown topology '{part}'")));
+            };
+            match key {
+                "layers" => {
+                    spec.layers = Some(
+                        value
+                            .parse()
+                            .map_err(|_| TopoSpecError(format!("bad layer count '{value}'")))?,
+                    );
+                }
+                "pillars" => {
+                    spec.pillars = Some(
+                        value
+                            .parse()
+                            .map_err(|_| TopoSpecError(format!("bad pillar count '{value}'")))?,
+                    );
+                }
+                "placement" => {
+                    spec.placement = Some(
+                        PillarPlacement::parse(value)
+                            .map_err(|v| TopoSpecError(format!("unknown placement '{v}'")))?,
+                    );
+                }
+                other => return Err(TopoSpecError(format!("unknown topology key '{other}'"))),
+            }
+        }
+        Ok(spec)
+    }
+
+    /// Applies the overrides to a configuration.
+    pub fn apply(&self, cfg: &mut SystemConfig) {
+        if let Some(layers) = self.layers {
+            cfg.network.layers = layers;
+        }
+        if let Some(pillars) = self.pillars {
+            cfg.network.pillars = pillars;
+        }
+        if let Some(placement) = self.placement {
+            cfg.network.pillar_placement = placement;
+        }
+    }
+
+    /// Stable label for sweep tables and CI fingerprint columns.
+    pub fn label(&self) -> String {
+        let mut parts = Vec::new();
+        if let Some(l) = self.layers {
+            parts.push(format!("layers={l}"));
+        }
+        if let Some(p) = self.pillars {
+            parts.push(format!("pillars={p}"));
+        }
+        if let Some(pl) = self.placement {
+            parts.push(format!("placement={}", pl.name()));
+        }
+        if parts.is_empty() {
+            "default".to_owned()
+        } else {
+            parts.join(",")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mesh(cfg: &SystemConfig) -> MeshTopology {
+        MeshTopology::from_config(cfg).expect("topology")
+    }
+
+    #[test]
+    fn route_map_matches_linear_scan_everywhere() {
+        for cfg in [
+            SystemConfig::default(),
+            SystemConfig::default().with_layers(4),
+            SystemConfig::default().with_pillars(3),
+            SystemConfig::default().with_pillar_placement(PillarPlacement::Corners),
+            SystemConfig::default().flattened(),
+        ] {
+            let t = mesh(&cfg);
+            for i in 0..t.num_nodes() {
+                let c = t.layout().coord_of_index(i);
+                assert_eq!(
+                    t.nearest_pillar(c),
+                    ChipLayout::nearest_pillar(t.layout(), c),
+                    "cfg layers={} at {c}",
+                    cfg.network.layers
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn route_cost_agrees_between_impls() {
+        let t = mesh(&SystemConfig::default().with_layers(4));
+        let l = t.layout().clone();
+        for a in 0..t.num_nodes() {
+            let ca = l.coord_of_index(a);
+            for b in (0..t.num_nodes()).step_by(7) {
+                let cb = l.coord_of_index(b);
+                assert_eq!(t.route_cost(ca, cb), Topology::route_cost(&l, ca, cb));
+            }
+        }
+    }
+
+    #[test]
+    fn hop_latency_comes_from_config() {
+        let mut cfg = SystemConfig::default();
+        cfg.network.router_latency = 3;
+        assert_eq!(mesh(&cfg).hop_latency(), 3);
+        assert_eq!(Topology::hop_latency(&ChipLayout::new(&cfg).unwrap()), 1);
+    }
+
+    #[test]
+    fn spec_presets_parse() {
+        assert_eq!(TopoSpec::parse("default").unwrap(), TopoSpec::default());
+        assert_eq!(TopoSpec::parse("4-layer").unwrap().layers, Some(4));
+        assert_eq!(TopoSpec::parse("8-layer").unwrap().layers, Some(8));
+    }
+
+    #[test]
+    fn spec_comma_grammar_parses_and_applies() {
+        let spec = TopoSpec::parse("layers=4,pillars=4,placement=corners").unwrap();
+        assert_eq!(spec.layers, Some(4));
+        assert_eq!(spec.pillars, Some(4));
+        assert_eq!(spec.placement, Some(PillarPlacement::Corners));
+        let mut cfg = SystemConfig::default();
+        spec.apply(&mut cfg);
+        assert_eq!(cfg.network.layers, 4);
+        assert_eq!(cfg.network.pillars, 4);
+        assert_eq!(cfg.network.pillar_placement, PillarPlacement::Corners);
+        assert_eq!(spec.label(), "layers=4,pillars=4,placement=corners");
+        assert_eq!(TopoSpec::default().label(), "default");
+    }
+
+    #[test]
+    fn spec_rejects_junk() {
+        assert!(TopoSpec::parse("ring").is_err());
+        assert!(TopoSpec::parse("layers=x").is_err());
+        assert!(TopoSpec::parse("placement=ring").is_err());
+        assert!(TopoSpec::parse("torus=1").is_err());
+        let msg = TopoSpec::parse("ring").unwrap_err().to_string();
+        assert!(msg.contains("ring") && msg.contains("8-layer"), "{msg}");
+    }
+
+    #[test]
+    fn default_spec_leaves_config_untouched() {
+        let mut cfg = SystemConfig::default();
+        TopoSpec::default().apply(&mut cfg);
+        assert_eq!(cfg, SystemConfig::default());
+    }
+}

@@ -1,8 +1,8 @@
 //! Property-based tests: geometry round-trips and placement invariants
 //! hold for every configuration the workspace can express.
 
-use nim_topology::{ChipLayout, PlacementPolicy};
-use nim_types::{ClusterId, SystemConfig};
+use nim_topology::{ChipLayout, MeshTopology, PlacementPolicy, Topology};
+use nim_types::{ClusterId, PillarPlacement, SystemConfig};
 use proptest::prelude::*;
 
 /// Configurations with power-of-two geometry where clusters divide layers.
@@ -12,6 +12,18 @@ fn arb_config() -> impl Strategy<Value = SystemConfig> {
         cfg.network.layers = 1 << layer_log;
         cfg.network.pillars = pillars;
         cfg.l2.banks_per_cluster = 1 << bank_log;
+        cfg
+    })
+}
+
+/// [`arb_config`] crossed with every pillar placement strategy.
+fn arb_placed_config() -> impl Strategy<Value = SystemConfig> {
+    (arb_config(), 0usize..3).prop_map(|(mut cfg, i)| {
+        cfg.network.pillar_placement = [
+            PillarPlacement::Spread,
+            PillarPlacement::Corners,
+            PillarPlacement::Diagonal,
+        ][i];
         cfg
     })
 }
@@ -88,6 +100,48 @@ proptest! {
                 }
             }
         }
+    }
+
+    #[test]
+    fn route_costs_are_a_symmetric_metric(
+        cfg in arb_placed_config(),
+        ia in 0usize..1 << 16,
+        ib in 0usize..1 << 16,
+    ) {
+        prop_assume!(cfg.validate().is_ok());
+        let mesh = MeshTopology::from_config(&cfg).expect("valid config builds");
+        let a = mesh.layout().coord_of_index(ia % mesh.num_nodes());
+        let b = mesh.layout().coord_of_index(ib % mesh.num_nodes());
+        // Both Topology impls — the precomputed table and the linear
+        // scan — must agree, and the metric must be symmetric with a
+        // zero diagonal (the latency-table fabric assumes both).
+        prop_assert_eq!(mesh.route_cost(a, b), mesh.route_cost(b, a));
+        prop_assert_eq!(mesh.route_cost(a, a), 0);
+        prop_assert_eq!(
+            Topology::route_cost(mesh.layout(), a, b),
+            mesh.route_cost(a, b)
+        );
+    }
+
+    #[test]
+    fn route_costs_obey_the_triangle_inequality(
+        cfg in arb_placed_config(),
+        ia in 0usize..1 << 16,
+        ib in 0usize..1 << 16,
+        ic in 0usize..1 << 16,
+    ) {
+        prop_assume!(cfg.validate().is_ok());
+        let mesh = MeshTopology::from_config(&cfg).expect("valid config builds");
+        let a = mesh.layout().coord_of_index(ia % mesh.num_nodes());
+        let b = mesh.layout().coord_of_index(ib % mesh.num_nodes());
+        let c = mesh.layout().coord_of_index(ic % mesh.num_nodes());
+        // min-over-pillars is the shortest-path metric of the chip
+        // graph, so no detour through b may ever be cheaper than the
+        // direct route — for any placement.
+        prop_assert!(
+            mesh.route_cost(a, c) <= mesh.route_cost(a, b) + mesh.route_cost(b, c),
+            "d({a},{c}) > d({a},{b}) + d({b},{c})"
+        );
     }
 
     #[test]

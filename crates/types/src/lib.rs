@@ -36,7 +36,7 @@ pub mod time;
 pub mod trace;
 
 pub use addr::{Address, LineAddr};
-pub use config::{ConfigError, L1Config, L2Config, NetworkConfig, SystemConfig};
+pub use config::{ConfigError, L1Config, L2Config, NetworkConfig, PillarPlacement, SystemConfig};
 pub use geom::{Coord, Dir};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use id::{BankId, ClusterId, CpuId, PacketId, PillarId};

@@ -15,9 +15,14 @@ use std::fs::File;
 use std::io::BufWriter;
 use std::process::ExitCode;
 
-use network_in_memory::core::experiments::{latency_breakdown, table3_thermal, ExperimentScale};
-use network_in_memory::core::{Phase, Scheme, SystemBuilder};
+use network_in_memory::core::experiments::{
+    check_shard_invariance, latency_breakdown, scale_sweep, table3_thermal, ExperimentScale,
+    ScaleSpec,
+};
+use network_in_memory::core::{FabricKind, Phase, Scheme, SystemBuilder};
 use network_in_memory::obs::{CategoryMask, Obs, ObsConfig};
+use network_in_memory::topology::TopoSpec;
+use network_in_memory::types::PillarPlacement;
 use network_in_memory::workload::BenchmarkProfile;
 
 const HELP: &str = "\
@@ -30,6 +35,8 @@ COMMANDS:
     run        simulate one scheme on one benchmark
     compare    simulate all four schemes on one benchmark
     breakdown  per-phase latency decomposition, all four schemes
+    scale      sweep topologies × fabrics × shard counts; print
+               cycles/sec and per-cell fingerprints
     thermal    print the Table 3 thermal profiles
     list       list benchmarks and schemes
     help       show this message
@@ -37,16 +44,39 @@ COMMANDS:
 OPTIONS (run / compare):
     --scheme <dnuca|dnuca2d|snuca3d|dnuca3d>   scheme (run only; default dnuca3d)
     --bench <name>                             benchmark profile (default swim)
+    --topology <spec>                          'default', '4-layer', '8-layer',
+                                               or a comma list of layers=N,
+                                               pillars=N, placement=
+                                               {spread|corners|diagonal};
+                                               explicit flags below override it
     --layers <n>                               device layers (default 2)
     --pillars <n>                              vertical pillars (default 8)
     --l2-scale <1|2|4>                         L2 capacity factor (default 1)
+    --fabric <sim|latency-table|ideal>         interconnect substrate: the
+                                               cycle-accurate NoC, the analytic
+                                               latency-table model, or the
+                                               contention-free ideal (default sim)
     --warmup <n>                               warm-up transactions (default 2000)
     --sample <n>                               sampled transactions (default 20000)
     --seed <n>                                 workload seed (default 42)
     --shards <n>                               advance the network as n
                                                layer-group shards on worker
-                                               threads (bit-identical;
-                                               default: NIM_SHARDS, else 1)
+                                               threads (bit-identical; must
+                                               divide the selected topology's
+                                               layer count; default:
+                                               NIM_SHARDS, else 1)
+
+OPTIONS (scale; comma lists sweep the grid):
+    --bench <name>                             benchmark profile (default swim)
+    --layers <a,b,..>                          layer counts (default 2,4,8)
+    --cpus <a,b,..>                            CPU counts (default 8)
+    --l2-scale <a,b,..>                        L2 capacity factors (default 1)
+    --placements <a,b,..>                      pillar placements (default spread)
+    --fabric <a,b,..>                          substrates (default sim)
+    --shards <a,b,..>                          shard counts (default 1; cells
+                                               where shards do not divide the
+                                               layer count are skipped)
+    --warmup / --sample / --seed               as above
 
 OBSERVABILITY (run only; all off by default):
     --trace-out <path>        write a Chrome trace_event JSON file
@@ -77,9 +107,14 @@ fn parse_scheme(s: &str) -> Result<Scheme, String> {
 struct Options {
     scheme: Scheme,
     bench: BenchmarkProfile,
-    layers: u8,
-    pillars: u16,
+    /// Parsed `--topology` overrides, applied before the explicit flags.
+    topology: TopoSpec,
+    /// `None` keeps the topology's (or the default) layer count.
+    layers: Option<u8>,
+    /// `None` keeps the topology's (or the default) pillar count.
+    pillars: Option<u16>,
     l2_scale: u32,
+    fabric: FabricKind,
     warmup: u64,
     sample: u64,
     seed: u64,
@@ -97,9 +132,11 @@ impl Default for Options {
         Self {
             scheme: Scheme::CmpDnuca3d,
             bench: BenchmarkProfile::swim(),
-            layers: 2,
-            pillars: 8,
+            topology: TopoSpec::default(),
+            layers: None,
+            pillars: None,
             l2_scale: 1,
+            fabric: FabricKind::Sim,
             warmup: 2_000,
             sample: 20_000,
             seed: 42,
@@ -111,6 +148,33 @@ impl Default for Options {
             txn_sample: 0,
         }
     }
+}
+
+impl Options {
+    /// The layer count of the selected topology: the explicit `--layers`
+    /// flag, else the `--topology` override, else the paper default.
+    fn effective_layers(&self) -> u8 {
+        self.layers.or(self.topology.layers).unwrap_or(2)
+    }
+}
+
+/// Rejects a `--shards` request that does not divide the selected
+/// topology's layer count — the shard executor cuts the stack into
+/// equal layer groups, so anything else would be silently clamped.
+fn validate_shards(shards: usize, layers: u8) -> Result<(), String> {
+    let l = usize::from(layers.max(1));
+    if shards >= 1 && l % shards == 0 {
+        return Ok(());
+    }
+    let divisors: Vec<String> = (1..=l)
+        .filter(|d| l % d == 0)
+        .map(|d| d.to_string())
+        .collect();
+    Err(format!(
+        "--shards {shards} does not divide the selected topology's {layers} layers \
+         (valid shard counts: {})",
+        divisors.join(", ")
+    ))
 }
 
 impl Options {
@@ -153,12 +217,22 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 opts.bench = BenchmarkProfile::by_name(&name)
                     .ok_or_else(|| format!("unknown benchmark '{name}'"))?;
             }
-            "--layers" => opts.layers = value()?.parse().map_err(|e| format!("--layers: {e}"))?,
+            "--topology" => {
+                opts.topology =
+                    TopoSpec::parse(&value()?).map_err(|e| format!("--topology: {e}"))?
+            }
+            "--layers" => {
+                opts.layers = Some(value()?.parse().map_err(|e| format!("--layers: {e}"))?)
+            }
             "--pillars" => {
-                opts.pillars = value()?.parse().map_err(|e| format!("--pillars: {e}"))?
+                opts.pillars = Some(value()?.parse().map_err(|e| format!("--pillars: {e}"))?)
             }
             "--l2-scale" => {
                 opts.l2_scale = value()?.parse().map_err(|e| format!("--l2-scale: {e}"))?
+            }
+            "--fabric" => {
+                opts.fabric = FabricKind::parse(&value()?)
+                    .map_err(|v| format!("--fabric: unknown fabric '{v}'"))?
             }
             "--warmup" => opts.warmup = value()?.parse().map_err(|e| format!("--warmup: {e}"))?,
             "--sample" => opts.sample = value()?.parse().map_err(|e| format!("--sample: {e}"))?,
@@ -185,18 +259,27 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             other => return Err(format!("unknown option '{other}'")),
         }
     }
+    if let Some(n) = opts.shards {
+        validate_shards(n, opts.effective_layers())?;
+    }
     Ok(opts)
 }
 
 fn run_one(opts: &Options, scheme: Scheme, obs: Obs) -> Result<(), Box<dyn Error>> {
     let mut builder = SystemBuilder::new(scheme)
-        .layers(opts.layers)
-        .pillars(opts.pillars)
+        .topology(&opts.topology)
         .l2_scale(opts.l2_scale)
+        .fabric(opts.fabric)
         .warmup_transactions(opts.warmup)
         .sampled_transactions(opts.sample)
         .seed(opts.seed)
         .observability(obs.clone());
+    if let Some(l) = opts.layers {
+        builder = builder.layers(l);
+    }
+    if let Some(p) = opts.pillars {
+        builder = builder.pillars(p);
+    }
     if let Some(n) = opts.shards {
         builder = builder.shards(n);
     }
@@ -226,6 +309,169 @@ fn run_one(opts: &Options, scheme: Scheme, obs: Obs) -> Result<(), Box<dyn Error
     }
     if obs.is_enabled() && obs.sample_every() > 0 {
         eprintln!("simulated {:.0} cycles/sec", obs.cycles_per_sec());
+    }
+    Ok(())
+}
+
+#[derive(Debug)]
+struct ScaleOptions {
+    bench: BenchmarkProfile,
+    layers: Vec<u8>,
+    cpus: Vec<u32>,
+    l2_scales: Vec<u32>,
+    placements: Vec<PillarPlacement>,
+    fabrics: Vec<FabricKind>,
+    shards: Vec<usize>,
+    warmup: u64,
+    sample: u64,
+    seed: u64,
+}
+
+impl Default for ScaleOptions {
+    fn default() -> Self {
+        Self {
+            bench: BenchmarkProfile::swim(),
+            layers: vec![2, 4, 8],
+            cpus: vec![8],
+            l2_scales: vec![1],
+            placements: vec![PillarPlacement::Spread],
+            fabrics: vec![FabricKind::Sim],
+            shards: vec![1],
+            warmup: 2_000,
+            sample: 20_000,
+            seed: 42,
+        }
+    }
+}
+
+/// Parses a comma list through `parse` with the flag name in errors.
+fn comma_list<T>(
+    flag: &str,
+    value: &str,
+    parse: impl Fn(&str) -> Result<T, String>,
+) -> Result<Vec<T>, String> {
+    let items: Result<Vec<T>, String> = value.split(',').map(|s| parse(s.trim())).collect();
+    let items = items.map_err(|e| format!("{flag}: {e}"))?;
+    if items.is_empty() {
+        return Err(format!("{flag} needs at least one value"));
+    }
+    Ok(items)
+}
+
+fn parse_scale_options(args: &[String]) -> Result<ScaleOptions, String> {
+    let mut opts = ScaleOptions::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = || {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--bench" => {
+                let name = value()?;
+                opts.bench = BenchmarkProfile::by_name(&name)
+                    .ok_or_else(|| format!("unknown benchmark '{name}'"))?;
+            }
+            "--layers" => {
+                opts.layers = comma_list("--layers", &value()?, |s| {
+                    s.parse().map_err(|e| format!("{e}"))
+                })?
+            }
+            "--cpus" => {
+                opts.cpus = comma_list("--cpus", &value()?, |s| {
+                    s.parse().map_err(|e| format!("{e}"))
+                })?
+            }
+            "--l2-scale" => {
+                opts.l2_scales = comma_list("--l2-scale", &value()?, |s| {
+                    s.parse().map_err(|e| format!("{e}"))
+                })?
+            }
+            "--placements" => {
+                opts.placements = comma_list("--placements", &value()?, |s| {
+                    PillarPlacement::parse(s).map_err(|v| format!("unknown placement '{v}'"))
+                })?
+            }
+            "--fabric" => {
+                opts.fabrics = comma_list("--fabric", &value()?, |s| {
+                    FabricKind::parse(s).map_err(|v| format!("unknown fabric '{v}'"))
+                })?
+            }
+            "--shards" => {
+                opts.shards = comma_list("--shards", &value()?, |s| {
+                    s.parse().map_err(|e| format!("{e}"))
+                })?
+            }
+            "--warmup" => opts.warmup = value()?.parse().map_err(|e| format!("--warmup: {e}"))?,
+            "--sample" => opts.sample = value()?.parse().map_err(|e| format!("--sample: {e}"))?,
+            "--seed" => opts.seed = value()?.parse().map_err(|e| format!("--seed: {e}"))?,
+            other => return Err(format!("unknown option '{other}'")),
+        }
+    }
+    Ok(opts)
+}
+
+/// The spec grid of a `scale` invocation, in deterministic row order.
+fn scale_grid(opts: &ScaleOptions) -> Vec<ScaleSpec> {
+    let mut specs = Vec::new();
+    for &layers in &opts.layers {
+        for &cpus in &opts.cpus {
+            for &l2_scale in &opts.l2_scales {
+                for &placement in &opts.placements {
+                    for &fabric in &opts.fabrics {
+                        for &shards in &opts.shards {
+                            specs.push(ScaleSpec {
+                                layers,
+                                cpus,
+                                l2_scale,
+                                placement,
+                                fabric,
+                                shards,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+    specs
+}
+
+fn cmd_scale(opts: &ScaleOptions) -> Result<(), Box<dyn Error>> {
+    let scale = ExperimentScale {
+        seed: opts.seed,
+        warmup: opts.warmup,
+        sample: opts.sample,
+    };
+    let specs = scale_grid(opts);
+    println!("benchmark: {}", opts.bench.name);
+    let results = scale_sweep(Scheme::CmpDnuca3d, &opts.bench, &specs, scale)?;
+    println!(
+        "{:<44} {:>12} {:>8} {:>12} {:>8} {:>8} {:>18}",
+        "cell", "cycles", "wall s", "cycles/sec", "hits", "misses", "fingerprint"
+    );
+    let mut cells = Vec::new();
+    for (spec, result) in specs.iter().zip(results) {
+        match result {
+            Some(cell) => {
+                println!(
+                    "{:<44} {:>12} {:>8.2} {:>12.0} {:>8} {:>8} 0x{:016x}",
+                    cell.spec.label(),
+                    cell.report.cycles,
+                    cell.wall_secs,
+                    cell.cycles_per_sec,
+                    cell.report.counters.l2_hits,
+                    cell.report.counters.l2_misses,
+                    cell.fingerprint
+                );
+                cells.push(cell);
+            }
+            None => println!("{:<44} skipped (unbuildable cell)", spec.label()),
+        }
+    }
+    if let Err((a, b)) = check_shard_invariance(&cells) {
+        return Err(format!("shard-count fingerprint mismatch: [{a}] vs [{b}]").into());
     }
     Ok(())
 }
@@ -298,6 +544,9 @@ fn main() -> ExitCode {
                 }
                 Ok(())
             }),
+        "scale" => parse_scale_options(&args[1..])
+            .map_err(Into::into)
+            .and_then(|opts| cmd_scale(&opts)),
         "compare" => parse_options(&args[1..])
             .map_err(Into::into)
             .and_then(|opts| {
@@ -333,9 +582,95 @@ mod tests {
         let opts = parse_options(&[]).unwrap();
         assert_eq!(opts.scheme, Scheme::CmpDnuca3d);
         assert_eq!(opts.bench.name, "swim");
-        assert_eq!(opts.layers, 2);
-        assert_eq!(opts.pillars, 8);
+        assert_eq!(opts.layers, None);
+        assert_eq!(opts.pillars, None);
+        assert_eq!(opts.effective_layers(), 2);
+        assert_eq!(opts.fabric, FabricKind::Sim);
         assert_eq!(opts.sample, 20_000);
+    }
+
+    #[test]
+    fn topology_presets_parse_and_flags_override() {
+        let opts = parse_options(&args(&["--topology", "8-layer"])).unwrap();
+        assert_eq!(opts.topology.layers, Some(8));
+        assert_eq!(opts.effective_layers(), 8);
+        let opts = parse_options(&args(&["--topology", "8-layer", "--layers", "4"])).unwrap();
+        assert_eq!(opts.effective_layers(), 4, "explicit --layers wins");
+        let opts = parse_options(&args(&[
+            "--topology",
+            "layers=4,pillars=4,placement=corners",
+        ]))
+        .unwrap();
+        assert_eq!(opts.topology.layers, Some(4));
+        assert_eq!(opts.topology.pillars, Some(4));
+        assert!(parse_options(&args(&["--topology", "moebius"]))
+            .unwrap_err()
+            .contains("--topology"));
+    }
+
+    #[test]
+    fn fabric_flag_parses() {
+        let opts = parse_options(&args(&["--fabric", "latency-table"])).unwrap();
+        assert_eq!(opts.fabric, FabricKind::LatencyTable);
+        assert!(parse_options(&args(&["--fabric", "warp-drive"]))
+            .unwrap_err()
+            .contains("warp-drive"));
+    }
+
+    #[test]
+    fn shards_must_divide_the_selected_layer_count() {
+        // 3 shards cannot split the default 2-layer stack.
+        let err = parse_options(&args(&["--shards", "3"])).unwrap_err();
+        assert!(err.contains("does not divide"), "{err}");
+        assert!(err.contains("1, 2"), "lists the valid divisors: {err}");
+        // ...but they split a 3-layer stack fine, however it is selected.
+        assert!(parse_options(&args(&["--shards", "3", "--layers", "3"])).is_ok());
+        assert!(
+            parse_options(&args(&["--shards", "4", "--topology", "8-layer"])).is_ok(),
+            "validation sees the --topology layer count"
+        );
+        assert!(
+            parse_options(&args(&[
+                "--shards",
+                "8",
+                "--topology",
+                "8-layer",
+                "--layers",
+                "2"
+            ]))
+            .is_err(),
+            "explicit --layers overrides the preset for validation too"
+        );
+    }
+
+    #[test]
+    fn scale_options_parse_comma_grids() {
+        let opts = parse_scale_options(&args(&[
+            "--layers",
+            "2,4",
+            "--cpus",
+            "4,8",
+            "--placements",
+            "spread,corners",
+            "--fabric",
+            "sim,ideal",
+            "--shards",
+            "1,2",
+            "--sample",
+            "500",
+        ]))
+        .unwrap();
+        assert_eq!(opts.layers, vec![2, 4]);
+        assert_eq!(opts.cpus, vec![4, 8]);
+        assert_eq!(opts.placements.len(), 2);
+        assert_eq!(opts.fabrics, vec![FabricKind::Sim, FabricKind::Ideal]);
+        assert_eq!(opts.shards, vec![1, 2]);
+        assert_eq!(opts.sample, 500);
+        let grid = scale_grid(&opts);
+        assert_eq!(grid.len(), 2 * 2 * 2 * 2 * 2);
+        assert!(parse_scale_options(&args(&["--placements", "everywhere"]))
+            .unwrap_err()
+            .contains("everywhere"));
     }
 
     #[test]
@@ -363,8 +698,8 @@ mod tests {
         .unwrap();
         assert_eq!(opts.scheme, Scheme::CmpSnuca3d);
         assert_eq!(opts.bench.name, "mgrid");
-        assert_eq!(opts.layers, 4);
-        assert_eq!(opts.pillars, 4);
+        assert_eq!(opts.layers, Some(4));
+        assert_eq!(opts.pillars, Some(4));
         assert_eq!(opts.l2_scale, 2);
         assert_eq!(opts.warmup, 10);
         assert_eq!(opts.sample, 100);
