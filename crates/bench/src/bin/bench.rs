@@ -6,9 +6,10 @@
 //! cycles simulated, wall seconds, cycles/sec, and the jobs=N speedup
 //! over jobs=1, plus a `deterministic` flag asserting the two sweeps
 //! produced identical reports. A second section times one *single* run
-//! sequentially and with the network cut into 2 shards
-//! (`SystemBuilder::shards`), reporting `cycles_per_sec_sharded` and
-//! asserting the sharded report is bit-identical. A third section runs
+//! across a curve of shard counts — sequential, 2 shards, and the
+//! topology's maximum (`SystemBuilder::shards`) — reporting a
+//! `shards_curve` array and asserting every sharded report is
+//! bit-identical to the sequential one. A third section runs
 //! the same cell on the ideal contention-free fabric
 //! (`SystemBuilder::fabric`), reporting `cycles_per_sec_ideal_fabric` —
 //! skipping per-flit simulation must beat the cycle-accurate NoC on
@@ -57,14 +58,16 @@ fn timed_sweep(
 }
 
 /// Runs one 2-layer CmpDnuca3d cell with the network cut into `shards`
-/// regions on the given interconnect substrate, returning the report and
-/// the wall time of `System::run` alone (build and prewarm excluded).
+/// regions on the given interconnect substrate, returning the report,
+/// the wall time of `System::run` alone (build and prewarm excluded),
+/// and the window executor's spawn threshold after the run (the
+/// calibrated value unless overridden; meaningful only when sharded).
 fn timed_single_run(
     scale: ExperimentScale,
     profile: &BenchmarkProfile,
     shards: usize,
     fabric: FabricKind,
-) -> Result<(RunReport, f64), Box<dyn Error>> {
+) -> Result<(RunReport, f64, u64), Box<dyn Error>> {
     let mut sys = SystemBuilder::new(Scheme::CmpDnuca3d)
         .seed(42)
         .warmup_transactions(scale.warmup)
@@ -74,7 +77,8 @@ fn timed_single_run(
         .build()?;
     let start = Instant::now();
     let report = sys.run(profile)?;
-    Ok((report, start.elapsed().as_secs_f64()))
+    let wall = start.elapsed().as_secs_f64();
+    Ok((report, wall, sys.network().window_spawn_min()))
 }
 
 fn main() -> Result<(), Box<dyn Error>> {
@@ -116,21 +120,35 @@ fn main() -> Result<(), Box<dyn Error>> {
     let cps_n = cycles as f64 / wall_n.max(1e-9);
     let speedup = wall_1 / wall_n.max(1e-9);
 
-    // Single-run sharding: the same simulation with its network cut into
-    // 2 layer shards advancing concurrently between pillar grants.
-    eprintln!("# bench: single-run sharding, shards=1 then shards=2");
+    // Single-run shard curve: the same simulation with its network cut
+    // into 1, 2, and the topology's maximum number of cluster-row
+    // shards, all advancing concurrently between pillar grants.
     let sharded_profile = BenchmarkProfile::art();
-    let (seq_report, wall_s1) = timed_single_run(scale, &sharded_profile, 1, FabricKind::Sim)?;
-    let (sh_report, wall_s2) = timed_single_run(scale, &sharded_profile, 2, FabricKind::Sim)?;
-    let sharded_deterministic = format!("{seq_report:?}") == format!("{sh_report:?}");
-    let cps_s1 = seq_report.cycles as f64 / wall_s1.max(1e-9);
-    let cps_sharded = sh_report.cycles as f64 / wall_s2.max(1e-9);
-    let sharded_speedup = wall_s1 / wall_s2.max(1e-9);
+    let max_shards = SystemBuilder::new(Scheme::CmpDnuca3d)
+        .shards(usize::MAX)
+        .build()?
+        .network()
+        .shards();
+    let mut shard_counts = vec![1usize, 2, max_shards];
+    shard_counts.sort_unstable();
+    shard_counts.dedup();
+    let mut curve = Vec::new();
+    for &n in &shard_counts {
+        eprintln!("# bench: single run, shards={n}");
+        let (report, wall, spawn_min) =
+            timed_single_run(scale, &sharded_profile, n, FabricKind::Sim)?;
+        curve.push((n, report, wall, spawn_min));
+    }
+    let seq_debug = format!("{:?}", curve[0].1);
+    let sharded_deterministic = curve
+        .iter()
+        .all(|(_, report, _, _)| format!("{report:?}") == seq_debug);
+    let cps_s1 = curve[0].1.cycles as f64 / curve[0].2.max(1e-9);
 
     // Ideal contention-free fabric: the same cell with every packet's
     // latency computed analytically instead of simulated flit by flit.
     eprintln!("# bench: single-run ideal fabric, shards=1");
-    let (ideal_report, wall_ideal) =
+    let (ideal_report, wall_ideal, _) =
         timed_single_run(scale, &sharded_profile, 1, FabricKind::Ideal)?;
     let cps_ideal = ideal_report.cycles as f64 / wall_ideal.max(1e-9);
     let ideal_fabric_speedup = cps_ideal / cps_s1.max(1e-9);
@@ -150,8 +168,17 @@ fn main() -> Result<(), Box<dyn Error>> {
     let _ = writeln!(json, "  \"cycles_per_sec_n\": {cps_n:.1},");
     let _ = writeln!(json, "  \"speedup\": {speedup:.3},");
     let _ = writeln!(json, "  \"cycles_per_sec_sharded_1\": {cps_s1:.1},");
-    let _ = writeln!(json, "  \"cycles_per_sec_sharded\": {cps_sharded:.1},");
-    let _ = writeln!(json, "  \"sharded_speedup\": {sharded_speedup:.3},");
+    let _ = writeln!(json, "  \"shards_curve\": [");
+    for (i, (n, report, wall, spawn_min)) in curve.iter().enumerate() {
+        let cps = report.cycles as f64 / wall.max(1e-9);
+        let comma = if i + 1 < curve.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    {{ \"shards\": {n}, \"wall_secs\": {wall:.6}, \
+             \"cycles_per_sec\": {cps:.1}, \"spawn_min\": {spawn_min} }}{comma}"
+        );
+    }
+    let _ = writeln!(json, "  ],");
     let _ = writeln!(
         json,
         "  \"sharded_deterministic\": {sharded_deterministic},"
@@ -181,7 +208,7 @@ fn main() -> Result<(), Box<dyn Error>> {
         return Err("parallel sweep diverged from the sequential sweep".into());
     }
     if !sharded_deterministic {
-        return Err("sharded run diverged from the sequential run".into());
+        return Err("a sharded run diverged from the sequential run".into());
     }
     Ok(())
 }

@@ -50,19 +50,48 @@ pub struct SystemBuilder {
     replication: bool,
     edge_memory: bool,
     skip: bool,
-    shards: usize,
+    shards: ShardRequest,
+    window_tuning: Option<(u64, usize)>,
     fabric: FabricKind,
     obs: Obs,
 }
 
-/// Default shard count: the `NIM_SHARDS` environment variable, else 1
-/// (plain sequential simulation).
-fn shards_from_env() -> usize {
-    std::env::var("NIM_SHARDS")
+/// A shard-count request: an explicit number, or `Auto` — pick the
+/// largest count the topology supports that does not exceed the
+/// machine's available parallelism.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ShardRequest {
+    Fixed(usize),
+    Auto,
+}
+
+impl ShardRequest {
+    /// The concrete count to ask the network for; `new_sharded` then
+    /// clamps it to the largest valid cluster-row divisor.
+    fn resolve(self) -> usize {
+        match self {
+            Self::Fixed(n) => n,
+            Self::Auto => {
+                std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+            }
+        }
+    }
+}
+
+/// Default shard request: the `NIM_SHARDS` environment variable
+/// (`auto` or a count), else 1 (plain sequential simulation).
+fn shards_from_env() -> ShardRequest {
+    let Some(v) = std::env::var("NIM_SHARDS").ok() else {
+        return ShardRequest::Fixed(1);
+    };
+    let v = v.trim();
+    if v.eq_ignore_ascii_case("auto") {
+        return ShardRequest::Auto;
+    }
+    v.parse()
         .ok()
-        .and_then(|v| v.trim().parse().ok())
         .filter(|&n| n >= 1)
-        .unwrap_or(1)
+        .map_or(ShardRequest::Fixed(1), ShardRequest::Fixed)
 }
 
 impl SystemBuilder {
@@ -80,6 +109,7 @@ impl SystemBuilder {
             edge_memory: false,
             skip: std::env::var_os("NIM_NO_SKIP").is_none(),
             shards: shards_from_env(),
+            window_tuning: None,
             fabric: FabricKind::default(),
             obs: Obs::disabled(),
         }
@@ -208,16 +238,35 @@ impl SystemBuilder {
         self
     }
 
-    /// Cuts the network into `n` independently-clocked shards (layer
-    /// groups) that advance concurrently between dTDMA pillar grants —
-    /// see `Network::advance_window` in `nim-noc`. Results are
-    /// bit-identical for any shard count; the request is clamped to the
-    /// largest divisor of the layer count (always 1 for 2D schemes).
-    /// Defaults to the `NIM_SHARDS` environment variable, else 1.
-    /// Requires [`SystemBuilder::horizon_skipping`] (the default) to
-    /// have any effect on the run loop.
+    /// Cuts the network into `n` independently-clocked shards (bands of
+    /// whole cluster rows) that advance concurrently between dTDMA
+    /// pillar grants — see `Network::advance_window` in `nim-noc`.
+    /// Results are bit-identical for any shard count; the request is
+    /// clamped to the largest divisor of the cluster-row count
+    /// (`layers × cluster-grid height`; always 1 for 2D schemes).
+    /// Defaults to the `NIM_SHARDS` environment variable (`auto` or a
+    /// count), else 1. Requires [`SystemBuilder::horizon_skipping`]
+    /// (the default) to have any effect on the run loop.
     pub fn shards(mut self, n: usize) -> Self {
-        self.shards = n.max(1);
+        self.shards = ShardRequest::Fixed(n.max(1));
+        self
+    }
+
+    /// Picks the shard count automatically: the largest count the
+    /// topology supports that does not exceed the machine's available
+    /// parallelism. Equivalent to `NIM_SHARDS=auto` or `--shards auto`.
+    pub fn shards_auto(mut self) -> Self {
+        self.shards = ShardRequest::Auto;
+        self
+    }
+
+    /// Overrides the window executor's spawn threshold and worker count
+    /// (see `Network::set_window_tuning`), disabling the runtime
+    /// calibration. Results are bit-identical for any values; exists so
+    /// tests can force the threaded path onto arbitrarily short windows.
+    #[doc(hidden)]
+    pub fn window_tuning(mut self, spawn_min: u64, workers: usize) -> Self {
+        self.window_tuning = Some((spawn_min, workers));
         self
     }
 
@@ -258,9 +307,16 @@ impl SystemBuilder {
             cluster_cpus[layout.cluster_of(seat.coord).index()] |= 1 << seat.cpu.index();
             cpu_at.insert(seat.coord, seat.cpu);
         }
-        let mut net =
-            Network::new_sharded(&layout, &cfg.network, VerticalMode::Pillars, self.shards);
+        let mut net = Network::new_sharded(
+            &layout,
+            &cfg.network,
+            VerticalMode::Pillars,
+            self.shards.resolve(),
+        );
         net.set_obs(self.obs.clone());
+        if let Some((spawn_min, workers)) = self.window_tuning {
+            net.set_window_tuning(spawn_min, workers);
+        }
         let mut l2 = NucaL2::new(&cfg.l2);
         l2.set_obs(self.obs.clone());
         let mut dir = Directory::new(cfg.num_cpus, WritePolicy::WriteThrough);

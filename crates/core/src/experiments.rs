@@ -29,7 +29,7 @@ use core::error::Error;
 use core::fmt;
 
 use nim_thermal::{ThermalConfig, ThermalModel};
-use nim_topology::{ChipLayout, Floorplan, PlacementPolicy};
+use nim_topology::{ChipLayout, Floorplan, PlacementPolicy, ShardPlan};
 use nim_types::{PillarPlacement, SystemConfig};
 use nim_workload::BenchmarkProfile;
 
@@ -636,8 +636,8 @@ pub struct ScaleCell {
 /// Runs one simulation per buildable spec across the configured worker
 /// threads, in spec order. Unbuildable cells (a topology the
 /// configuration rules reject, or a shard count that does not divide
-/// the cell's layer count) come back as `None` so a sweep over a coarse
-/// grid degrades gracefully; run failures abort the sweep.
+/// the cell's cluster-row count) come back as `None` so a sweep over a
+/// coarse grid degrades gracefully; run failures abort the sweep.
 ///
 /// # Errors
 ///
@@ -649,8 +649,18 @@ pub fn scale_sweep(
     scale: ExperimentScale,
 ) -> Result<Vec<Option<ScaleCell>>, ExperimentError> {
     par_map(specs, |_, spec| {
-        if spec.shards > 1 && usize::from(spec.layers) % spec.shards != 0 {
-            return Ok(None);
+        if spec.shards > 1 {
+            let mut cfg = SystemConfig::default();
+            cfg.network.layers = spec.layers;
+            cfg.network.pillar_placement = spec.placement;
+            match ChipLayout::new(&cfg) {
+                Ok(layout) if ShardPlan::valid_counts(&layout).contains(&spec.shards) => {}
+                // A valid topology that cannot honour the count: skip
+                // the cell rather than silently clamping the request.
+                Ok(_) => return Ok(None),
+                // Unbuildable topology: let build() reject it below.
+                Err(_) => {}
+            }
         }
         let built = SystemBuilder::new(scheme)
             .layers(spec.layers)
@@ -807,17 +817,18 @@ mod tests {
         let specs = [
             mk(2, FabricKind::Sim, 1),
             mk(2, FabricKind::Sim, 2),
-            mk(2, FabricKind::Sim, 3), // 3 shards cannot split 2 layers
+            mk(2, FabricKind::Sim, 4), // cluster-row cut, finer than layers
+            mk(2, FabricKind::Sim, 3), // 3 does not divide the 4 cluster rows
             mk(4, FabricKind::LatencyTable, 1),
             mk(4, FabricKind::Ideal, 1),
             mk(16, FabricKind::Sim, 1), // rejected by config validation
         ];
         let cells = scale_sweep(Scheme::CmpDnuca3d, &bench, &specs, scale).expect("sweep runs");
         assert_eq!(cells.len(), specs.len());
-        assert!(cells[0].is_some() && cells[1].is_some());
-        assert!(cells[2].is_none(), "non-divisor shard count is skipped");
-        assert!(cells[3].is_some() && cells[4].is_some());
-        assert!(cells[5].is_none(), "unbuildable topology is skipped");
+        assert!(cells[0].is_some() && cells[1].is_some() && cells[2].is_some());
+        assert!(cells[3].is_none(), "non-divisor shard count is skipped");
+        assert!(cells[4].is_some() && cells[5].is_some());
+        assert!(cells[6].is_none(), "unbuildable topology is skipped");
         let done: Vec<ScaleCell> = cells.into_iter().flatten().collect();
         for c in &done {
             assert!(
@@ -827,8 +838,9 @@ mod tests {
             );
             assert!(c.cycles_per_sec > 0.0, "{}", c.spec.label());
         }
-        // Cells 0 and 1 differ only in shard count: bit-identical.
+        // Cells 0-2 differ only in shard count: bit-identical.
         assert_eq!(done[0].fingerprint, done[1].fingerprint);
+        assert_eq!(done[0].fingerprint, done[2].fingerprint);
         check_shard_invariance(&done).expect("sharding is invisible");
     }
 

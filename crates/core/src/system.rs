@@ -172,7 +172,14 @@ impl System {
         };
         let mut last_progress = self.fabric.net.now().0;
         let mut last_count = self.engine.counters.l2_transactions;
-        let mut delivered = Vec::new();
+        // Double-buffered delivery hand-off: the network drains into
+        // `incoming`, which is then swapped with `serving` before the
+        // engine consumes it. The network never appends to the list the
+        // engine is iterating, so the engine's drain could overlap the
+        // next network phase without reordering deliveries — they stay
+        // in deterministic (cycle, shard-order) sequence either way.
+        let mut incoming = Vec::new();
+        let mut serving: Vec<nim_noc::Delivered> = Vec::new();
         while self.engine.counters.l2_transactions < target {
             // A dried-up trace (every core halted) with nothing in flight
             // can never make progress; report it without spinning the
@@ -215,8 +222,9 @@ impl System {
             // deliveries (latency-table / ideal fabrics) — at most one
             // stream is ever populated for a given run.
             if self.fabric.net.has_deliveries() {
-                self.fabric.net.drain_delivered_into(&mut delivered);
-                for d in delivered.drain(..) {
+                self.fabric.net.drain_delivered_into(&mut incoming);
+                std::mem::swap(&mut incoming, &mut serving);
+                for d in serving.drain(..) {
                     self.engine.handle_delivered(&mut self.fabric, d, now);
                 }
             }
@@ -352,6 +360,17 @@ impl System {
         self.obs.counter_set("net/bus_transfers", net.bus_transfers);
         self.obs
             .histogram_set("net/latency_cycles", net.latency_histogram.clone());
+        // Window-executor diagnostics. These vary with shard count and
+        // thread availability, so they live only here — never in the
+        // [`RunReport`], whose contents are compared bit-for-bit across
+        // shard counts.
+        let ws = self.fabric.net.window_stats();
+        self.obs.counter_set("net/window/windows", ws.windows);
+        self.obs.counter_set("net/window/cycles", ws.cycles);
+        self.obs.counter_set("net/window/spawned", ws.spawned);
+        self.obs.counter_set("net/window/inline", ws.inline);
+        self.obs
+            .counter_set("net/window/spawn_min", self.fabric.net.window_spawn_min());
         let l2 = self.engine.l2.stats();
         self.obs.counter_set("l2/insertions", l2.insertions);
         self.obs.counter_set("l2/evictions", l2.evictions);

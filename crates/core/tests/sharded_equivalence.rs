@@ -1,13 +1,16 @@
 //! Sharded multi-threaded simulation must be invisible in the results:
-//! a run whose network is cut into 2 or 4 independently-advancing layer
-//! shards (what `NIM_SHARDS` / `--shards` select at process level) must
-//! agree with the plain sequential run on every report field, the
-//! per-cluster L2 hit/miss matrix, the epoch-sample table, the trace
-//! event stream, and the final cycle — bit for bit. Cells cover every
-//! scheme, cold-cache and replication and edge-memory-controller
-//! variants, the narrow-bus serialisation mode, four-layer chips (so 4
-//! shards are genuinely exercised, not clamped), and a trace-enabled
-//! cell that pins the deferred-`FlitHop` replay order.
+//! a run whose network is cut into 2 or 4 independently-advancing
+//! cluster-row shards (what `NIM_SHARDS` / `--shards` select at process
+//! level) must agree with the plain sequential run on every report
+//! field, the per-cluster L2 hit/miss matrix, the epoch-sample table,
+//! the trace event stream, and the final cycle — bit for bit. Cells
+//! cover every scheme, cold-cache and replication and
+//! edge-memory-controller variants, the narrow-bus serialisation mode,
+//! four-layer chips, trace-enabled cells that pin the deferred-
+//! `FlitHop` replay order on both layer-aligned (4-layer × 4 shards)
+//! and cluster-granular (2-layer × 4 shards, each layer's mesh cut at
+//! mid-height) cuts, and a forced-threading repetition test that pins
+//! cross-thread scheduling out of the results.
 
 use std::fmt::Write as _;
 
@@ -27,6 +30,9 @@ struct Cell {
     /// Trace everything (including the per-flit hop firehose) so the
     /// window executor's deferred-event replay is compared too.
     trace_hops: bool,
+    /// Force the threaded window executor onto every window (spawn
+    /// threshold 1, 4 workers) instead of letting the calibrator decide.
+    forced_threading: bool,
 }
 
 /// Everything a run can disagree on, as one comparable blob.
@@ -61,7 +67,7 @@ fn run_one(scheme: Scheme, profile: &BenchmarkProfile, cell: Cell, shards: usize
         sample_every: 2_000,
         ..ObsConfig::default()
     });
-    let mut sys = SystemBuilder::new(scheme)
+    let mut builder = SystemBuilder::new(scheme)
         .config(cfg)
         .seed(42)
         .warmup_transactions(50)
@@ -70,9 +76,11 @@ fn run_one(scheme: Scheme, profile: &BenchmarkProfile, cell: Cell, shards: usize
         .replication(cell.replication)
         .edge_memory_controllers(cell.edge_memory)
         .shards(shards)
-        .observability(obs.clone())
-        .build()
-        .expect("system builds");
+        .observability(obs.clone());
+    if cell.forced_threading {
+        builder = builder.window_tuning(1, 4);
+    }
+    let mut sys = builder.build().expect("system builds");
     let report = sys.run(profile).expect("run completes");
     let final_cycle = sys.network().now().0;
     let hit_matrix = obs
@@ -157,13 +165,24 @@ fn sharding_matches_sequential_mode_bit_for_bit() {
             ..Cell::default()
         },
     ));
-    // Full-trace cell: the deferred FlitHop replay must reproduce the
-    // sequential event stream exactly, stamps and order included.
+    // Full-trace cells: the deferred FlitHop replay must reproduce the
+    // sequential event stream exactly, stamps and order included — on a
+    // layer-aligned cut (4 layers × 4 shards) and on a cluster-granular
+    // cut (default 2 layers × 4 shards, each layer split at mid-height,
+    // so the mesh-boundary lookahead governs the window lengths).
     cells.push((
         Scheme::CmpDnuca3d,
         &benchmarks[0],
         Cell {
             layers: Some(4),
+            trace_hops: true,
+            ..Cell::default()
+        },
+    ));
+    cells.push((
+        Scheme::CmpDnuca3d,
+        &benchmarks[0],
+        Cell {
             trace_hops: true,
             ..Cell::default()
         },
@@ -187,5 +206,31 @@ fn sharding_matches_sequential_mode_bit_for_bit() {
                 cell.trace_hops
             );
         }
+    }
+}
+
+/// Thread scheduling varies run to run; with the spawn threshold forced
+/// to 1 so every window really fans out across worker threads, three
+/// repetitions of the same cluster-cut run (2 layers × 4 shards) must
+/// agree with each other and with the sequential run, byte for byte —
+/// report, hit matrix, samples, and the full trace stream included.
+#[test]
+fn forced_threading_repetitions_are_byte_identical() {
+    let profile = BenchmarkProfile::art();
+    let trace_cell = Cell {
+        trace_hops: true,
+        ..Cell::default()
+    };
+    let sequential = run_one(Scheme::CmpDnuca3d, &profile, trace_cell, 1);
+    let forced = Cell {
+        forced_threading: true,
+        ..trace_cell
+    };
+    for rep in 0..3 {
+        let sharded = run_one(Scheme::CmpDnuca3d, &profile, forced, 4);
+        assert_eq!(
+            sequential, sharded,
+            "forced-threading repetition {rep} diverged from sequential"
+        );
     }
 }

@@ -4,11 +4,12 @@
 //! `arrived == now`) cannot also traverse a router in the same cycle.
 //!
 //! Unlike the router and injection phases, a bus grant moves a flit
-//! *between* layer groups — out of the sending layer's transceiver
-//! interface (owned by its shard) into the destination layer's pillar
-//! router (owned by another shard). The bus phase therefore always runs
-//! sequentially, at ticks and at window barriers; bus-grant latency is
-//! exactly the conservative lookahead the window planner exploits.
+//! *between* layers — out of the sending layer's transceiver interface
+//! (owned by the shard of that layer's pillar node) into the
+//! destination layer's pillar router (in general owned by another
+//! shard). The bus phase therefore always runs sequentially, at ticks
+//! and at window barriers; bus-grant latency is part of the
+//! conservative lookahead the window planner exploits.
 
 use nim_obs::{Category, EventData};
 use nim_types::{Coord, Cycle, Dir};

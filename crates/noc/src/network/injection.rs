@@ -15,24 +15,30 @@ use super::Network;
 
 impl Network {
     pub(super) fn injection_phase(&mut self, now: Cycle) {
-        for s in 0..self.shards.len() {
-            if self.shards[s].inj_active.is_empty() {
-                continue;
-            }
-            let (mut lane, _sink) = self.live_parts(s);
-            lane.injection_phase(now);
+        if self.shards.iter().all(|st| st.inj_active.is_empty()) {
+            return;
         }
+        let (mut lane, _sink) = self.live_parts();
+        lane.injection_phase(now);
     }
 }
 
 impl Lane<'_> {
     pub(super) fn injection_phase(&mut self, now: Cycle) {
-        if self.st.inj_active.is_empty() {
+        for si in 0..self.shards.len() {
+            self.injection_phase_shard(si, now);
+        }
+    }
+
+    /// Injection for one shard's active nodes. Injection never leaves
+    /// the node, so shards are fully independent here.
+    fn injection_phase_shard(&mut self, si: usize, now: Cycle) {
+        if self.shards[si].inj_active.is_empty() {
             return;
         }
         let mut active = std::mem::replace(
-            &mut self.st.inj_active,
-            std::mem::take(&mut self.st.inj_scratch),
+            &mut self.shards[si].inj_active,
+            std::mem::take(&mut self.shards[si].inj_scratch),
         );
         active.sort_unstable();
         for &n in &active {
@@ -70,7 +76,7 @@ impl Lane<'_> {
                         .as_mut()
                         .expect("local port")
                         .vc_mut(v)
-                        .push(&mut self.st.arena, flit);
+                        .push(&mut self.shards[si].arena, flit);
                     self.routers[local].occupancy += 1;
                     self.mark_dirty(n);
                     let inj = &mut self.injectors[local];
@@ -89,6 +95,6 @@ impl Lane<'_> {
             }
         }
         active.clear();
-        self.st.inj_scratch = active;
+        self.shards[si].inj_scratch = active;
     }
 }

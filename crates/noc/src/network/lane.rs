@@ -1,11 +1,15 @@
-//! The per-shard execution view.
+//! The shard-range execution view.
 //!
-//! [`Lane`] borrows exactly the state one shard's router and injection
-//! phases may touch — its [`ShardState`](super::ShardState) plus the
-//! node-indexed slices (routers, injectors, mark flags, traversal
-//! counters) restricted to the shard's contiguous node range. Both the
-//! sequential tick and the multi-threaded window executor run the *same*
-//! phase code through a `Lane`; only the [`DeliverySink`] differs:
+//! [`Lane`] borrows exactly the state the router and injection phases of
+//! a contiguous *range of shards* may touch — their
+//! [`ShardState`](super::ShardState)s plus the node-indexed slices
+//! (routers, injectors, mark flags, traversal counters) restricted to
+//! the range's contiguous node span. The sequential tick runs one
+//! whole-chip lane (every shard; cross-shard mesh hops move a flit
+//! between two shard arenas in-place), while the window executor runs
+//! one single-shard lane per shard, where a cross-shard hop is a
+//! planner bug. Both run the *same* phase code through a `Lane`; only
+//! the [`DeliverySink`] differs:
 //!
 //! * [`LiveSink`] — the sequential tick's sink. Performs delivery
 //!   bookkeeping and emits trace events immediately through the (thread
@@ -30,7 +34,7 @@ use crate::packet::{Delivered, Flit};
 use crate::routing::VerticalMode;
 use crate::stats::NetworkStats;
 
-use super::{c3, Injector, Network, ShardState};
+use super::{c3, IfaceSlot, Injector, Network, ShardState};
 
 /// A `FlitHop` event deferred by a window lane: (cycle, position,
 /// traffic-class name).
@@ -119,17 +123,27 @@ impl DeliverySink for WindowSink {
     }
 }
 
-/// One shard's mutable working set: everything its router and injection
-/// phases may read or write. Node-indexed borrows are sliced to the
-/// shard's contiguous `[base, base + len)` range; methods take *global*
-/// node ids and translate.
+/// A shard range's mutable working set: everything its router and
+/// injection phases may read or write. Node-indexed borrows are sliced
+/// to the range's contiguous `[base, base + len)` node span; methods
+/// take *global* node ids and translate.
+///
+/// The sequential tick uses one whole-chip lane (`shards` = every
+/// shard): a mesh hop across a shard boundary pops from the source
+/// shard's arena and pushes into the destination's, which the disjoint
+/// `routers`/`shards` borrows express directly. Window lanes hold
+/// exactly one shard, making any cross-shard hop a planner bug caught
+/// at the hop site.
 pub(super) struct Lane<'a> {
-    /// Global node id of the shard's first node.
+    /// Global node id of the range's first node.
     pub base: usize,
-    /// First device layer owned by the shard.
-    pub base_layer: u8,
-    pub layers_per_shard: u8,
-    pub st: &'a mut ShardState,
+    /// Shard index (network-global) of `shards[0]`.
+    pub first_shard: usize,
+    /// Nodes per shard: shards are node-contiguous, so
+    /// `node / nodes_per_shard - first_shard` locates a node's shard in
+    /// `shards`.
+    pub nodes_per_shard: usize,
+    pub shards: &'a mut [ShardState],
     pub routers: &'a mut [crate::router::Router],
     pub injectors: &'a mut [Injector],
     pub in_dirty: &'a mut [bool],
@@ -141,6 +155,8 @@ pub(super) struct Lane<'a> {
     pub vcs: usize,
     pub router_latency: u64,
     pub bus_of_node: &'a [Option<u16>],
+    /// Transceiver-interface locations, indexed `bus * layers + layer`.
+    pub iface_slots: &'a [IfaceSlot],
     /// Counters folded into [`NetworkStats`] when the lane retires.
     pub flit_hops: u64,
     pub flit_hops_by_class: [u64; 4],
@@ -148,12 +164,19 @@ pub(super) struct Lane<'a> {
 }
 
 impl Lane<'_> {
+    /// Index into `self.shards` of the shard owning a global node id.
+    #[inline]
+    pub(super) fn shard_ix(&self, node: usize) -> usize {
+        node / self.nodes_per_shard - self.first_shard
+    }
+
     #[inline]
     pub(super) fn mark_dirty(&mut self, node: usize) {
         let local = node - self.base;
         if !self.in_dirty[local] {
             self.in_dirty[local] = true;
-            self.st.dirty.push(node as u32);
+            let s = self.shard_ix(node);
+            self.shards[s].dirty.push(node as u32);
         }
     }
 
@@ -162,29 +185,32 @@ impl Lane<'_> {
         let local = node - self.base;
         if !self.in_inj[local] {
             self.in_inj[local] = true;
-            self.st.inj_active.push(node as u32);
+            let s = self.shard_ix(node);
+            self.shards[s].inj_active.push(node as u32);
         }
     }
 
-    /// The earliest cycle `>= after` at which this shard's router or
-    /// injection phase could change state, or `u64::MAX` when the shard
-    /// is quiescent. The shard-local analogue of
+    /// The earliest cycle `>= after` at which a router or injection
+    /// phase of this lane's shards could change state, or `u64::MAX`
+    /// when they are quiescent. The shard-local analogue of
     /// [`Network::next_event_at`](super::Network::next_event_at): cycles
-    /// strictly before the result are provably dead *for this shard*.
+    /// strictly before the result are provably dead *for these shards*.
     pub(super) fn next_local_event(&self, after: u64) -> u64 {
         let mut earliest = u64::MAX;
-        if !self.st.inj_active.is_empty() {
-            earliest = after;
-        }
-        for &n in &self.st.dirty {
-            let r = &self.routers[n as usize - self.base];
-            if r.occupancy == 0 {
-                continue;
+        for st in self.shards.iter() {
+            if !st.inj_active.is_empty() {
+                earliest = after;
             }
-            for port in r.inputs.iter().flatten() {
-                for vc in 0..self.vcs {
-                    if let Some(f) = port.vc(vc).front(&self.st.arena) {
-                        earliest = earliest.min((f.arrived.0 + self.router_latency).max(after));
+            for &n in &st.dirty {
+                let r = &self.routers[n as usize - self.base];
+                if r.occupancy == 0 {
+                    continue;
+                }
+                for port in r.inputs.iter().flatten() {
+                    for vc in 0..self.vcs {
+                        if let Some(f) = port.vc(vc).front(&st.arena) {
+                            earliest = earliest.min((f.arrived.0 + self.router_latency).max(after));
+                        }
                     }
                 }
             }
@@ -192,11 +218,11 @@ impl Lane<'_> {
         earliest
     }
 
-    /// Runs this shard's router and injection phases for every cycle in
-    /// `[from, to]`, skipping spans where the shard is provably dead.
-    /// Bit-identical to ticking the shard cycle by cycle: a skipped
-    /// cycle has no movable flit and nothing to inject, so its phases
-    /// would not have mutated anything.
+    /// Runs this lane's router and injection phases for every cycle in
+    /// `[from, to]`, skipping spans where the shards are provably dead.
+    /// Bit-identical to ticking cycle by cycle: a skipped cycle has no
+    /// movable flit and nothing to inject, so its phases would not have
+    /// mutated anything.
     pub(super) fn run_window(&mut self, from: u64, to: u64, sink: &mut impl DeliverySink) {
         let mut t = from;
         while t <= to {
@@ -214,12 +240,10 @@ impl Lane<'_> {
 }
 
 impl Network {
-    /// Splits `self` into shard `s`'s [`Lane`] plus the [`LiveSink`]
+    /// Splits `self` into the whole-chip [`Lane`] plus the [`LiveSink`]
     /// holding the network-global delivery state — the sequential tick's
-    /// per-shard working set, built on the stack with no allocation.
-    pub(super) fn live_parts(&mut self, s: usize) -> (Lane<'_>, LiveSink<'_>) {
-        let nodes = self.nodes_per_shard;
-        let base = s * nodes;
+    /// working set, built on the stack with no allocation.
+    pub(super) fn live_parts(&mut self) -> (Lane<'_>, LiveSink<'_>) {
         let Network {
             shards,
             routers,
@@ -239,25 +263,27 @@ impl Network {
             vcs,
             router_latency,
             bus_of_node,
-            layers_per_shard,
+            iface_slots,
+            nodes_per_shard,
             ..
         } = self;
         let lane = Lane {
-            base,
-            base_layer: s as u8 * *layers_per_shard,
-            layers_per_shard: *layers_per_shard,
-            st: &mut shards[s],
-            routers: &mut routers[base..base + nodes],
-            injectors: &mut injectors[base..base + nodes],
-            in_dirty: &mut in_dirty[base..base + nodes],
-            in_inj: &mut in_inj[base..base + nodes],
-            traversals: &mut traversals[base..base + nodes],
+            base: 0,
+            first_shard: 0,
+            nodes_per_shard: *nodes_per_shard,
+            shards,
+            routers,
+            injectors,
+            in_dirty,
+            in_inj,
+            traversals,
             layout,
             routes,
             mode: *mode,
             vcs: *vcs,
             router_latency: *router_latency,
             bus_of_node,
+            iface_slots,
             flit_hops: 0,
             flit_hops_by_class: [0; 4],
             switch_contention: 0,

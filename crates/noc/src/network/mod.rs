@@ -29,15 +29,18 @@
 //! stalls and event waits even with traffic in flight.
 //!
 //! All mutable per-node state — routers, VC flit storage, injection
-//! queues, dirty lists, and the dTDMA transceiver interfaces of the
-//! node's layers — is grouped into one [`ShardState`] per *shard*: a
-//! contiguous group of device layers. Router and injection phases only
-//! ever touch the shard that owns the node (mesh hops stay on a layer;
-//! a vertical move only fills the node's own transceiver interface), so
-//! shards can advance independently between pillar-bus grants — see
-//! [`window`] for the conservative multi-threaded window executor built
-//! on that property. The default single shard makes the whole chip one
-//! region and behaves exactly like the pre-sharding engine.
+//! queues, dirty lists, and the transceiver interfaces of the pillar
+//! nodes it owns — is grouped into one [`ShardState`] per *shard*: a
+//! contiguous run of cluster rows ([`nim_topology::ShardPlan`]), which
+//! may be whole device layers or horizontal bands within one. The
+//! sequential tick runs all shards through a single whole-chip
+//! [`lane::Lane`] (cross-shard mesh hops move a flit between two shard
+//! arenas, which the lane handles natively); the window executor gives
+//! each shard its own single-shard lane, where a cross-shard hop is
+//! impossible by construction — the conservative mesh-boundary
+//! lookahead in [`window`] ends every window before one could occur.
+//! The default single shard makes the whole chip one region and behaves
+//! exactly like the pre-sharding engine.
 
 mod bus_phase;
 mod injection;
@@ -48,7 +51,7 @@ mod window;
 use std::collections::VecDeque;
 
 use nim_obs::{Category, EventData, Obs};
-use nim_topology::{ChipLayout, RouteMap};
+use nim_topology::{ChipLayout, RouteMap, ShardPlan};
 use nim_types::{Coord, Cycle, Dir, NetworkConfig, PacketId};
 
 use crate::dtdma::{BusStats, DtdmaBus, Iface};
@@ -58,6 +61,8 @@ use crate::routing::VerticalMode;
 use crate::stats::NetworkStats;
 
 use lane::DeferredHop;
+use window::SpawnTuner;
+pub use window::WindowStats;
 
 /// One pending packet at a node's network interface.
 #[derive(Clone, Copy, Debug)]
@@ -88,22 +93,23 @@ struct Candidate {
     flit: Flit,
 }
 
-/// The mutable state owned by one shard: a contiguous group of device
-/// layers that router and injection phases can advance without touching
-/// any other shard.
+/// The mutable state owned by one shard: a contiguous run of cluster
+/// rows whose router and injection phases can advance between windows
+/// without touching any other shard.
 ///
 /// The flit arena, work lists, and scratch buffers are per-shard so a
 /// shard's phases never share a cache line (or a `&mut`) with another
-/// shard's. The dTDMA transceiver interfaces of the shard's layers live
-/// here too — a vertical move fills the sender's own interface; only the
-/// (sequential) bus phase drains interfaces across shards.
+/// shard's. The dTDMA transceiver interfaces of the pillar nodes the
+/// shard owns live here too — a vertical move fills the sender's own
+/// interface; only the (sequential) bus phase drains interfaces across
+/// shards.
 #[derive(Clone, Debug, Default)]
 pub(super) struct ShardState {
     /// Pooled backing store for every VC and transceiver FIFO of the
     /// shard's nodes.
     arena: FlitArena,
-    /// Transceiver interfaces for the shard's layers, indexed
-    /// `bus * layers_per_shard + local_layer`.
+    /// Transceiver interfaces of the shard's pillar nodes; slot indices
+    /// live in the network-global [`Network`]`::iface_slots` table.
     ifaces: Vec<Iface>,
     /// Routers (global node ids) with buffered flits.
     dirty: Vec<u32>,
@@ -154,15 +160,30 @@ pub struct Network {
     in_bus_active: Vec<bool>,
     /// Per-shard mutable state; one entry when unsharded.
     shards: Vec<ShardState>,
-    /// Nodes per shard (layer-major indexing keeps a shard's nodes
-    /// contiguous, so `node / nodes_per_shard` is its shard).
+    /// How the chip is cut: cluster-row shard geometry plus the
+    /// y-band/boundary tables the window planner's mesh-boundary
+    /// lookahead reads.
+    plan: ShardPlan,
+    /// Nodes per shard (cluster-row cuts keep a shard's nodes
+    /// contiguous under layer-major indexing, so
+    /// `node / nodes_per_shard` is its shard).
     nodes_per_shard: usize,
-    layers_per_shard: u8,
+    /// Where each pillar bus's per-layer transceiver interface lives,
+    /// indexed `bus * layers + layer`.
+    iface_slots: Vec<IfaceSlot>,
     /// Worker threads the window executor may use (≤ shard count).
     window_workers: usize,
     /// Minimum window length (cycles) before threads are spawned;
-    /// shorter windows run inline, bit-identically.
+    /// shorter windows run inline, bit-identically. Calibrated at run
+    /// time by [`SpawnTuner`] unless forced via
+    /// [`Network::set_window_tuning`].
     window_spawn_min: u64,
+    /// Spawn-threshold calibration state.
+    tuner: SpawnTuner,
+    /// Window-executor activity counters — diagnostics only, kept out
+    /// of [`NetworkStats`] so results stay bit-identical across shard
+    /// counts.
+    win_stats: WindowStats,
     /// Per-shard deferred-hop buffers and the merge scratch, reused
     /// across windows.
     hop_bufs: Vec<Vec<DeferredHop>>,
@@ -186,22 +207,13 @@ fn c3(c: Coord) -> [u16; 3] {
     [u16::from(c.x), u16::from(c.y), u16::from(c.layer)]
 }
 
-/// The shard count actually usable for a layout: shards must divide the
-/// layer count so every shard owns the same contiguous layer group, and
-/// only pillar mode keeps all router-phase traffic intra-layer (the 3D
-/// mesh ablation's `Up`/`Down` hops cross layers freely, so it cannot be
-/// cut). Returns the largest divisor of `layers` not exceeding the
-/// request.
-fn effective_shards(layout: &ChipLayout, mode: VerticalMode, requested: usize) -> usize {
-    let layers = layout.layers() as usize;
-    if mode != VerticalMode::Pillars || layers <= 1 {
-        return 1;
-    }
-    let req = requested.clamp(1, layers);
-    (1..=req)
-        .rev()
-        .find(|&d| layers.is_multiple_of(d))
-        .unwrap_or(1)
+/// Where a pillar bus's transceiver interface for one layer lives:
+/// the shard owning that layer's pillar node, and the interface's slot
+/// in the shard's `ifaces` list.
+#[derive(Clone, Copy, Debug, Default)]
+pub(super) struct IfaceSlot {
+    pub shard: u32,
+    pub slot: u32,
 }
 
 impl Network {
@@ -216,12 +228,13 @@ impl Network {
     }
 
     /// Builds the network cut into `shards` independently-advancing
-    /// layer groups, run concurrently between pillar-bus grants by
+    /// cluster-row bands, run concurrently between coupling events by
     /// [`Network::advance_window`].
     ///
-    /// The request is clamped to the largest divisor of the layer count
-    /// (and to 1 for single-layer chips or the 3D-mesh ablation), so any
-    /// value is safe; results are bit-identical for every shard count.
+    /// The request is clamped to the largest divisor of the chip's
+    /// cluster-row count (`layers × cluster-grid height`; 1 for
+    /// single-layer chips or the 3D-mesh ablation), so any value is
+    /// safe; results are bit-identical for every shard count.
     pub fn new_sharded(
         layout: &ChipLayout,
         cfg: &NetworkConfig,
@@ -231,9 +244,16 @@ impl Network {
         let vcs = cfg.vcs_per_port as usize;
         let depth = cfg.vc_depth_flits as usize;
         let n = layout.num_nodes();
-        let num_shards = effective_shards(layout, mode, shards);
-        let nodes_per_shard = n / num_shards;
-        let layers_per_shard = layout.layers() / num_shards as u8;
+        // Only pillar mode keeps all router-phase traffic within a layer
+        // band; the 3D-mesh ablation's `Up`/`Down` hops cross layers
+        // freely, so it cannot be cut.
+        let plan = if mode == VerticalMode::Pillars && layout.layers() > 1 {
+            ShardPlan::new(layout, shards)
+        } else {
+            ShardPlan::new(layout, 1)
+        };
+        let num_shards = plan.shards();
+        let nodes_per_shard = plan.nodes_per_shard();
         let mut shard_states: Vec<ShardState> =
             (0..num_shards).map(|_| ShardState::default()).collect();
         let mut routers = Vec::with_capacity(n);
@@ -265,6 +285,7 @@ impl Network {
             routers.push(Router::new(arena, c, &dirs, &dirs, vcs, depth));
         }
         let mut buses = Vec::new();
+        let mut iface_slots = Vec::new();
         if mode == VerticalMode::Pillars && layout.layers() > 1 {
             for p in 0..layout.num_pillars() {
                 let pillar = nim_types::PillarId(p);
@@ -275,14 +296,26 @@ impl Network {
                 }
                 buses.push(DtdmaBus::new(pillar, xy));
             }
-            for st in &mut shard_states {
-                st.ifaces.reserve(buses.len() * layers_per_shard as usize);
-                for _bus in 0..buses.len() {
-                    for _l in 0..layers_per_shard {
-                        let iface = Iface::new(&mut st.arena, depth);
-                        st.ifaces.push(iface);
-                    }
+            // Each (bus, layer) interface belongs to the shard owning
+            // that layer's pillar node; the slot table records where.
+            for (b, bus) in buses.iter().enumerate() {
+                for layer in 0..layout.layers() {
+                    let idx = layout.node_index(Coord::new(bus.xy.0, bus.xy.1, layer));
+                    let owner = plan.shard_of_node(idx);
+                    let st = &mut shard_states[owner];
+                    debug_assert_eq!(
+                        iface_slots.len(),
+                        b * layout.layers() as usize + layer as usize
+                    );
+                    iface_slots.push(IfaceSlot {
+                        shard: owner as u32,
+                        slot: st.ifaces.len() as u32,
+                    });
+                    let iface = Iface::new(&mut st.arena, depth);
+                    st.ifaces.push(iface);
                 }
+            }
+            for st in &mut shard_states {
                 st.in_touched = vec![false; buses.len()];
             }
         }
@@ -316,10 +349,13 @@ impl Network {
             in_inj: vec![false; n],
             bus_active: Vec::new(),
             shards: shard_states,
+            plan,
             nodes_per_shard,
-            layers_per_shard,
+            iface_slots,
             window_workers,
             window_spawn_min: window::DEFAULT_SPAWN_MIN,
+            tuner: SpawnTuner::default(),
+            win_stats: WindowStats::default(),
             hop_bufs: vec![Vec::new(); num_shards],
             hop_scratch: Vec::new(),
             bus_scratch: Vec::new(),
@@ -340,13 +376,33 @@ impl Network {
     }
 
     /// Overrides the window executor's tuning: the minimum window length
-    /// before worker threads spawn, and the worker count. Results are
-    /// bit-identical for any values; this only exists so tests can force
-    /// the threaded path onto short windows.
+    /// before worker threads spawn, and the worker count. Disables the
+    /// runtime spawn-threshold calibration. Results are bit-identical
+    /// for any values; this only exists so tests can force the threaded
+    /// path onto short windows.
     #[doc(hidden)]
     pub fn set_window_tuning(&mut self, spawn_min: u64, workers: usize) {
         self.window_spawn_min = spawn_min.max(1);
         self.window_workers = workers.clamp(1, self.shards.len());
+        self.tuner.force();
+    }
+
+    /// Window-executor activity counters (windows advanced, cycles
+    /// covered, spawned vs inline). Diagnostics only: these vary with
+    /// shard count and thread availability and are deliberately not part
+    /// of [`NetworkStats`], whose contents must stay bit-identical
+    /// across shard counts.
+    #[inline]
+    pub fn window_stats(&self) -> WindowStats {
+        self.win_stats
+    }
+
+    /// The current minimum window length before worker threads spawn —
+    /// [`window::DEFAULT_SPAWN_MIN`] until the runtime calibration or a
+    /// [`Network::set_window_tuning`] override replaces it.
+    #[inline]
+    pub fn window_spawn_min(&self) -> u64 {
+        self.window_spawn_min
     }
 
     /// Attaches an observability handle; events and per-tick cycle
@@ -608,9 +664,8 @@ impl Network {
     /// bus `b` on `layer`.
     #[inline]
     fn iface_pos(&self, b: usize, layer: u8) -> (usize, usize) {
-        let lps = self.layers_per_shard as usize;
-        let l = layer as usize;
-        (l / lps, b * lps + l % lps)
+        let s = self.iface_slots[b * self.layout.layers() as usize + layer as usize];
+        (s.shard as usize, s.slot as usize)
     }
 
     /// Total flits queued across all of bus `b`'s interfaces.

@@ -3,10 +3,16 @@
 //!
 //! The phase body lives on [`Lane`] so the sequential tick and the
 //! window executor share one implementation; only the
-//! [`DeliverySink`] differs. Node-major indexing is layer-major, so
-//! processing shards in order and each shard's sorted dirty list within
-//! equals processing one globally sorted dirty list — the sharded phase
-//! is order-identical to the pre-sharding code.
+//! [`DeliverySink`] differs. Node-major indexing is layer-major and
+//! shards are node-contiguous, so processing shards in order and each
+//! shard's sorted dirty list within equals processing one globally
+//! sorted dirty list — the sharded phase is order-identical to the
+//! pre-sharding code. A mesh hop across a shard boundary (possible only
+//! in the whole-chip sequential lane) marks the destination router in
+//! the *current* phase's list when the destination shard has not run
+//! yet; the just-arrived flit is stamped `arrived == now`, so that
+//! visit is provably a no-op and the router is re-marked for the next
+//! cycle — exactly what the pre-sharding single-list code did.
 
 use nim_types::{Coord, Cycle, Dir};
 
@@ -19,47 +25,47 @@ use super::{Candidate, Network};
 
 impl Network {
     pub(super) fn router_phase(&mut self, now: Cycle) {
-        for s in 0..self.shards.len() {
-            if self.shards[s].dirty.is_empty() {
-                continue;
-            }
-            let (mut lane, mut sink) = self.live_parts(s);
-            lane.router_phase(now, &mut sink);
-            let (hops, by_class, cont) = (
-                lane.flit_hops,
-                lane.flit_hops_by_class,
-                lane.switch_contention,
-            );
-            self.fold_lane(hops, by_class, cont);
+        if self.shards.iter().all(|st| st.dirty.is_empty()) {
+            return;
         }
+        let (mut lane, mut sink) = self.live_parts();
+        lane.router_phase(now, &mut sink);
+        let (hops, by_class, cont) = (
+            lane.flit_hops,
+            lane.flit_hops_by_class,
+            lane.switch_contention,
+        );
+        self.fold_lane(hops, by_class, cont);
     }
 }
 
 impl Lane<'_> {
     pub(super) fn router_phase(&mut self, now: Cycle, sink: &mut impl DeliverySink) {
-        if self.st.dirty.is_empty() {
-            return;
-        }
-        let mut work = std::mem::replace(
-            &mut self.st.dirty,
-            std::mem::take(&mut self.st.dirty_scratch),
-        );
-        work.sort_unstable();
-        for &n in &work {
-            self.in_dirty[n as usize - self.base] = false;
-        }
-        for &n in &work {
-            let n = n as usize;
-            if self.routers[n - self.base].occupancy == 0 {
+        for si in 0..self.shards.len() {
+            if self.shards[si].dirty.is_empty() {
                 continue;
             }
-            self.process_router(n, now, sink);
-            if self.routers[n - self.base].occupancy > 0 {
-                self.mark_dirty(n);
+            let mut work = std::mem::replace(
+                &mut self.shards[si].dirty,
+                std::mem::take(&mut self.shards[si].dirty_scratch),
+            );
+            work.sort_unstable();
+            for &n in &work {
+                self.in_dirty[n as usize - self.base] = false;
             }
+            for &n in &work {
+                let n = n as usize;
+                if self.routers[n - self.base].occupancy == 0 {
+                    continue;
+                }
+                self.process_router(n, now, sink);
+                if self.routers[n - self.base].occupancy > 0 {
+                    self.mark_dirty(n);
+                }
+            }
+            work.clear();
+            self.shards[si].dirty_scratch = work;
         }
-        work.clear();
-        self.st.dirty_scratch = work;
     }
 
     /// Switch allocation for one router: a single scan over the input VCs
@@ -71,13 +77,14 @@ impl Lane<'_> {
     fn process_router(&mut self, n: usize, now: Cycle, sink: &mut impl DeliverySink) {
         let vcs = self.vcs;
         let local = n - self.base;
+        let si = self.shard_ix(n);
         let at = self.routers[local].coord;
-        let mut cands = std::mem::take(&mut self.st.cand_scratch);
+        let mut cands = std::mem::take(&mut self.shards[si].cand_scratch);
         debug_assert!(cands.is_empty());
         for (in_dir, input) in self.routers[local].inputs.iter().enumerate() {
             let Some(port) = input else { continue };
             for vc in 0..vcs {
-                let Some(front) = port.vc(vc).front(&self.st.arena) else {
+                let Some(front) = port.vc(vc).front(&self.shards[si].arena) else {
                     continue;
                 };
                 if front.arrived.0 + self.router_latency > now.0 || !front.kind.is_head() {
@@ -104,7 +111,7 @@ impl Lane<'_> {
             }
         }
         cands.clear();
-        self.st.cand_scratch = cands;
+        self.shards[si].cand_scratch = cands;
     }
 
     /// Switch allocation and traversal for one output port of one router.
@@ -119,6 +126,7 @@ impl Lane<'_> {
     ) {
         let oi = out.index();
         let local = n - self.base;
+        let si = self.shard_ix(n);
         // An output already claimed by a packet serves only that packet.
         if let Some(hold) = self.routers[local].held[oi] {
             if used_input[hold.in_dir] {
@@ -126,7 +134,7 @@ impl Lane<'_> {
             }
             let front = self.routers[local].inputs[hold.in_dir]
                 .as_ref()
-                .and_then(|p| p.vc(hold.vc).front(&self.st.arena))
+                .and_then(|p| p.vc(hold.vc).front(&self.shards[si].arena))
                 .copied();
             let Some(front) = front else { return };
             if front.pkt != hold.pkt || front.arrived.0 + self.router_latency > now.0 {
@@ -196,41 +204,45 @@ impl Lane<'_> {
         sink: &mut impl DeliverySink,
     ) -> bool {
         let local = n - self.base;
+        let si = self.shard_ix(n);
         match out {
             Dir::Local => {
                 let f = self.routers[local].inputs[in_dir]
                     .as_mut()
                     .expect("input exists")
                     .vc_mut(vc)
-                    .pop(&self.st.arena)
+                    .pop(&self.shards[si].arena)
                     .expect("front checked");
                 self.routers[local].occupancy -= 1;
                 sink.local_pop(n, f, now);
                 true
             }
             Dir::Vertical => {
-                // The vertical move fills this node's own transceiver
-                // interface — shard-local state; the (sequential) bus
-                // phase is what later drains it across shards.
+                // The vertical move fills this pillar node's own
+                // transceiver interface — owned by this node's shard;
+                // the (sequential) bus phase is what later drains it
+                // across shards.
                 let bus_idx =
                     self.bus_of_node[n].expect("vertical output on non-pillar node") as usize;
                 let layer = self.routers[local].coord.layer;
-                let iface_idx =
-                    bus_idx * self.layers_per_shard as usize + (layer - self.base_layer) as usize;
-                if self.st.ifaces[iface_idx].q.is_full() {
+                let is = self.iface_slots[bus_idx * self.layout.layers() as usize + layer as usize];
+                debug_assert_eq!(is.shard as usize, si + self.first_shard);
+                let slot = is.slot as usize;
+                if self.shards[si].ifaces[slot].q.is_full() {
                     return false;
                 }
                 let mut f = self.routers[local].inputs[in_dir]
                     .as_mut()
                     .expect("input exists")
                     .vc_mut(vc)
-                    .pop(&self.st.arena)
+                    .pop(&self.shards[si].arena)
                     .expect("front checked");
                 f.arrived = now;
-                self.st.ifaces[iface_idx].q.push_back(&mut self.st.arena, f);
-                if !self.st.in_touched[bus_idx] {
-                    self.st.in_touched[bus_idx] = true;
-                    self.st.touched_buses.push(bus_idx as u16);
+                let st = &mut self.shards[si];
+                st.ifaces[slot].q.push_back(&mut st.arena, f);
+                if !st.in_touched[bus_idx] {
+                    st.in_touched[bus_idx] = true;
+                    st.touched_buses.push(bus_idx as u16);
                 }
                 self.routers[local].occupancy -= 1;
                 self.flit_hops += 1;
@@ -252,12 +264,24 @@ impl Lane<'_> {
                         Coord::new(x, y, c.layer)
                     }
                 };
-                // Mesh hops stay on the layer; `Up`/`Down` exist only in
-                // the (unsharded) 3D-mesh ablation. Either way the
-                // destination is inside this lane's node range.
-                let dest_local = self.layout.node_index(dest) - self.base;
+                // In the whole-chip sequential lane every destination is
+                // in range and a hop may cross a shard (band) boundary.
+                // A window lane holds exactly one shard, and the window
+                // planner's mesh-boundary lookahead ended the window
+                // before any flit could reach a boundary router — so an
+                // out-of-range destination there is a planner bug.
+                let dest_idx = self.layout.node_index(dest);
+                let dest_local = dest_idx.wrapping_sub(self.base);
+                if dest_local >= self.routers.len() {
+                    unreachable!(
+                        "packet {} hopped {c} -> {dest} across a shard boundary in cycle {} \
+                         inside a conservative shard window — the boundary lookahead \
+                         under-estimated",
+                        front.pkt.0, now.0
+                    );
+                }
                 debug_assert_ne!(dest_local, local);
-                debug_assert!(dest_local < self.routers.len());
+                let dsi = self.shard_ix(dest_idx);
                 let ii = out.opposite().index();
                 let dvc = {
                     let port = self.routers[dest_local].inputs[ii]
@@ -276,7 +300,7 @@ impl Lane<'_> {
                     .as_mut()
                     .expect("input exists")
                     .vc_mut(vc)
-                    .pop(&self.st.arena)
+                    .pop(&self.shards[si].arena)
                     .expect("front checked");
                 f.arrived = now;
                 f.hops += 1;
@@ -284,10 +308,10 @@ impl Lane<'_> {
                     .as_mut()
                     .expect("checked above")
                     .vc_mut(dvc)
-                    .push(&mut self.st.arena, f);
+                    .push(&mut self.shards[dsi].arena, f);
                 self.routers[local].occupancy -= 1;
                 self.routers[dest_local].occupancy += 1;
-                self.mark_dirty(dest_local + self.base);
+                self.mark_dirty(dest_idx);
                 self.flit_hops += 1;
                 self.flit_hops_by_class[f.class.index()] += 1;
                 self.traversals[local] += 1;

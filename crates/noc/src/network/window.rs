@@ -1,29 +1,42 @@
 //! The conservative shard-window executor.
 //!
-//! Between two dTDMA pillar grants, every shard (contiguous layer
-//! group) evolves independently: router-phase moves stay on a layer,
-//! vertical moves only fill the sender's own transceiver interface, and
-//! injection is node-local. [`Network::advance_window`] exploits this to
-//! run all shards *concurrently* over a window of cycles, with a
-//! barrier at each window end where the sequential bus phase resumes.
+//! Between two coupling events, every shard (contiguous cluster-row
+//! band, see [`nim_topology::ShardPlan`]) evolves independently:
+//! router-phase moves stay inside the band, vertical moves only fill
+//! the sender's own transceiver interface, and injection is node-local.
+//! [`Network::advance_window`] exploits this to run all shards
+//! *concurrently* over a window of cycles, with a barrier at each
+//! window end where the sequential phases resume.
 //!
 //! # Soundness
 //!
 //! A window `[now+1, end]` is safe iff no *coupling event* can occur in
-//! it: a bus grant (the only cross-shard mutation, and the only place
-//! bus statistics or contention are recorded) or a local delivery (the
-//! only network event the engine observes). [`Network::window_horizon`]
+//! it: a bus grant (a cross-shard mutation, and the only place bus
+//! statistics or contention are recorded), a local delivery (the only
+//! network event the engine observes), or — new with cluster-granular
+//! cuts — a mesh hop across a shard boundary. [`Network::window_horizon`]
 //! lower-bounds the earliest possible coupling event from first
 //! principles:
 //!
 //! * every router traversal costs at least `router_latency` dwell (a
-//!   moved flit is restamped `arrived = now`), so a flit at Manhattan
-//!   distance `d` from its goal needs at least `d` traversals, each
-//!   `router_latency` apart, before it can matter;
+//!   moved flit is restamped `arrived = now`), so a flit needing at
+//!   least `h` traversals before an event can trigger it no earlier
+//!   than `movable + (h - 1) × router_latency`;
+//! * a flit whose dimension-order route leaves its shard's y-band
+//!   (same-layer target below/above the band, or a pillar outside it)
+//!   must make at least `dist-to-cut + 1` y-traversals first — the
+//!   mesh-boundary lookahead, read off the per-shard band tables the
+//!   [`ShardPlan`](nim_topology::ShardPlan) precomputes. A flit whose
+//!   target y lies *inside* the band never crosses: x-first routing
+//!   keeps y constant, then y moves monotonically toward the in-band
+//!   target. Unpinned cross-layer flits re-pick their pillar
+//!   adaptively, but each hop moves toward *some* pillar — if every
+//!   pillar is in-band the flit stays in-band, and any out-of-band
+//!   pillar contributes its crossing bound to the min;
 //! * a bus grant requires the flit queued at a transceiver interface
 //!   one full cycle, after the bus's serialisation window
 //!   (`bus_ready_at`) expires — the multi-cycle grant latency of the
-//!   dTDMA pillar is exactly the lookahead that makes windows non-empty;
+//!   dTDMA pillar is lookahead that keeps windows non-empty;
 //! * a VC only ever holds flits of one packet (the owner protocol in
 //!   `vc.rs`), and at most one flit per input port moves per cycle, so
 //!   scanning only VC *front* flits bounds every queued flit: the k-th
@@ -33,19 +46,35 @@
 //! [`Lane::run_window`] — the same phase code as the sequential tick —
 //! and are bit-identical to ticking: within a cycle, shard-order
 //! processing equals global node-order processing because node indexing
-//! is layer-major.
+//! is layer-major and shards are node-contiguous.
 //!
-//! # Determinism
+//! # Determinism and engine overlap
 //!
 //! Worker threads claim whole shards from an atomic cursor; no two
 //! threads ever touch the same shard, and shards share no mutable
-//! state, so the interleaving cannot influence results. Trace (`FlitHop`)
-//! events are deferred into per-shard buffers and replayed at the
-//! barrier in (cycle, shard) order — exactly the order the sequential
-//! engine would have emitted them.
+//! state, so the interleaving cannot influence results. The calling
+//! (engine) thread does not idle at the barrier — it joins the claim
+//! loop as the last worker, so a window with `w` workers spawns only
+//! `w - 1` threads. Trace (`FlitHop`) events are deferred into
+//! per-shard buffers and replayed at the barrier in (cycle, shard)
+//! order — exactly the order the sequential engine would have emitted
+//! them.
+//!
+//! # Spawn-threshold calibration
+//!
+//! Spawning scoped workers costs more than it saves on a short window.
+//! Instead of a hard-coded threshold, the first
+//! [`CALIBRATION_WINDOWS`] windows run inline and are timed; the tuner
+//! then probes the cost of standing up the worker pool once and sets
+//! the threshold to the break-even window length
+//! `spawn_cost / (ns_per_cycle × (1 − 1/workers))`. Calibration only
+//! ever chooses *whether* to thread, never what to compute, so it is
+//! invisible in results; [`Network::set_window_tuning`] disables it for
+//! tests that force threading.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 use nim_obs::{Category, EventData};
 use nim_types::{Coord, Cycle, PillarId};
@@ -53,17 +82,59 @@ use nim_types::{Coord, Cycle, PillarId};
 use super::lane::{Lane, WindowSink};
 use super::Network;
 
-/// Windows shorter than this run inline on the calling thread: spawning
-/// scoped workers costs more than it saves on a short window. Results
-/// are bit-identical either way.
+/// Windows shorter than this run inline on the calling thread until the
+/// runtime calibration replaces it with a measured break-even length.
+/// Results are bit-identical either way.
 pub(super) const DEFAULT_SPAWN_MIN: u64 = 16;
+
+/// Inline windows timed before the spawn threshold is calibrated.
+const CALIBRATION_WINDOWS: u32 = 8;
+
+/// Clamp range for the calibrated spawn threshold: never thread
+/// single-digit windows, never refuse to thread a very long one.
+const SPAWN_MIN_RANGE: (u64, u64) = (2, 65_536);
+
+/// Window-executor activity counters: how often windows advance, how
+/// long they are, and whether they ran threaded or inline. Exported via
+/// the observability metrics (`net/window/*`) so parallel-efficiency
+/// regressions are diagnosable; deliberately *not* part of
+/// [`NetworkStats`](crate::stats::NetworkStats), which must stay
+/// bit-identical across shard counts and threading.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct WindowStats {
+    /// Windows that advanced at least one cycle.
+    pub windows: u64,
+    /// Total cycles covered by those windows.
+    pub cycles: u64,
+    /// Windows run on spawned worker threads.
+    pub spawned: u64,
+    /// Windows run inline on the calling thread.
+    pub inline: u64,
+}
+
+/// Runtime spawn-threshold calibration state (see the module docs).
+#[derive(Clone, Copy, Debug, Default)]
+pub(super) struct SpawnTuner {
+    /// Tuning was pinned via `set_window_tuning`; never calibrate.
+    forced: bool,
+    calibrated: bool,
+    sample_ns: u64,
+    sample_cycles: u64,
+    samples: u32,
+}
+
+impl SpawnTuner {
+    pub(super) fn force(&mut self) {
+        self.forced = true;
+    }
+}
 
 impl Network {
     /// Advances every shard concurrently to `min(max_end, horizon - 1)`,
     /// where the horizon is the earliest cycle a coupling event (bus
-    /// grant or delivery) could possibly occur. Returns the number of
-    /// cycles advanced (0 when sharding is off, `max_end` is not ahead,
-    /// or a coupling event is imminent).
+    /// grant, delivery, or cross-shard boundary hop) could possibly
+    /// occur. Returns the number of cycles advanced (0 when sharding is
+    /// off, `max_end` is not ahead, or a coupling event is imminent).
     ///
     /// The caller must ensure nothing *outside* the network is due in
     /// the window (core wakeups, engine events, observability sample
@@ -85,23 +156,71 @@ impl Network {
             !self.has_deliveries(),
             "undrained deliveries at window start"
         );
+        let len = end - start;
         let record = self.obs.wants(Category::Hop);
-        self.run_lanes(start + 1, end, record);
+        let calibrating = self.window_workers > 1 && !self.tuner.forced && !self.tuner.calibrated;
+        let threaded = self.window_workers > 1 && !calibrating && len >= self.window_spawn_min;
+        if calibrating {
+            let t0 = Instant::now();
+            self.run_lanes(start + 1, end, record, false);
+            self.note_inline_sample(t0.elapsed(), len);
+        } else {
+            self.run_lanes(start + 1, end, record, threaded);
+        }
+        self.win_stats.windows += 1;
+        self.win_stats.cycles += len;
+        if threaded {
+            self.win_stats.spawned += 1;
+        } else {
+            self.win_stats.inline += 1;
+        }
         self.settle_touched();
         self.now = Cycle(end);
         self.replay_hops();
         self.obs.set_now(end);
-        end - start
+        len
+    }
+
+    /// Feeds one timed inline window into the tuner; once enough
+    /// samples accumulate, probes the worker-pool cost and fixes the
+    /// spawn threshold at the measured break-even window length.
+    fn note_inline_sample(&mut self, dt: Duration, cycles: u64) {
+        let t = &mut self.tuner;
+        t.sample_ns += u64::try_from(dt.as_nanos()).unwrap_or(u64::MAX);
+        t.sample_cycles += cycles;
+        t.samples += 1;
+        if t.samples < CALIBRATION_WINDOWS {
+            return;
+        }
+        let workers = self.window_workers as u64;
+        let mut spawn_ns = u64::MAX;
+        for _ in 0..3 {
+            let t0 = Instant::now();
+            std::thread::scope(|scope| {
+                for _ in 1..workers {
+                    scope.spawn(|| {});
+                }
+            });
+            spawn_ns = spawn_ns.min(u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        }
+        let ns_per_cycle = (t.sample_ns / t.sample_cycles.max(1)).max(1);
+        // Threading a window of W cycles saves about
+        // W × ns_per_cycle × (1 − 1/workers) and costs spawn_ns;
+        // break even where they meet.
+        let gain_per_cycle = (ns_per_cycle * (workers - 1) / workers).max(1);
+        self.window_spawn_min =
+            (spawn_ns / gain_per_cycle).clamp(SPAWN_MIN_RANGE.0, SPAWN_MIN_RANGE.1);
+        t.calibrated = true;
     }
 
     /// Lower-bounds the earliest future cycle at which a coupling event
-    /// — a dTDMA bus grant or a local delivery — could occur, scanning
-    /// every queue a flit can sit in. `u64::MAX` when nothing is in
-    /// flight.
+    /// — a dTDMA bus grant, a local delivery, or a mesh hop across a
+    /// shard boundary — could occur, scanning every queue a flit can
+    /// sit in. `u64::MAX` when nothing is in flight.
     fn window_horizon(&self) -> u64 {
         let next = self.now.0 + 1;
         let mut horizon = u64::MAX;
-        for st in &self.shards {
+        for (s, st) in self.shards.iter().enumerate() {
             // Buffered flits: VC fronts bound everything behind them.
             for &n in &st.dirty {
                 let r = &self.routers[n as usize];
@@ -114,7 +233,7 @@ impl Network {
                             continue;
                         };
                         let movable = (f.arrived.0 + self.router_latency).max(next);
-                        horizon = horizon.min(self.flit_bound(r.coord, f.dst, f.via, movable));
+                        horizon = horizon.min(self.flit_bound(s, r.coord, f.dst, f.via, movable));
                     }
                 }
             }
@@ -128,7 +247,7 @@ impl Network {
                 for p in &self.injectors[n as usize].queue {
                     let movable = next + flits_ahead + self.router_latency;
                     horizon =
-                        horizon.min(self.flit_bound(p.req.src, p.req.dst, p.req.via, movable));
+                        horizon.min(self.flit_bound(s, p.req.src, p.req.dst, p.req.via, movable));
                     flits_ahead += u64::from(p.req.flits - p.seq);
                 }
             }
@@ -151,28 +270,67 @@ impl Network {
         horizon
     }
 
-    /// The earliest cycle a flit at `at`, first movable at `movable`,
-    /// could trigger a coupling event en route to `dst`.
-    fn flit_bound(&self, at: Coord, dst: Coord, via: Option<PillarId>, movable: u64) -> u64 {
+    /// The earliest cycle a flit of shard `s` at `at`, first movable at
+    /// `movable`, could trigger a coupling event en route to `dst`.
+    fn flit_bound(
+        &self,
+        s: usize,
+        at: Coord,
+        dst: Coord,
+        via: Option<PillarId>,
+        movable: u64,
+    ) -> u64 {
         let lat = self.router_latency;
+        let (y0, y1) = self
+            .plan
+            .band(s, at.layer)
+            .expect("flit inside its shard's band");
+        debug_assert!((y0..=y1).contains(&at.y));
+        // Crossing the band's north/south cut: the flit's route needs at
+        // least `dist-to-cut + 1` y-traversals to enter the neighbouring
+        // shard, the (h)-th traversal happening no earlier than
+        // `movable + (h - 1) × lat`.
+        let cross_north = movable + u64::from(at.y - y0) * lat;
+        let cross_south = movable + u64::from(y1 - at.y) * lat;
         if at.layer == dst.layer {
+            // Dimension-order routing moves x first (y unchanged, stays
+            // in band), then y monotonically toward `dst.y`: an in-band
+            // target never crosses the cut, an out-of-band one must.
+            if dst.y < y0 {
+                return cross_north;
+            }
+            if dst.y > y1 {
+                return cross_south;
+            }
             // Delivery: at least one traversal per remaining mesh hop,
             // each costing a fresh `router_latency` dwell, then the
             // final local pop (`d == 0` means the pop itself is next).
             let d = u64::from(at.x.abs_diff(dst.x)) + u64::from(at.y.abs_diff(dst.y));
             movable + d * lat
         } else {
-            // Bus grant: reach some pillar, dwell one cycle at its
-            // interface, and wait out the bus's serialisation window.
+            // Cross-layer: the flit heads for a pillar. An out-of-band
+            // pillar puts the boundary crossing first; an in-band one
+            // means a bus grant — reach the pillar, dwell one cycle at
+            // its interface, and wait out the bus's serialisation
+            // window.
             let via_pillar = |p: PillarId| {
                 let (px, py) = self.layout.pillar_xy(p);
+                if py < y0 {
+                    return cross_north;
+                }
+                if py > y1 {
+                    return cross_south;
+                }
                 let d = u64::from(at.x.abs_diff(px)) + u64::from(at.y.abs_diff(py));
                 (movable + d * lat + 1).max(self.bus_ready_at[p.0 as usize])
             };
             match via {
                 Some(p) => via_pillar(p),
                 // Adaptive routing re-picks the nearest pillar per hop;
-                // whichever it ends up using is covered by the min.
+                // every hop moves toward *some* pillar, so the flit
+                // either stays in-band until an (in-band) grant or
+                // crosses toward an out-of-band pillar — both covered
+                // by the min.
                 None => (0..self.layout.num_pillars())
                     .map(|p| via_pillar(PillarId(p)))
                     .min()
@@ -181,14 +339,14 @@ impl Network {
         }
     }
 
-    /// Builds one [`Lane`] + [`WindowSink`] per shard and runs them all
-    /// over `[from, to]` — inline for short windows, else on scoped
-    /// worker threads claiming shards from an atomic cursor.
-    fn run_lanes(&mut self, from: u64, to: u64, record: bool) {
+    /// Builds one single-shard [`Lane`] + [`WindowSink`] per shard and
+    /// runs them all over `[from, to]` — inline on the calling thread,
+    /// or with the calling thread joining `workers - 1` spawned workers
+    /// in claiming shards from an atomic cursor (the engine thread
+    /// works instead of idling at the barrier).
+    fn run_lanes(&mut self, from: u64, to: u64, record: bool, threaded: bool) {
         let nodes = self.nodes_per_shard;
-        let lps = self.layers_per_shard;
         let workers = self.window_workers;
-        let threaded = workers > 1 && (to - from + 1) >= self.window_spawn_min;
         let (mut fh, mut byc, mut sc) = (0u64, [0u64; 4], 0u64);
         {
             let Network {
@@ -204,11 +362,12 @@ impl Network {
                 vcs,
                 router_latency,
                 bus_of_node,
+                iface_slots,
                 hop_bufs,
                 ..
             } = self;
             let cells_iter = shards
-                .iter_mut()
+                .chunks_mut(1)
                 .zip(hop_bufs.iter_mut())
                 .zip(routers.chunks_mut(nodes))
                 .zip(injectors.chunks_mut(nodes))
@@ -221,9 +380,9 @@ impl Network {
                     |(s, ((((((st, hop_buf), routers), injectors), in_dirty), in_inj), trav))| {
                         let lane = Lane {
                             base: s * nodes,
-                            base_layer: s as u8 * lps,
-                            layers_per_shard: lps,
-                            st,
+                            first_shard: s,
+                            nodes_per_shard: nodes,
+                            shards: st,
                             routers,
                             injectors,
                             in_dirty,
@@ -235,6 +394,7 @@ impl Network {
                             vcs: *vcs,
                             router_latency: *router_latency,
                             bus_of_node,
+                            iface_slots,
                             flit_hops: 0,
                             flit_hops_by_class: [0; 4],
                             switch_contention: 0,
@@ -251,16 +411,20 @@ impl Network {
                 let cursor = AtomicUsize::new(0);
                 let slots: Vec<Mutex<&mut (Lane<'_>, WindowSink, &mut Vec<_>)>> =
                     cells.iter_mut().map(Mutex::new).collect();
+                let work = || loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(slot) = slots.get(i) else { break };
+                    let mut cell = slot.lock().expect("window lane poisoned");
+                    let (lane, sink, _) = &mut **cell;
+                    lane.run_window(from, to, sink);
+                };
                 std::thread::scope(|scope| {
-                    for _ in 0..workers.min(slots.len()) {
-                        scope.spawn(|| loop {
-                            let i = cursor.fetch_add(1, Ordering::Relaxed);
-                            let Some(slot) = slots.get(i) else { break };
-                            let mut cell = slot.lock().expect("window lane poisoned");
-                            let (lane, sink, _) = &mut **cell;
-                            lane.run_window(from, to, sink);
-                        });
+                    for _ in 1..workers.min(slots.len()) {
+                        scope.spawn(work);
                     }
+                    // The engine thread claims shards too instead of
+                    // blocking on the barrier.
+                    work();
                 });
             } else {
                 for (lane, sink, _) in &mut cells {

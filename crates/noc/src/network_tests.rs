@@ -390,13 +390,25 @@ fn mixed_traffic(net: &mut Network, layout: &ChipLayout) {
 }
 
 #[test]
-fn shard_request_clamps_to_layer_divisors() {
-    let cfg = SystemConfig::default(); // 2 layers
+fn shard_request_clamps_to_cluster_row_divisors() {
+    // The default 2-layer chip has 4 cluster rows (2 layers × a 2-row
+    // cluster grid), so 1, 2, and 4 shards are all valid.
+    let cfg = SystemConfig::default();
     let layout = ChipLayout::new(&cfg).unwrap();
     assert_eq!(
         Network::new_sharded(&layout, &cfg.network, VerticalMode::Pillars, 3).shards(),
         2,
-        "3 does not divide 2 layers; largest divisor wins"
+        "3 does not divide 4 cluster rows; largest divisor wins"
+    );
+    assert_eq!(
+        Network::new_sharded(&layout, &cfg.network, VerticalMode::Pillars, 4).shards(),
+        4,
+        "cluster-row cuts go finer than whole layers"
+    );
+    assert_eq!(
+        Network::new_sharded(&layout, &cfg.network, VerticalMode::Pillars, 8).shards(),
+        4,
+        "over-asking clamps to the cluster-row count"
     );
     assert_eq!(
         Network::new_sharded(&layout, &cfg.network, VerticalMode::Mesh3d, 2).shards(),
@@ -423,7 +435,14 @@ fn sharded_windows_match_sequential_bit_for_bit() {
         let mut want = reference.drain_delivered();
         want.sort_by_key(|d| d.packet.0);
 
-        for shards in [2usize, usize::from(layers)] {
+        // Cover layer-aligned cuts (2 on 2 layers, 4 on 4 layers) and
+        // cluster-granular cuts that split layers mid-mesh (4 on 2
+        // layers, 8 on 4 layers — the cluster-row maximum).
+        let shard_counts: &[usize] = match layers {
+            2 => &[2, 4],
+            _ => &[2, 4, 8],
+        };
+        for &shards in shard_counts {
             let mut net =
                 Network::new_sharded(&layout, &cfg.network, VerticalMode::Pillars, shards);
             assert_eq!(net.shards(), shards);
@@ -452,6 +471,48 @@ fn sharded_windows_match_sequential_bit_for_bit() {
             assert_eq!(net.now(), reference.now(), "final clock");
         }
     }
+}
+
+#[test]
+fn cluster_cut_same_layer_traffic_matches_sequential() {
+    // 4 shards on the default 2-layer chip cut each layer's mesh at
+    // y = 4. Same-layer packets crossing that cut exercise the
+    // mesh-boundary lookahead specifically (mixed_traffic sends every
+    // packet cross-layer when there are only 2 layers, which the bus
+    // horizon already bounds).
+    let cfg = SystemConfig::default();
+    let layout = ChipLayout::new(&cfg).unwrap();
+    let traffic = |net: &mut Network| {
+        for i in 0..40u32 {
+            let x = (i % u32::from(layout.width())) as u8;
+            let layer = (i % 2) as u8;
+            let (sy, dy) = if i % 2 == 0 { (1, 6) } else { (7, 2) };
+            send_one(
+                net,
+                Coord::new(x, sy, layer),
+                Coord::new((x + 3) % layout.width(), dy, layer),
+                None,
+                1 + i % 4,
+            );
+        }
+    };
+
+    let mut reference = Network::new(&layout, &cfg.network, VerticalMode::Pillars);
+    traffic(&mut reference);
+    reference.run_until_idle(100_000).expect("drains");
+    let mut want = reference.drain_delivered();
+    want.sort_by_key(|d| d.packet.0);
+
+    let mut net = Network::new_sharded(&layout, &cfg.network, VerticalMode::Pillars, 4);
+    assert_eq!(net.shards(), 4);
+    net.set_window_tuning(1, 4);
+    traffic(&mut net);
+    let (mut got, stats, bus, traversals) = drain_via_windows(&mut net);
+    got.sort_by_key(|d| d.packet.0);
+    assert_eq!(got, want, "cluster-cut deliveries");
+    assert_eq!(&stats, reference.stats(), "cluster-cut stats");
+    assert_eq!(bus, reference.bus_stats(), "cluster-cut bus stats");
+    assert_eq!(traversals, reference.traversals(), "cluster-cut traversals");
 }
 
 #[test]

@@ -21,8 +21,8 @@ use network_in_memory::core::experiments::{
 };
 use network_in_memory::core::{FabricKind, Phase, Scheme, SystemBuilder};
 use network_in_memory::obs::{CategoryMask, Obs, ObsConfig};
-use network_in_memory::topology::TopoSpec;
-use network_in_memory::types::PillarPlacement;
+use network_in_memory::topology::{ChipLayout, ShardPlan, TopoSpec};
+use network_in_memory::types::{PillarPlacement, SystemConfig};
 use network_in_memory::workload::BenchmarkProfile;
 
 const HELP: &str = "\
@@ -59,12 +59,15 @@ OPTIONS (run / compare):
     --warmup <n>                               warm-up transactions (default 2000)
     --sample <n>                               sampled transactions (default 20000)
     --seed <n>                                 workload seed (default 42)
-    --shards <n>                               advance the network as n
-                                               layer-group shards on worker
+    --shards <n|auto>                          advance the network as n
+                                               cluster-row shards on worker
                                                threads (bit-identical; must
                                                divide the selected topology's
-                                               layer count; default:
-                                               NIM_SHARDS, else 1)
+                                               cluster-row count, i.e.
+                                               layers × cluster-grid height;
+                                               'auto' picks the largest count
+                                               up to the machine's cores;
+                                               default: NIM_SHARDS, else 1)
 
 OPTIONS (scale; comma lists sweep the grid):
     --bench <name>                             benchmark profile (default swim)
@@ -75,7 +78,7 @@ OPTIONS (scale; comma lists sweep the grid):
     --fabric <a,b,..>                          substrates (default sim)
     --shards <a,b,..>                          shard counts (default 1; cells
                                                where shards do not divide the
-                                               layer count are skipped)
+                                               cluster-row count are skipped)
     --warmup / --sample / --seed               as above
 
 OBSERVABILITY (run only; all off by default):
@@ -119,7 +122,7 @@ struct Options {
     sample: u64,
     seed: u64,
     /// `None` keeps the builder default (`NIM_SHARDS`, else 1).
-    shards: Option<usize>,
+    shards: Option<ShardArg>,
     trace_out: Option<String>,
     trace_filter: CategoryMask,
     metrics_out: Option<String>,
@@ -150,30 +153,51 @@ impl Default for Options {
     }
 }
 
+/// An explicit `--shards` argument: a fixed count, or `auto` (the
+/// largest count the topology supports up to the machine's cores).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ShardArg {
+    Count(usize),
+    Auto,
+}
+
 impl Options {
-    /// The layer count of the selected topology: the explicit `--layers`
-    /// flag, else the `--topology` override, else the paper default.
-    fn effective_layers(&self) -> u8 {
-        self.layers.or(self.topology.layers).unwrap_or(2)
+    /// The configuration the selected topology flags describe, for
+    /// validation ahead of `build()` (which re-derives the same thing).
+    fn effective_config(&self) -> SystemConfig {
+        let mut cfg = SystemConfig::default();
+        self.topology.apply(&mut cfg);
+        if let Some(l) = self.layers {
+            cfg.network.layers = l;
+        }
+        if let Some(p) = self.pillars {
+            cfg.network.pillars = p;
+        }
+        cfg
     }
 }
 
-/// Rejects a `--shards` request that does not divide the selected
-/// topology's layer count — the shard executor cuts the stack into
-/// equal layer groups, so anything else would be silently clamped.
-fn validate_shards(shards: usize, layers: u8) -> Result<(), String> {
-    let l = usize::from(layers.max(1));
-    if shards >= 1 && l % shards == 0 {
+/// Rejects a `--shards` count the selected topology cannot honour — the
+/// shard executor cuts the chip into equal bands of whole cluster rows,
+/// so the count must divide `layers × cluster-grid height` or it would
+/// be silently clamped. An unbuildable topology is let through here so
+/// `build()` reports the real error.
+fn validate_shards(shards: usize, cfg: &SystemConfig) -> Result<(), String> {
+    let Ok(layout) = ChipLayout::new(cfg) else {
+        return Ok(());
+    };
+    let valid = ShardPlan::valid_counts(&layout);
+    if valid.contains(&shards) {
         return Ok(());
     }
-    let divisors: Vec<String> = (1..=l)
-        .filter(|d| l % d == 0)
-        .map(|d| d.to_string())
-        .collect();
+    let rows = ShardPlan::cluster_rows(&layout);
+    let counts: Vec<String> = valid.iter().map(|d| d.to_string()).collect();
     Err(format!(
-        "--shards {shards} does not divide the selected topology's {layers} layers \
-         (valid shard counts: {})",
-        divisors.join(", ")
+        "--shards {shards} does not divide the selected topology's {rows} cluster rows \
+         ({} layers x {}-row cluster grid; valid shard counts: {}, or 'auto')",
+        cfg.network.layers,
+        layout.cluster_grid().1,
+        counts.join(", ")
     ))
 }
 
@@ -238,7 +262,12 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--sample" => opts.sample = value()?.parse().map_err(|e| format!("--sample: {e}"))?,
             "--seed" => opts.seed = value()?.parse().map_err(|e| format!("--seed: {e}"))?,
             "--shards" => {
-                opts.shards = Some(value()?.parse().map_err(|e| format!("--shards: {e}"))?)
+                let v = value()?;
+                opts.shards = Some(if v.eq_ignore_ascii_case("auto") {
+                    ShardArg::Auto
+                } else {
+                    ShardArg::Count(v.parse().map_err(|e| format!("--shards: {e}"))?)
+                })
             }
             "--trace-out" => opts.trace_out = Some(value()?),
             "--trace-filter" => {
@@ -259,8 +288,8 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             other => return Err(format!("unknown option '{other}'")),
         }
     }
-    if let Some(n) = opts.shards {
-        validate_shards(n, opts.effective_layers())?;
+    if let Some(ShardArg::Count(n)) = opts.shards {
+        validate_shards(n, &opts.effective_config())?;
     }
     Ok(opts)
 }
@@ -280,8 +309,10 @@ fn run_one(opts: &Options, scheme: Scheme, obs: Obs) -> Result<(), Box<dyn Error
     if let Some(p) = opts.pillars {
         builder = builder.pillars(p);
     }
-    if let Some(n) = opts.shards {
-        builder = builder.shards(n);
+    match opts.shards {
+        Some(ShardArg::Count(n)) => builder = builder.shards(n),
+        Some(ShardArg::Auto) => builder = builder.shards_auto(),
+        None => {}
     }
     let report = builder.build()?.run(&opts.bench)?;
     println!(
@@ -584,7 +615,7 @@ mod tests {
         assert_eq!(opts.bench.name, "swim");
         assert_eq!(opts.layers, None);
         assert_eq!(opts.pillars, None);
-        assert_eq!(opts.effective_layers(), 2);
+        assert_eq!(opts.effective_config().network.layers, 2);
         assert_eq!(opts.fabric, FabricKind::Sim);
         assert_eq!(opts.sample, 20_000);
     }
@@ -593,9 +624,13 @@ mod tests {
     fn topology_presets_parse_and_flags_override() {
         let opts = parse_options(&args(&["--topology", "8-layer"])).unwrap();
         assert_eq!(opts.topology.layers, Some(8));
-        assert_eq!(opts.effective_layers(), 8);
+        assert_eq!(opts.effective_config().network.layers, 8);
         let opts = parse_options(&args(&["--topology", "8-layer", "--layers", "4"])).unwrap();
-        assert_eq!(opts.effective_layers(), 4, "explicit --layers wins");
+        assert_eq!(
+            opts.effective_config().network.layers,
+            4,
+            "explicit --layers wins"
+        );
         let opts = parse_options(&args(&[
             "--topology",
             "layers=4,pillars=4,placement=corners",
@@ -619,11 +654,15 @@ mod tests {
 
     #[test]
     fn shards_must_divide_the_selected_layer_count() {
-        // 3 shards cannot split the default 2-layer stack.
+        // 3 shards cannot split the default 2-layer stack's 4 cluster rows.
         let err = parse_options(&args(&["--shards", "3"])).unwrap_err();
         assert!(err.contains("does not divide"), "{err}");
         assert!(err.contains("1, 2"), "lists the valid divisors: {err}");
-        // ...but they split a 3-layer stack fine, however it is selected.
+        assert!(err.contains("auto"), "points at --shards auto: {err}");
+        // Cluster-row cuts go finer than layers: 4 shards split the
+        // 2-layer stack (each layer's cluster grid is 2 rows tall).
+        assert!(parse_options(&args(&["--shards", "4"])).is_ok());
+        // An unbuildable topology defers its error to build().
         assert!(parse_options(&args(&["--shards", "3", "--layers", "3"])).is_ok());
         assert!(
             parse_options(&args(&["--shards", "4", "--topology", "8-layer"])).is_ok(),
@@ -704,7 +743,7 @@ mod tests {
         assert_eq!(opts.warmup, 10);
         assert_eq!(opts.sample, 100);
         assert_eq!(opts.seed, 7);
-        assert_eq!(opts.shards, Some(2));
+        assert_eq!(opts.shards, Some(ShardArg::Count(2)));
     }
 
     #[test]
@@ -713,6 +752,14 @@ mod tests {
         assert!(parse_options(&args(&["--shards", "zero?"]))
             .unwrap_err()
             .contains("--shards"));
+    }
+
+    #[test]
+    fn shards_auto_parses_on_any_topology() {
+        let opts = parse_options(&args(&["--shards", "AUTO"])).unwrap();
+        assert_eq!(opts.shards, Some(ShardArg::Auto));
+        // 'auto' never fails validation — the builder clamps it.
+        assert!(parse_options(&args(&["--shards", "auto", "--layers", "8"])).is_ok());
     }
 
     #[test]
