@@ -153,6 +153,47 @@ fn main() -> Result<(), Box<dyn Error>> {
     let cps_ideal = ideal_report.cycles as f64 / wall_ideal.max(1e-9);
     let ideal_fabric_speedup = cps_ideal / cps_s1.max(1e-9);
 
+    // Snapshot/resume: pause the same cell at its warmup boundary, time
+    // writing the image and restoring a live system from it, and check
+    // the resumed run still reproduces the sequential report above.
+    eprintln!("# bench: snapshot write + resume");
+    let mut sys = SystemBuilder::new(Scheme::CmpDnuca3d)
+        .seed(42)
+        .warmup_transactions(scale.warmup)
+        .sampled_transactions(scale.sample)
+        .build()?;
+    let mut gen = sys.begin(&sharded_profile);
+    if sys.run_until(&mut gen, scale.warmup)?.is_some() {
+        return Err("warmup stop unexpectedly finished the run".into());
+    }
+    let start = Instant::now();
+    let image = sys.snapshot(&gen)?;
+    let snapshot_write_secs = start.elapsed().as_secs_f64();
+    let snapshot_bytes = image.len();
+    let start = Instant::now();
+    let mut resumed = SystemBuilder::resume_from(&image, None)?;
+    let resume_secs = start.elapsed().as_secs_f64();
+    let resumed_deterministic = format!("{:?}", resumed.finish()?) == seq_debug;
+
+    // Warmup forking: a sweep of N identical cells simulates warmup once
+    // and forks, vs N cold starts. Timed at jobs=1 so the speedup
+    // isolates the shared warmup, not thread-level parallelism.
+    eprintln!("# bench: warmup-forked sweep, 4 duplicate cells");
+    let fork_bench = [sharded_profile.clone()];
+    let fork_specs = [SweepSpec::new(Scheme::CmpDnuca3d, 0); 4];
+    set_jobs_override(Some(1));
+    let start = Instant::now();
+    let forked = run_cells(&fork_bench, scale, &fork_specs)?;
+    let wall_forked = start.elapsed().as_secs_f64();
+    let start = Instant::now();
+    let cold = run_cells(&fork_bench, scale, &fork_specs[..1])?;
+    let wall_cold = start.elapsed().as_secs_f64();
+    set_jobs_override(None);
+    let warmup_fork_speedup = (fork_specs.len() as f64 * wall_cold) / wall_forked.max(1e-9);
+    let fork_deterministic = forked
+        .iter()
+        .all(|r| format!("{r:?}") == format!("{:?}", cold[0]));
+
     let mut json = String::new();
     json.push_str("{\n");
     let _ = writeln!(json, "  \"scale\": \"{scale_name}\",");
@@ -188,6 +229,11 @@ fn main() -> Result<(), Box<dyn Error>> {
         json,
         "  \"ideal_fabric_speedup\": {ideal_fabric_speedup:.3},"
     );
+    let _ = writeln!(json, "  \"snapshot_bytes\": {snapshot_bytes},");
+    let _ = writeln!(json, "  \"snapshot_write_secs\": {snapshot_write_secs:.6},");
+    let _ = writeln!(json, "  \"resume_secs\": {resume_secs:.6},");
+    let _ = writeln!(json, "  \"warmup_fork_speedup\": {warmup_fork_speedup:.3},");
+    let _ = writeln!(json, "  \"fork_deterministic\": {fork_deterministic},");
     // Before/after throughput relative to whatever sweep last wrote this
     // file (absent on a first run).
     if let Some(prev) = prev_cps_1 {
@@ -209,6 +255,12 @@ fn main() -> Result<(), Box<dyn Error>> {
     }
     if !sharded_deterministic {
         return Err("a sharded run diverged from the sequential run".into());
+    }
+    if !resumed_deterministic {
+        return Err("the resumed run diverged from the sequential run".into());
+    }
+    if !fork_deterministic {
+        return Err("a warmup-forked cell diverged from its cold start".into());
     }
     Ok(())
 }

@@ -6,6 +6,7 @@
 //! occupies each slot (data contents are not modelled; only placement and
 //! movement matter for latency/energy).
 
+use nim_types::codec::{ByteReader, ByteWriter, Checkpoint, CodecError};
 use nim_types::LineAddr;
 
 use crate::plru::TreePlru;
@@ -119,6 +120,47 @@ impl Bank {
     /// Number of sets.
     pub fn num_sets(&self) -> u32 {
         self.sets.len() as u32
+    }
+}
+
+impl Checkpoint for Bank {
+    fn save(&self, w: &mut ByteWriter) {
+        w.u32(self.sets.len() as u32);
+        for set in &self.sets {
+            w.u32(set.plru.raw_bits());
+            w.u32(set.lines.len() as u32);
+            // Way-slot positions are load-bearing (lookup and insert walk
+            // them by position), so empty slots are written explicitly.
+            for slot in &set.lines {
+                match slot {
+                    Some(line) => {
+                        w.u8(1);
+                        w.u64(line.0);
+                    }
+                    None => w.u8(0),
+                }
+            }
+        }
+    }
+
+    fn restore(&mut self, r: &mut ByteReader<'_>) -> Result<(), CodecError> {
+        if r.u32()? as usize != self.sets.len() {
+            return Err(CodecError::Corrupt("bank set count mismatch"));
+        }
+        for set in &mut self.sets {
+            set.plru.set_raw_bits(r.u32()?);
+            if r.u32()? as usize != set.lines.len() {
+                return Err(CodecError::Corrupt("bank way count mismatch"));
+            }
+            for slot in &mut set.lines {
+                *slot = match r.u8()? {
+                    0 => None,
+                    1 => Some(LineAddr(r.u64()?)),
+                    _ => return Err(CodecError::Corrupt("bad way slot tag")),
+                };
+            }
+        }
+        Ok(())
     }
 }
 

@@ -19,6 +19,7 @@
 
 use nim_obs::{Category, EventData, Obs};
 use nim_types::addr::L2Map;
+use nim_types::codec::{ByteReader, ByteWriter, Checkpoint, CodecError};
 use nim_types::{ClusterId, FxHashMap, L2Config, LineAddr};
 
 use crate::cluster::Cluster;
@@ -430,6 +431,35 @@ impl NucaL2 {
         self.replicas.values().map(Vec::len).sum()
     }
 
+    /// Saves one line → cluster map, key-sorted for determinism.
+    fn save_line_map(w: &mut ByteWriter, map: &FxHashMap<LineAddr, ClusterId>) {
+        let mut entries: Vec<(LineAddr, ClusterId)> = map.iter().map(|(l, c)| (*l, *c)).collect();
+        entries.sort_unstable_by_key(|(l, _)| *l);
+        w.u32(entries.len() as u32);
+        for (line, cl) in entries {
+            w.u64(line.0);
+            w.u16(cl.0);
+        }
+    }
+
+    fn restore_line_map(
+        r: &mut ByteReader<'_>,
+        clusters: usize,
+    ) -> Result<FxHashMap<LineAddr, ClusterId>, CodecError> {
+        let n = r.u32()? as usize;
+        let mut map = FxHashMap::default();
+        map.reserve(n);
+        for _ in 0..n {
+            let line = LineAddr(r.u64()?);
+            let cl = ClusterId(r.u16()?);
+            if cl.index() >= clusters {
+                return Err(CodecError::Corrupt("cluster id out of range"));
+            }
+            map.insert(line, cl);
+        }
+        Ok(map)
+    }
+
     /// Marks a hit on the copy of `line` held by `cluster` — primary or
     /// replica, whichever that cluster's bank actually contains. Falls
     /// back to touching the primary if the cluster holds no copy (e.g. a
@@ -443,6 +473,70 @@ impl NucaL2 {
         } else {
             self.touch(line).is_some()
         }
+    }
+}
+
+impl Checkpoint for NucaL2 {
+    fn save(&self, w: &mut ByteWriter) {
+        w.u64(self.stats.insertions);
+        w.u64(self.stats.evictions);
+        w.u64(self.stats.migrations);
+        w.u64(self.stats.migrations_aborted);
+        w.u64(self.stats.replicas_created);
+        w.u64(self.stats.replicas_dropped);
+        w.u32(self.clusters.len() as u32);
+        for cluster in &self.clusters {
+            cluster.save(w);
+        }
+        Self::save_line_map(w, &self.resident);
+        Self::save_line_map(w, &self.migrating);
+        // Replica vectors keep their insertion order (swap_remove depends
+        // on it), so entries are key-sorted but each Vec is verbatim.
+        let mut reps: Vec<(&LineAddr, &Vec<ClusterId>)> = self.replicas.iter().collect();
+        reps.sort_unstable_by_key(|(l, _)| **l);
+        w.u32(reps.len() as u32);
+        for (line, clusters) in reps {
+            w.u64(line.0);
+            w.u32(clusters.len() as u32);
+            for cl in clusters {
+                w.u16(cl.0);
+            }
+        }
+    }
+
+    fn restore(&mut self, r: &mut ByteReader<'_>) -> Result<(), CodecError> {
+        self.stats.insertions = r.u64()?;
+        self.stats.evictions = r.u64()?;
+        self.stats.migrations = r.u64()?;
+        self.stats.migrations_aborted = r.u64()?;
+        self.stats.replicas_created = r.u64()?;
+        self.stats.replicas_dropped = r.u64()?;
+        if r.u32()? as usize != self.clusters.len() {
+            return Err(CodecError::Corrupt("L2 cluster count mismatch"));
+        }
+        for cluster in &mut self.clusters {
+            cluster.restore(r)?;
+        }
+        let clusters = self.clusters.len();
+        self.resident = Self::restore_line_map(r, clusters)?;
+        self.migrating = Self::restore_line_map(r, clusters)?;
+        let n = r.u32()? as usize;
+        self.replicas = FxHashMap::default();
+        self.replicas.reserve(n);
+        for _ in 0..n {
+            let line = LineAddr(r.u64()?);
+            let count = r.u32()? as usize;
+            let mut holders = Vec::with_capacity(count.min(clusters));
+            for _ in 0..count {
+                let cl = ClusterId(r.u16()?);
+                if cl.index() >= clusters {
+                    return Err(CodecError::Corrupt("replica cluster out of range"));
+                }
+                holders.push(cl);
+            }
+            self.replicas.insert(line, holders);
+        }
+        Ok(())
     }
 }
 
@@ -684,6 +778,35 @@ mod tests {
             Some(ClusterId(0)),
             "primary copy survives replica eviction"
         );
+    }
+
+    #[test]
+    fn checkpoint_round_trips_residency_migration_and_replicas() {
+        use nim_types::codec::{ByteReader, ByteWriter};
+        let mut a = l2();
+        for cl in 0..8u16 {
+            a.insert(line_in_cluster(cl, 1));
+        }
+        let mover = line_in_cluster(1, 1);
+        a.begin_migration(mover, ClusterId(9)).unwrap();
+        a.add_replica(line_in_cluster(2, 1), ClusterId(11)).unwrap();
+        let mut w = ByteWriter::new();
+        a.save(&mut w);
+        let bytes = w.into_bytes();
+
+        let mut b = l2();
+        b.restore(&mut ByteReader::new(&bytes)).unwrap();
+        assert_eq!(b.stats(), a.stats());
+        assert_eq!(b.occupancy(), a.occupancy());
+        assert_eq!(b.migration_of(mover), Some(ClusterId(9)));
+        assert_eq!(b.replicas_of(line_in_cluster(2, 1)), &[ClusterId(11)]);
+        // Both replicas must behave identically from here on.
+        let out_a = a.commit_migration(mover).unwrap();
+        let out_b = b.commit_migration(mover).unwrap();
+        assert_eq!(out_a, out_b);
+        // Corrupt/truncated bytes are typed errors, not panics.
+        let mut c = l2();
+        assert!(c.restore(&mut ByteReader::new(&bytes[..20])).is_err());
     }
 
     #[test]

@@ -49,6 +49,18 @@ impl TreePlru {
         u32::from(self.ways)
     }
 
+    /// The packed tree bits (snapshot save).
+    #[inline]
+    pub fn raw_bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Overwrites the packed tree bits (snapshot restore).
+    #[inline]
+    pub fn set_raw_bits(&mut self, bits: u32) {
+        self.bits = bits;
+    }
+
     #[inline]
     fn bit(&self, node: u32) -> bool {
         self.bits & (1 << node) != 0

@@ -8,6 +8,7 @@
 //! must generate. Transport and timing belong to `nim-core`.
 
 use nim_obs::{Category, EventData, Obs};
+use nim_types::codec::{ByteReader, ByteWriter, Checkpoint, CodecError};
 use nim_types::{CpuId, FxHashMap, LineAddr};
 
 /// Global coherence state of one line across all L1s.
@@ -291,6 +292,48 @@ impl Directory {
     }
 }
 
+impl Checkpoint for Directory {
+    fn save(&self, w: &mut ByteWriter) {
+        w.u64(self.invalidations_sent);
+        // Key-sorted for deterministic bytes regardless of hash-map
+        // iteration order.
+        let mut lines: Vec<&LineAddr> = self.entries.keys().collect();
+        lines.sort_unstable();
+        w.u32(lines.len() as u32);
+        for line in lines {
+            let e = &self.entries[line];
+            w.u64(line.0);
+            w.u8(match e.state {
+                LineState::Invalid => 0,
+                LineState::Shared => 1,
+                LineState::Exclusive => 2,
+                LineState::Modified => 3,
+            });
+            w.u64(e.sharers);
+        }
+    }
+
+    fn restore(&mut self, r: &mut ByteReader<'_>) -> Result<(), CodecError> {
+        self.invalidations_sent = r.u64()?;
+        let count = r.u32()? as usize;
+        self.entries = FxHashMap::default();
+        self.entries.reserve(count);
+        for _ in 0..count {
+            let line = LineAddr(r.u64()?);
+            let state = match r.u8()? {
+                0 => LineState::Invalid,
+                1 => LineState::Shared,
+                2 => LineState::Exclusive,
+                3 => LineState::Modified,
+                _ => return Err(CodecError::Corrupt("bad line state tag")),
+            };
+            let sharers = r.u64()?;
+            self.entries.insert(line, Entry { state, sharers });
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -454,6 +497,50 @@ mod tests {
             "an Exclusive (clean) copy needs no write-back"
         );
         assert_eq!(d.state(LINE), LineState::Invalid);
+    }
+
+    #[test]
+    fn checkpoint_round_trips_directory_state() {
+        let mut d = dir(WritePolicy::WriteThrough);
+        for c in 0..4 {
+            d.access(CpuId(c), LINE, DirAccess::Read);
+        }
+        d.access(CpuId(0), LINE, DirAccess::Write);
+        d.access(CpuId(1), LineAddr(0x2000), DirAccess::Read);
+
+        let mut w = nim_types::ByteWriter::new();
+        d.save(&mut w);
+        let bytes = w.into_bytes();
+
+        let mut fresh = dir(WritePolicy::WriteThrough);
+        let mut r = nim_types::ByteReader::new(&bytes);
+        fresh.restore(&mut r).unwrap();
+        assert_eq!(r.remaining(), 0);
+        assert_eq!(fresh.invalidations_sent, d.invalidations_sent);
+        assert_eq!(fresh.tracked_lines(), d.tracked_lines());
+        assert_eq!(fresh.state(LINE), d.state(LINE));
+        assert_eq!(fresh.sharers(LINE), d.sharers(LINE));
+        assert_eq!(fresh.state(LineAddr(0x2000)), LineState::Shared);
+        fresh.check_invariants().unwrap();
+
+        // Saving the restored copy reproduces the same bytes.
+        let mut w2 = nim_types::ByteWriter::new();
+        fresh.save(&mut w2);
+        assert_eq!(w2.into_bytes(), bytes);
+    }
+
+    #[test]
+    fn checkpoint_rejects_bad_state_tag() {
+        let mut d = dir(WritePolicy::WriteThrough);
+        d.access(CpuId(0), LINE, DirAccess::Read);
+        let mut w = nim_types::ByteWriter::new();
+        d.save(&mut w);
+        let mut bytes = w.into_bytes();
+        // invalidations (8) + count (4) + line (8) → state tag at byte 20.
+        bytes[20] = 0xee;
+        let mut fresh = dir(WritePolicy::WriteThrough);
+        let mut r = nim_types::ByteReader::new(&bytes);
+        assert!(fresh.restore(&mut r).is_err());
     }
 
     #[test]

@@ -391,6 +391,13 @@ impl SystemBuilder {
             skip: self.skip,
             sharded,
             obs: self.obs,
+            knobs: crate::system::RebuildKnobs {
+                vicinity_stop: self.vicinity_stop,
+                replication: self.replication,
+                edge_memory: self.edge_memory,
+                fabric: self.fabric,
+            },
+            progress: None,
         })
     }
 }

@@ -81,6 +81,80 @@ impl fmt::Display for RunError {
 
 impl Error for RunError {}
 
+/// Error taking or restoring a simulator snapshot.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// [`System::snapshot`](crate::System::snapshot) was called with no
+    /// run in progress — there is no mid-flight state to capture.
+    NoRunInProgress,
+    /// The clock does not sit on an epoch boundary (sampling is on and
+    /// no sample row was recorded at the current cycle). Pause the run
+    /// with [`System::run_until`](crate::System::run_until), which
+    /// stops only at legal boundaries.
+    NotEpochBoundary {
+        /// The illegal cycle at which the snapshot was attempted.
+        cycle: u64,
+    },
+    /// The snapshot bytes are malformed: truncated, version-skewed, or
+    /// inconsistent with the recorded configuration.
+    Codec(nim_types::codec::CodecError),
+    /// Reading or writing the snapshot file failed.
+    Io(String),
+    /// The recorded configuration no longer builds (e.g. the snapshot
+    /// was edited, or geometry validation rules changed).
+    Build(BuildError),
+    /// The snapshot names a benchmark this binary does not know.
+    UnknownBenchmark(String),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::NoRunInProgress => {
+                write!(f, "no run in progress: nothing to snapshot")
+            }
+            SnapshotError::NotEpochBoundary { cycle } => write!(
+                f,
+                "cycle {cycle} is not an epoch boundary; pause with run_until first"
+            ),
+            SnapshotError::Codec(e) => write!(f, "malformed snapshot: {e}"),
+            SnapshotError::Io(e) => write!(f, "snapshot I/O failed: {e}"),
+            SnapshotError::Build(e) => write!(f, "snapshot configuration does not build: {e}"),
+            SnapshotError::UnknownBenchmark(name) => {
+                write!(f, "snapshot names unknown benchmark '{name}'")
+            }
+        }
+    }
+}
+
+impl Error for SnapshotError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SnapshotError::Codec(e) => Some(e),
+            SnapshotError::Build(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<nim_types::codec::CodecError> for SnapshotError {
+    fn from(e: nim_types::codec::CodecError) -> Self {
+        SnapshotError::Codec(e)
+    }
+}
+
+impl From<BuildError> for SnapshotError {
+    fn from(e: BuildError) -> Self {
+        SnapshotError::Build(e)
+    }
+}
+
+impl From<std::io::Error> for SnapshotError {
+    fn from(e: std::io::Error) -> Self {
+        SnapshotError::Io(e.to_string())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -94,5 +168,9 @@ mod tests {
             completed: 3,
         };
         assert!(e.to_string().contains("cycle 10"));
+        let e = SnapshotError::NotEpochBoundary { cycle: 77 };
+        assert!(e.to_string().contains("cycle 77"));
+        let e = SnapshotError::from(nim_types::codec::CodecError::BadMagic);
+        assert!(e.source().is_some());
     }
 }

@@ -34,7 +34,7 @@ use nim_types::{PillarPlacement, SystemConfig};
 use nim_workload::BenchmarkProfile;
 
 use crate::builder::SystemBuilder;
-use crate::error::{BuildError, RunError};
+use crate::error::{BuildError, RunError, SnapshotError};
 use crate::fabric::FabricKind;
 use crate::parallel::par_map;
 use crate::report::RunReport;
@@ -47,6 +47,8 @@ pub enum ExperimentError {
     Build(BuildError),
     /// A run failed.
     Run(RunError),
+    /// A warmup-fork image failed to capture or restore.
+    Snapshot(SnapshotError),
 }
 
 impl fmt::Display for ExperimentError {
@@ -54,6 +56,7 @@ impl fmt::Display for ExperimentError {
         match self {
             ExperimentError::Build(e) => write!(f, "build: {e}"),
             ExperimentError::Run(e) => write!(f, "run: {e}"),
+            ExperimentError::Snapshot(e) => write!(f, "warmup fork: {e}"),
         }
     }
 }
@@ -63,6 +66,7 @@ impl Error for ExperimentError {
         match self {
             ExperimentError::Build(e) => Some(e),
             ExperimentError::Run(e) => Some(e),
+            ExperimentError::Snapshot(e) => Some(e),
         }
     }
 }
@@ -76,6 +80,12 @@ impl From<BuildError> for ExperimentError {
 impl From<RunError> for ExperimentError {
     fn from(e: RunError) -> Self {
         ExperimentError::Run(e)
+    }
+}
+
+impl From<SnapshotError> for ExperimentError {
+    fn from(e: SnapshotError) -> Self {
+        ExperimentError::Snapshot(e)
     }
 }
 
@@ -110,20 +120,6 @@ impl ExperimentScale {
             sample: 1_500,
         }
     }
-}
-
-fn run_one(
-    scheme: Scheme,
-    bench: &BenchmarkProfile,
-    scale: ExperimentScale,
-    tweak: impl FnOnce(SystemBuilder) -> SystemBuilder,
-) -> Result<RunReport, ExperimentError> {
-    let builder = SystemBuilder::new(scheme)
-        .seed(scale.seed)
-        .warmup_transactions(scale.warmup)
-        .sampled_transactions(scale.sample);
-    let mut system = tweak(builder).build()?;
-    Ok(system.run(bench)?)
 }
 
 // ---------------------------------------------------------------------------
@@ -178,23 +174,46 @@ impl SweepSpec {
         self
     }
 
+    /// The builder for this cell's system.
+    fn builder(&self, scale: ExperimentScale) -> SystemBuilder {
+        let mut b = SystemBuilder::new(self.scheme)
+            .seed(scale.seed)
+            .warmup_transactions(scale.warmup)
+            .sampled_transactions(scale.sample);
+        if let Some(l) = self.layers {
+            b = b.layers(l);
+        }
+        if let Some(p) = self.pillars {
+            b = b.pillars(p);
+        }
+        if let Some(f) = self.l2_scale {
+            b = b.l2_scale(f);
+        }
+        b
+    }
+
     fn run(
         &self,
         benchmarks: &[BenchmarkProfile],
         scale: ExperimentScale,
     ) -> Result<RunReport, ExperimentError> {
-        run_one(self.scheme, &benchmarks[self.benchmark], scale, |mut b| {
-            if let Some(l) = self.layers {
-                b = b.layers(l);
-            }
-            if let Some(p) = self.pillars {
-                b = b.pillars(p);
-            }
-            if let Some(f) = self.l2_scale {
-                b = b.l2_scale(f);
-            }
-            b
-        })
+        let mut system = self.builder(scale).build()?;
+        Ok(system.run(&benchmarks[self.benchmark])?)
+    }
+
+    /// Simulates this cell's warmup once and snapshots at the boundary:
+    /// the shared image every duplicate cell forks from.
+    fn warmup_image(
+        &self,
+        benchmarks: &[BenchmarkProfile],
+        scale: ExperimentScale,
+    ) -> Result<Vec<u8>, ExperimentError> {
+        let mut system = self.builder(scale).build()?;
+        let mut gen = system.begin(&benchmarks[self.benchmark]);
+        match system.run_until(&mut gen, scale.warmup)? {
+            None => Ok(system.snapshot(&gen)?),
+            Some(_) => unreachable!("warmup stop is below the sampling target"),
+        }
     }
 }
 
@@ -203,12 +222,46 @@ impl SweepSpec {
 /// ordering (and, because each cell is a seeded, self-contained
 /// simulation, every value) is bit-identical to running the cells
 /// sequentially, for any thread count.
+///
+/// Cells with *identical* specs replay the exact same warmup
+/// trajectory, so they are warmup-forked: one leader per duplicate
+/// group simulates warmup once, snapshots at the boundary
+/// ([`crate::System::snapshot`]), and every member resumes from the
+/// shared image — bit-identical to a cold start by the
+/// snapshot-equivalence invariant, while paying for warmup once per
+/// group instead of once per cell.
 pub fn run_cells_raw(
     benchmarks: &[BenchmarkProfile],
     scale: ExperimentScale,
     specs: &[SweepSpec],
 ) -> Vec<Result<RunReport, ExperimentError>> {
-    par_map(specs, |_, spec| spec.run(benchmarks, scale))
+    // Group duplicates under their first occurrence.
+    let leader_of: Vec<usize> = specs
+        .iter()
+        .map(|spec| specs.iter().position(|s| s == spec).expect("self"))
+        .collect();
+    let mut group_size = vec![0usize; specs.len()];
+    for &l in &leader_of {
+        group_size[l] += 1;
+    }
+    // Forking needs a warmup phase to share and a sampling phase to
+    // diverge into; otherwise every cell just runs cold.
+    let forkable = scale.warmup > 0 && scale.sample > 0;
+    let leaders: Vec<usize> = (0..specs.len())
+        .filter(|&i| forkable && leader_of[i] == i && group_size[i] > 1)
+        .collect();
+    let images: Vec<Result<Vec<u8>, ExperimentError>> =
+        par_map(&leaders, |_, &i| specs[i].warmup_image(benchmarks, scale));
+    let image_of: std::collections::HashMap<usize, &Result<Vec<u8>, ExperimentError>> =
+        leaders.iter().copied().zip(images.iter()).collect();
+    par_map(specs, |i, spec| match image_of.get(&leader_of[i]) {
+        Some(Ok(image)) => {
+            let mut resumed = SystemBuilder::resume_from(image, None)?;
+            Ok(resumed.finish()?)
+        }
+        Some(Err(e)) => Err(e.clone()),
+        None => spec.run(benchmarks, scale),
+    })
 }
 
 /// Like [`run_cells_raw`], but fails with the first (in cell order)

@@ -24,6 +24,7 @@ use std::collections::BinaryHeap;
 use nim_noc::{zero_load_path, Network, SendRequest};
 use nim_obs::{Category, EventData, Obs};
 use nim_topology::{MeshTopology, Topology};
+use nim_types::codec::{ByteReader, ByteWriter, Checkpoint, CodecError};
 use nim_types::{ClusterId, Coord, Cycle, NetworkConfig, PacketId, PillarId};
 
 use crate::timing::{Banks, MemoryChannels, TagArrays};
@@ -331,6 +332,81 @@ impl SimFabric {
                 bus_wait,
             },
         }));
+    }
+}
+
+impl Checkpoint for SimFabric {
+    fn save(&self, w: &mut ByteWriter) {
+        self.net.save(w);
+        // The heaps iterate in arbitrary order; sort by the unique
+        // (due, seq) key for a canonical encoding.
+        let mut evs: Vec<(u64, u64, TimedEvent)> =
+            self.events.iter().map(|Reverse(t)| *t).collect();
+        evs.sort_unstable_by_key(|&(due, seq, _)| (due, seq));
+        w.u32(evs.len() as u32);
+        for (due, seq, ev) in &evs {
+            w.u64(*due);
+            w.u64(*seq);
+            ev.save(w);
+        }
+        w.u64(self.next_seq);
+        match &self.model {
+            None => w.u8(0),
+            Some(m) => {
+                w.u8(1);
+                w.u64_slice(&m.ready_at);
+            }
+        }
+        let mut modeled: Vec<&Modeled> = self.modeled.iter().map(|Reverse(m)| m).collect();
+        modeled.sort_unstable_by_key(|m| (m.due, m.seq));
+        w.u32(modeled.len() as u32);
+        for m in modeled {
+            w.u64(m.due);
+            w.u64(m.seq);
+            m.delivery.save(w);
+        }
+        w.u64(self.modeled_seq);
+        self.tags.save(w);
+        self.banks.save(w);
+        self.memory.save(w);
+    }
+
+    fn restore(&mut self, r: &mut ByteReader<'_>) -> Result<(), CodecError> {
+        self.net.restore(r)?;
+        self.events.clear();
+        for _ in 0..r.u32()? {
+            let due = r.u64()?;
+            let seq = r.u64()?;
+            self.events
+                .push(Reverse((due, seq, TimedEvent::restore(r)?)));
+        }
+        self.next_seq = r.u64()?;
+        match (r.u8()?, &mut self.model) {
+            (0, None) => {}
+            (1, Some(m)) => {
+                let ready = r.u64_vec()?;
+                if ready.len() != m.ready_at.len() {
+                    return Err(CodecError::Corrupt("fabric model mismatch"));
+                }
+                m.ready_at = ready;
+            }
+            (0 | 1, _) => return Err(CodecError::Corrupt("fabric model mismatch")),
+            _ => return Err(CodecError::Corrupt("bad fabric model tag")),
+        }
+        self.modeled.clear();
+        for _ in 0..r.u32()? {
+            let due = r.u64()?;
+            let seq = r.u64()?;
+            self.modeled.push(Reverse(Modeled {
+                due,
+                seq,
+                delivery: Delivered::restore(r)?,
+            }));
+        }
+        self.modeled_seq = r.u64()?;
+        self.tags.restore(r)?;
+        self.banks.restore(r)?;
+        self.memory.restore(r)
     }
 }
 

@@ -44,15 +44,17 @@ mod policy;
 mod protocol;
 mod report;
 mod scheme;
+mod snapshot;
 mod system;
 mod timing;
 mod token;
 mod txn;
 
 pub use builder::SystemBuilder;
-pub use error::{BuildError, RunError};
+pub use error::{BuildError, RunError, SnapshotError};
 pub use fabric::FabricKind;
 pub use report::{Counters, RunReport};
 pub use scheme::Scheme;
+pub use snapshot::ResumedRun;
 pub use system::System;
 pub use txn::Phase;

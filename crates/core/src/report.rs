@@ -2,6 +2,7 @@
 
 use nim_noc::NetworkStats;
 use nim_power::{ActivityCounts, EnergyBreakdown, EnergyModel};
+use nim_types::codec::{ByteReader, ByteWriter, Checkpoint, CodecError};
 
 use crate::scheme::Scheme;
 
@@ -98,6 +99,80 @@ impl Counters {
             self.l2_service_cycles,
             self.mem_wait_cycles,
         ]
+    }
+
+    /// Every counter in declaration order — the single place that fixes
+    /// the field enumeration shared by the snapshot codec and
+    /// [`RunReport::fingerprint`]. Adding a `Counters` field means
+    /// extending this array (the compiler enforces the length).
+    pub fn as_array(&self) -> [u64; 21] {
+        [
+            self.l2_transactions,
+            self.l2_hits,
+            self.l2_misses,
+            self.hit_latency_sum,
+            self.miss_latency_sum,
+            self.migrations,
+            self.bank_accesses,
+            self.tag_accesses,
+            self.invalidations,
+            self.l2_evictions,
+            self.search_retries,
+            self.step1_hits,
+            self.step2_hits,
+            self.step1_latency_sum,
+            self.step2_latency_sum,
+            self.replicas_created,
+            self.noc_hop_cycles,
+            self.pillar_wait_cycles,
+            self.resource_queue_cycles,
+            self.l2_service_cycles,
+            self.mem_wait_cycles,
+        ]
+    }
+
+    /// Rebuilds counters from [`Counters::as_array`] order.
+    pub fn from_array(v: [u64; 21]) -> Counters {
+        Counters {
+            l2_transactions: v[0],
+            l2_hits: v[1],
+            l2_misses: v[2],
+            hit_latency_sum: v[3],
+            miss_latency_sum: v[4],
+            migrations: v[5],
+            bank_accesses: v[6],
+            tag_accesses: v[7],
+            invalidations: v[8],
+            l2_evictions: v[9],
+            search_retries: v[10],
+            step1_hits: v[11],
+            step2_hits: v[12],
+            step1_latency_sum: v[13],
+            step2_latency_sum: v[14],
+            replicas_created: v[15],
+            noc_hop_cycles: v[16],
+            pillar_wait_cycles: v[17],
+            resource_queue_cycles: v[18],
+            l2_service_cycles: v[19],
+            mem_wait_cycles: v[20],
+        }
+    }
+}
+
+impl Checkpoint for Counters {
+    fn save(&self, w: &mut ByteWriter) {
+        for v in self.as_array() {
+            w.u64(v);
+        }
+    }
+
+    fn restore(&mut self, r: &mut ByteReader<'_>) -> Result<(), CodecError> {
+        let mut v = [0u64; 21];
+        for slot in &mut v {
+            *slot = r.u64()?;
+        }
+        *self = Counters::from_array(v);
+        Ok(())
     }
 }
 
@@ -208,15 +283,53 @@ impl RunReport {
     }
 
     /// A stable 64-bit digest of everything a run can disagree on —
-    /// every counter, every latency sum, the network statistics — via
-    /// [`nim_types::FxHasher`] (not SipHash, so the value is identical
-    /// across platforms and toolchains). Two runs of the same cell must
-    /// produce the same fingerprint; the `scale` experiment and the CI
-    /// topology/shards matrix gate on it.
+    /// every counter, every latency sum, the full network statistics —
+    /// hashed field by field via [`nim_types::FxHasher`] (not SipHash,
+    /// so the value is identical across platforms and toolchains, and
+    /// not `Debug`-formatted, so cosmetic formatting changes cannot
+    /// shift it). Two runs of the same cell must produce the same
+    /// fingerprint; the `scale` experiment, the snapshot-equivalence
+    /// suite, and the CI topology/shards matrix gate on it.
     pub fn fingerprint(&self) -> u64 {
         use std::hash::Hasher as _;
         let mut h = nim_types::FxHasher::default();
-        h.write(format!("{self:?}").as_bytes());
+        h.write(self.scheme.label().as_bytes());
+        h.write_u8(0xff);
+        h.write(self.benchmark.as_bytes());
+        h.write_u8(0xff);
+        h.write_u64(self.cycles);
+        h.write_u64(self.instructions);
+        h.write_u32(self.num_cpus);
+        for v in self.counters.as_array() {
+            h.write_u64(v);
+        }
+        let n = &self.network;
+        for v in [
+            n.packets_sent,
+            n.packets_delivered,
+            n.total_latency,
+            n.max_latency,
+            n.total_hops,
+            n.flit_hops,
+        ] {
+            h.write_u64(v);
+        }
+        for arr in [
+            &n.flit_hops_by_class,
+            &n.delivered_by_class,
+            &n.latency_by_class,
+        ] {
+            for &v in arr {
+                h.write_u64(v);
+            }
+        }
+        h.write_u64(n.bus_transfers);
+        h.write_u64(n.switch_contention);
+        for &b in n.latency_histogram.buckets() {
+            h.write_u64(b);
+        }
+        h.write_u64(self.bus_transfers);
+        h.write_u64(self.bus_contention_cycles);
         h.finish()
     }
 }
@@ -292,6 +405,64 @@ mod tests {
         assert_eq!(d.l2_transactions, 5);
         assert_eq!(d.hit_latency_sum, 100);
         assert_eq!(d.migrations, 0);
+    }
+
+    #[test]
+    fn counters_checkpoint_round_trips() {
+        let a = report().counters;
+        let mut w = ByteWriter::new();
+        a.save(&mut w);
+        let bytes = w.into_bytes();
+        let mut b = Counters::default();
+        let mut r = ByteReader::new(&bytes);
+        b.restore(&mut r).unwrap();
+        assert_eq!(r.remaining(), 0);
+        assert_eq!(a, b);
+        // Truncated bytes error instead of panicking.
+        let mut r = ByteReader::new(&bytes[..bytes.len() - 1]);
+        assert!(Counters::default().restore(&mut r).is_err());
+    }
+
+    /// Pins the fingerprint of a fully populated report to a golden
+    /// value. The fingerprint is a cross-run contract (CI matrices and
+    /// snapshot-equivalence gate on it), so any change to the hashed
+    /// field set or their order must be deliberate — update the
+    /// constant only when the fingerprint definition itself changes.
+    #[test]
+    fn fingerprint_matches_the_pinned_golden_value() {
+        let mut r = report();
+        r.network.packets_sent = 12;
+        r.network.packets_delivered = 11;
+        r.network.total_latency = 340;
+        r.network.max_latency = 77;
+        r.network.total_hops = 56;
+        r.network.flit_hops = 200;
+        r.network.flit_hops_by_class = [50, 60, 70, 20];
+        r.network.delivered_by_class = [3, 4, 3, 1];
+        r.network.latency_by_class = [90, 100, 110, 40];
+        r.network.bus_transfers = 9;
+        r.network.switch_contention = 2;
+        r.network.latency_histogram.record(33);
+        assert_eq!(r.fingerprint(), GOLDEN_FINGERPRINT);
+    }
+
+    const GOLDEN_FINGERPRINT: u64 = 17883867597365377399;
+
+    #[test]
+    fn fingerprint_distinguishes_every_hashed_field() {
+        let base = report().fingerprint();
+        let mut r = report();
+        r.counters.mem_wait_cycles += 1;
+        assert_ne!(r.fingerprint(), base);
+        let mut r = report();
+        r.network.latency_histogram.record(5);
+        assert_ne!(r.fingerprint(), base);
+        let mut r = report();
+        r.bus_contention_cycles += 1;
+        assert_ne!(r.fingerprint(), base);
+        let mut r = report();
+        r.benchmark.push('x');
+        assert_ne!(r.fingerprint(), base);
     }
 
     #[test]

@@ -61,6 +61,37 @@ const SAMPLE_COUNTERS: [&str; 10] = [
     "phase/mem_wait",
 ];
 
+/// Builder knobs a running [`System`] cannot reconstruct from its built
+/// state — carried so a snapshot records the exact build recipe and
+/// [`SystemBuilder::resume`](crate::SystemBuilder::resume) can rebuild
+/// an identical system before restoring live state into it.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct RebuildKnobs {
+    pub(crate) vicinity_stop: bool,
+    pub(crate) replication: bool,
+    pub(crate) edge_memory: bool,
+    pub(crate) fabric: crate::fabric::FabricKind,
+}
+
+/// The loop-carried bookkeeping of a run in flight, hoisted out of
+/// `run_with_source`'s locals so a run can pause at an epoch boundary,
+/// be serialized, and continue in another process exactly where it
+/// left off.
+#[derive(Clone, Debug)]
+pub(crate) struct RunProgress {
+    /// Benchmark name the eventual [`RunReport`] carries.
+    pub(crate) benchmark: String,
+    /// Whether the warm-up target has been passed.
+    pub(crate) warmed: bool,
+    /// Counter/cycle/instruction baselines at the start of the
+    /// measurement window (`None` until warmed).
+    pub(crate) window_start: Option<(Counters, u64, u64)>,
+    /// Cycle of the last completed transaction (watchdog anchor).
+    pub(crate) last_progress: u64,
+    /// Transaction count at `last_progress`.
+    pub(crate) last_count: u64,
+}
+
 /// The assembled chip multiprocessor.
 #[derive(Debug)]
 pub struct System {
@@ -85,6 +116,11 @@ pub struct System {
     /// the multi-threaded window path in the run loop.
     pub(crate) sharded: bool,
     pub(crate) obs: Obs,
+    /// Build-recipe knobs recorded for snapshots (see [`RebuildKnobs`]).
+    pub(crate) knobs: RebuildKnobs,
+    /// The paused/running state of an in-flight run (`None` between
+    /// runs). [`System::snapshot`](crate::System::snapshot) requires it.
+    pub(crate) progress: Option<RunProgress>,
 }
 
 impl System {
@@ -135,11 +171,104 @@ impl System {
     /// Returns [`RunError::Stalled`] if the system makes no forward
     /// progress (a protocol bug — should never happen).
     pub fn run(&mut self, profile: &BenchmarkProfile) -> Result<RunReport, RunError> {
+        let mut gen = self.begin(profile);
+        match self.advance(&mut gen, None) {
+            Ok(_) => Ok(self.finish_report()),
+            Err(e) => {
+                self.progress = None;
+                Err(e)
+            }
+        }
+    }
+
+    /// Starts a run of `profile` without driving it: pre-warms the L2
+    /// (if configured), arms the run bookkeeping, and returns the
+    /// deterministic reference generator. Drive the run with
+    /// [`System::run_until`] — the split exists so a caller can pause
+    /// at an epoch boundary and [`System::snapshot`](crate::System)
+    /// the whole simulator mid-flight.
+    pub fn begin(&mut self, profile: &BenchmarkProfile) -> TraceGenerator {
         if self.prewarm && self.engine.l2.occupancy() == 0 {
             self.engine.prewarm(profile);
         }
-        let mut gen = TraceGenerator::new(profile, self.cfg.num_cpus, self.seed);
-        self.run_with_source(profile.name, &mut gen)
+        self.begin_run(profile.name);
+        TraceGenerator::new(profile, self.cfg.num_cpus, self.seed)
+    }
+
+    /// Drives a begun run until at least `stop_after` transactions have
+    /// completed *and* the clock sits on a legal snapshot point (an
+    /// epoch boundary when sampling is on), or to completion, whichever
+    /// comes first. Returns `Some(report)` when the run finished, and
+    /// `None` when it paused — the system is then snapshot-legal.
+    ///
+    /// While a pause is pending the loop suppresses horizon skipping
+    /// and shard windows and ticks cycle by cycle (bit-identical by the
+    /// skip-equivalence invariant), so the boundary cycle is reached
+    /// and sampled exactly as the uninterrupted loop would.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError::Stalled`] exactly like [`System::run`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if no run is in progress (call [`System::begin`] first,
+    /// or resume from a snapshot).
+    pub fn run_until(
+        &mut self,
+        source: &mut dyn TraceSource,
+        stop_after: u64,
+    ) -> Result<Option<RunReport>, RunError> {
+        match self.advance(source, Some(stop_after)) {
+            Ok(true) => Ok(Some(self.finish_report())),
+            Ok(false) => Ok(None),
+            Err(e) => {
+                self.progress = None;
+                Err(e)
+            }
+        }
+    }
+
+    /// Arms the run bookkeeping for a fresh run.
+    pub(crate) fn begin_run(&mut self, benchmark: &str) {
+        let warmed = self.warmup == 0;
+        let window_start = if warmed {
+            Some((
+                self.engine.counters,
+                self.fabric.net.now().0,
+                self.total_instructions(),
+            ))
+        } else {
+            None
+        };
+        self.progress = Some(RunProgress {
+            benchmark: benchmark.to_string(),
+            warmed,
+            window_start,
+            last_progress: self.fabric.net.now().0,
+            last_count: self.engine.counters.l2_transactions,
+        });
+    }
+
+    /// Builds the report for a completed run and clears the run state.
+    pub(crate) fn finish_report(&mut self) -> RunReport {
+        let p = self.progress.take().expect("run in progress");
+        let (start_counters, start_cycle, start_instr) =
+            p.window_start.expect("sampling window started");
+        let mut bus = Vec::new();
+        self.fabric.net.bus_stats_into(&mut bus);
+        self.publish_obs_metrics(&bus);
+        RunReport {
+            scheme: self.scheme,
+            benchmark: p.benchmark,
+            cycles: self.fabric.net.now().0 - start_cycle,
+            instructions: self.total_instructions() - start_instr,
+            num_cpus: self.cfg.num_cpus,
+            counters: self.engine.counters.minus(&start_counters),
+            network: self.fabric.net.stats().clone(),
+            bus_transfers: bus.iter().map(|b| b.transfers).sum(),
+            bus_contention_cycles: bus.iter().map(|b| b.contention_cycles).sum(),
+        }
     }
 
     /// Runs the simulation from an arbitrary reference source — a
@@ -159,19 +288,32 @@ impl System {
         benchmark: &str,
         source: &mut dyn TraceSource,
     ) -> Result<RunReport, RunError> {
+        self.begin_run(benchmark);
+        match self.advance(source, None) {
+            Ok(_) => Ok(self.finish_report()),
+            Err(e) => {
+                self.progress = None;
+                Err(e)
+            }
+        }
+    }
+
+    /// The driver loop. Advances the simulation until the sampling
+    /// target is reached (returns `Ok(true)`), or — with `stop_after`
+    /// set — until at least that many transactions have completed *and*
+    /// the clock sits on a snapshot-legal cycle (returns `Ok(false)`).
+    /// The loop-carried bookkeeping lives in [`RunProgress`], so a
+    /// paused run serializes and continues bit-identically.
+    pub(crate) fn advance(
+        &mut self,
+        source: &mut dyn TraceSource,
+        stop_after: Option<u64>,
+    ) -> Result<bool, RunError> {
         let target = self.warmup + self.sample;
-        let mut warmed = self.warmup == 0;
-        let mut window_start: Option<(Counters, u64, u64)> = if warmed {
-            Some((
-                self.engine.counters,
-                self.fabric.net.now().0,
-                self.total_instructions(),
-            ))
-        } else {
-            None
+        let (mut warmed, mut window_start, mut last_progress, mut last_count) = {
+            let p = self.progress.as_ref().expect("run in progress");
+            (p.warmed, p.window_start, p.last_progress, p.last_count)
         };
-        let mut last_progress = self.fabric.net.now().0;
-        let mut last_count = self.engine.counters.l2_transactions;
         // Double-buffered delivery hand-off: the network drains into
         // `incoming`, which is then swapped with `serving` before the
         // engine consumes it. The network never appends to the list the
@@ -180,7 +322,25 @@ impl System {
         // in deterministic (cycle, shard-order) sequence either way.
         let mut incoming = Vec::new();
         let mut serving: Vec<nim_noc::Delivered> = Vec::new();
-        while self.engine.counters.l2_transactions < target {
+        // Set once `stop_after` is reached: skipping is suppressed (per-
+        // cycle ticking is bit-identical by the skip-equivalence
+        // invariant) so the next epoch boundary is ticked and sampled
+        // exactly, making it a legal snapshot point.
+        let mut stopping = false;
+        let result = loop {
+            if self.engine.counters.l2_transactions >= target {
+                break Ok(true);
+            }
+            if let Some(stop) = stop_after {
+                if self.engine.counters.l2_transactions >= stop {
+                    stopping = true;
+                    if self.obs.sample_every() == 0
+                        || self.obs.last_sample_cycle() == Some(self.fabric.net.now().0)
+                    {
+                        break Ok(false);
+                    }
+                }
+            }
             // A dried-up trace (every core halted) with nothing in flight
             // can never make progress; report it without spinning the
             // watchdog out.
@@ -190,20 +350,22 @@ impl System {
                 && self.engine.txns.is_empty()
                 && self.engine.cores.iter().all(InOrderCore::is_halted)
             {
-                return Err(RunError::Stalled {
+                break Err(RunError::Stalled {
                     cycle: self.fabric.net.now().0,
                     completed: self.engine.counters.l2_transactions,
                 });
             }
             if self.fabric.net.now().0 - last_progress > WATCHDOG_CYCLES {
-                return Err(RunError::Stalled {
+                break Err(RunError::Stalled {
                     cycle: self.fabric.net.now().0,
                     completed: self.engine.counters.l2_transactions,
                 });
             }
-            self.try_fast_forward();
-            if self.sharded {
-                self.try_shard_window();
+            if !stopping {
+                self.try_fast_forward();
+                if self.sharded {
+                    self.try_shard_window();
+                }
             }
             self.fabric.net.tick();
             let now = self.fabric.net.now();
@@ -253,23 +415,14 @@ impl System {
                 warmed = true;
                 window_start = Some((self.engine.counters, now.0, self.total_instructions()));
             }
+        };
+        if let Some(p) = self.progress.as_mut() {
+            p.warmed = warmed;
+            p.window_start = window_start;
+            p.last_progress = last_progress;
+            p.last_count = last_count;
         }
-        let (start_counters, start_cycle, start_instr) =
-            window_start.expect("sampling window started");
-        let mut bus = Vec::new();
-        self.fabric.net.bus_stats_into(&mut bus);
-        self.publish_obs_metrics(&bus);
-        Ok(RunReport {
-            scheme: self.scheme,
-            benchmark: benchmark.to_string(),
-            cycles: self.fabric.net.now().0 - start_cycle,
-            instructions: self.total_instructions() - start_instr,
-            num_cpus: self.cfg.num_cpus,
-            counters: self.engine.counters.minus(&start_counters),
-            network: self.fabric.net.stats().clone(),
-            bus_transfers: bus.iter().map(|b| b.transfers).sum(),
-            bus_contention_cycles: bus.iter().map(|b| b.contention_cycles).sum(),
-        })
+        result
     }
 
     fn total_instructions(&self) -> u64 {

@@ -13,7 +13,23 @@
 //! [`SimFabric`]: crate::fabric::SimFabric
 //! [`Fabric`]: crate::fabric::Fabric
 
+use nim_types::codec::{ByteReader, ByteWriter, Checkpoint, CodecError};
 use nim_types::{ClusterId, Cycle};
+
+/// Restores one busy-until style table in place, validating that the
+/// snapshot was taken on a same-shaped resource.
+fn restore_table(
+    dst: &mut Vec<u64>,
+    r: &mut ByteReader<'_>,
+    what: &'static str,
+) -> Result<(), CodecError> {
+    let v = r.u64_vec()?;
+    if v.len() != dst.len() {
+        return Err(CodecError::Corrupt(what));
+    }
+    *dst = v;
+    Ok(())
+}
 
 /// Cycles between successive probe initiations at one (pipelined) tag
 /// array — concurrent searches crowding a cluster's tag array queue up.
@@ -76,6 +92,16 @@ impl TagArrays {
     }
 }
 
+impl Checkpoint for TagArrays {
+    fn save(&self, w: &mut ByteWriter) {
+        w.u64_slice(&self.busy);
+    }
+
+    fn restore(&mut self, r: &mut ByteReader<'_>) -> Result<(), CodecError> {
+        restore_table(&mut self.busy, r, "tag array count mismatch")
+    }
+}
+
 /// The SRAM data banks: one access at a time, node-indexed. Also keeps
 /// the per-bank access census that drives activity-based power and
 /// thermal analysis.
@@ -119,6 +145,18 @@ impl Banks {
     }
 }
 
+impl Checkpoint for Banks {
+    fn save(&self, w: &mut ByteWriter) {
+        w.u64_slice(&self.busy);
+        w.u64_slice(&self.access_counts);
+    }
+
+    fn restore(&mut self, r: &mut ByteReader<'_>) -> Result<(), CodecError> {
+        restore_table(&mut self.busy, r, "bank count mismatch")?;
+        restore_table(&mut self.access_counts, r, "bank census count mismatch")
+    }
+}
+
 /// The memory controllers' DRAM channels: each accepts a new request
 /// every `interval` cycles (channel bandwidth) and answers `latency`
 /// cycles after the request is accepted.
@@ -150,6 +188,16 @@ impl MemoryChannels {
             queue: start - now.0,
             service: self.latency,
         }
+    }
+}
+
+impl Checkpoint for MemoryChannels {
+    fn save(&self, w: &mut ByteWriter) {
+        w.u64_slice(&self.ready);
+    }
+
+    fn restore(&mut self, r: &mut ByteReader<'_>) -> Result<(), CodecError> {
+        restore_table(&mut self.ready, r, "memory controller count mismatch")
     }
 }
 
@@ -189,6 +237,45 @@ mod tests {
         assert_eq!(banks.access_counts(), &[2, 1]);
         // After the backlog drains the bank answers at full speed again.
         assert_eq!(banks.claim(0, Cycle(10)), delay(0, 5));
+    }
+
+    #[test]
+    fn checkpoints_restore_schedules_and_reject_shape_mismatches() {
+        let mut banks = Banks::new(2, 5);
+        banks.claim(0, Cycle(0));
+        banks.claim(0, Cycle(0));
+        banks.claim(1, Cycle(3));
+        let mut w = ByteWriter::new();
+        banks.save(&mut w);
+        let bytes = w.into_bytes();
+        let mut restored = Banks::new(2, 5);
+        restored.restore(&mut ByteReader::new(&bytes)).unwrap();
+        assert_eq!(restored.busy, banks.busy);
+        assert_eq!(restored.access_counts(), banks.access_counts());
+        // A same-cycle claim on the restored banks queues identically.
+        assert_eq!(restored.claim(0, Cycle(0)), banks.claim(0, Cycle(0)));
+        let mut wrong = Banks::new(3, 5);
+        assert!(wrong.restore(&mut ByteReader::new(&bytes)).is_err());
+
+        let mut tags = TagArrays::new(4, 8);
+        tags.claim(ClusterId(2), Cycle(7));
+        let mut w = ByteWriter::new();
+        tags.save(&mut w);
+        let mut restored = TagArrays::new(4, 8);
+        restored
+            .restore(&mut ByteReader::new(&w.into_bytes()))
+            .unwrap();
+        assert_eq!(restored.busy, tags.busy);
+
+        let mut mem = MemoryChannels::new(2, 16, 260);
+        mem.claim(1, Cycle(0));
+        let mut w = ByteWriter::new();
+        mem.save(&mut w);
+        let mut restored = MemoryChannels::new(2, 16, 260);
+        restored
+            .restore(&mut ByteReader::new(&w.into_bytes()))
+            .unwrap();
+        assert_eq!(restored.ready, mem.ready);
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! address) into the cookie; [`TimedEvent`] is the non-network companion
 //! for fixed-latency steps (tag probes, bank accesses, memory fetches).
 
+use nim_types::codec::{ByteReader, ByteWriter, CodecError};
 use nim_types::{ClusterId, Coord, LineAddr};
 
 use crate::txn::TxnId;
@@ -197,6 +198,116 @@ pub(crate) enum TimedEvent {
     ReplicaInstalled { line: LineAddr, cluster: ClusterId },
 }
 
+impl TimedEvent {
+    /// Serializes the event for a snapshot (mirror of
+    /// [`TimedEvent::restore`]).
+    pub(crate) fn save(&self, w: &mut ByteWriter) {
+        match *self {
+            TimedEvent::ProbeResolved {
+                txn,
+                cluster,
+                queue,
+            } => {
+                w.u8(0);
+                w.u32(txn);
+                w.u16(cluster.0);
+                w.u64(queue);
+            }
+            TimedEvent::VerticalClusterResolved {
+                txn,
+                cluster,
+                layer,
+                queue,
+                fanout,
+            } => {
+                w.u8(1);
+                w.u32(txn);
+                w.u16(cluster.0);
+                w.u8(layer);
+                w.u64(queue);
+                w.u64(fanout);
+            }
+            TimedEvent::BankReadDone { txn, at, queue } => {
+                w.u8(2);
+                w.u32(txn);
+                w.u8(at.x);
+                w.u8(at.y);
+                w.u8(at.layer);
+                w.u64(queue);
+            }
+            TimedEvent::BankWritten { txn, at, queue } => {
+                w.u8(3);
+                w.u32(txn);
+                w.u8(at.x);
+                w.u8(at.y);
+                w.u8(at.layer);
+                w.u64(queue);
+            }
+            TimedEvent::MemoryReady { line, mc } => {
+                w.u8(4);
+                w.u64(line.0);
+                w.u16(mc);
+            }
+            TimedEvent::MemoryFetched { line } => {
+                w.u8(5);
+                w.u64(line.0);
+            }
+            TimedEvent::MigrationDone { line } => {
+                w.u8(6);
+                w.u64(line.0);
+            }
+            TimedEvent::ReplicaInstalled { line, cluster } => {
+                w.u8(7);
+                w.u64(line.0);
+                w.u16(cluster.0);
+            }
+        }
+    }
+
+    /// Reads an event written by [`TimedEvent::save`].
+    pub(crate) fn restore(r: &mut ByteReader<'_>) -> Result<TimedEvent, CodecError> {
+        Ok(match r.u8()? {
+            0 => TimedEvent::ProbeResolved {
+                txn: r.u32()?,
+                cluster: ClusterId(r.u16()?),
+                queue: r.u64()?,
+            },
+            1 => TimedEvent::VerticalClusterResolved {
+                txn: r.u32()?,
+                cluster: ClusterId(r.u16()?),
+                layer: r.u8()?,
+                queue: r.u64()?,
+                fanout: r.u64()?,
+            },
+            2 => TimedEvent::BankReadDone {
+                txn: r.u32()?,
+                at: Coord::new(r.u8()?, r.u8()?, r.u8()?),
+                queue: r.u64()?,
+            },
+            3 => TimedEvent::BankWritten {
+                txn: r.u32()?,
+                at: Coord::new(r.u8()?, r.u8()?, r.u8()?),
+                queue: r.u64()?,
+            },
+            4 => TimedEvent::MemoryReady {
+                line: LineAddr(r.u64()?),
+                mc: r.u16()?,
+            },
+            5 => TimedEvent::MemoryFetched {
+                line: LineAddr(r.u64()?),
+            },
+            6 => TimedEvent::MigrationDone {
+                line: LineAddr(r.u64()?),
+            },
+            7 => TimedEvent::ReplicaInstalled {
+                line: LineAddr(r.u64()?),
+                cluster: ClusterId(r.u16()?),
+            },
+            _ => return Err(CodecError::Corrupt("bad timed event tag")),
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -248,5 +359,55 @@ mod tests {
     #[should_panic(expected = "unknown token kind")]
     fn corrupt_tokens_panic() {
         let _ = Token::decode(63 << 56);
+    }
+
+    #[test]
+    fn timed_events_round_trip_through_the_codec() {
+        let samples = [
+            TimedEvent::ProbeResolved {
+                txn: 9,
+                cluster: ClusterId(3),
+                queue: 4,
+            },
+            TimedEvent::VerticalClusterResolved {
+                txn: 1,
+                cluster: ClusterId(15),
+                layer: 2,
+                queue: 0,
+                fanout: 3,
+            },
+            TimedEvent::BankReadDone {
+                txn: 7,
+                at: Coord::new(3, 1, 2),
+                queue: 11,
+            },
+            TimedEvent::BankWritten {
+                txn: 8,
+                at: Coord::new(0, 0, 0),
+                queue: 0,
+            },
+            TimedEvent::MemoryReady {
+                line: LineAddr(77),
+                mc: 1,
+            },
+            TimedEvent::MemoryFetched { line: LineAddr(78) },
+            TimedEvent::MigrationDone { line: LineAddr(79) },
+            TimedEvent::ReplicaInstalled {
+                line: LineAddr(80),
+                cluster: ClusterId(9),
+            },
+        ];
+        let mut w = nim_types::codec::ByteWriter::new();
+        for e in &samples {
+            e.save(&mut w);
+        }
+        let bytes = w.into_bytes();
+        let mut r = nim_types::codec::ByteReader::new(&bytes);
+        for e in &samples {
+            assert_eq!(TimedEvent::restore(&mut r).unwrap(), *e);
+        }
+        assert_eq!(r.remaining(), 0);
+        let mut r = nim_types::codec::ByteReader::new(&[200u8]);
+        assert!(TimedEvent::restore(&mut r).is_err());
     }
 }

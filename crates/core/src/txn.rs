@@ -21,6 +21,7 @@
 //! [`TxnTable`] also owns the MSHR-style miss-merge bookkeeping: all
 //! concurrent misses on one line share a single memory fetch.
 
+use nim_types::codec::{ByteReader, ByteWriter, Checkpoint, CodecError};
 use nim_types::{AccessKind, Address, ClusterId, CpuId, Cycle, FxHashMap, LineAddr};
 
 /// Transaction identifier (index into the system's live-transaction
@@ -141,6 +142,11 @@ impl TxnTimeline {
     /// The cycle up to which this timeline is attributed.
     pub(crate) fn attributed_to(&self) -> u64 {
         self.last
+    }
+
+    /// Rebuilds a timeline from its serialized parts (snapshot resume).
+    pub(crate) fn from_parts(last: u64, buckets: [u64; Phase::ALL.len()]) -> Self {
+        Self { last, buckets }
     }
 }
 
@@ -371,6 +377,122 @@ impl TxnTable {
     }
 }
 
+fn save_txn(w: &mut ByteWriter, t: &Txn) {
+    w.u16(t.cpu.0);
+    w.u8(match t.kind {
+        AccessKind::Read => 0,
+        AccessKind::Write => 1,
+        AccessKind::IFetch => 2,
+    });
+    w.u64(t.addr.0);
+    w.u64(t.line.0);
+    w.u64(t.issued.0);
+    w.u8(t.step);
+    w.u8(t.retries);
+    match t.state {
+        TxnState::Searching { outstanding } => {
+            w.u8(0);
+            w.u32(outstanding);
+        }
+        TxnState::Serving { cluster } => {
+            w.u8(1);
+            w.u16(cluster.0);
+        }
+        TxnState::MemoryWait => w.u8(2),
+    }
+    w.u64(t.timeline.attributed_to());
+    for b in t.timeline.buckets() {
+        w.u64(b);
+    }
+}
+
+fn restore_txn(r: &mut ByteReader<'_>) -> Result<Txn, CodecError> {
+    let cpu = CpuId(r.u16()?);
+    let kind = match r.u8()? {
+        0 => AccessKind::Read,
+        1 => AccessKind::Write,
+        2 => AccessKind::IFetch,
+        _ => return Err(CodecError::Corrupt("bad access kind tag")),
+    };
+    let addr = Address(r.u64()?);
+    let line = LineAddr(r.u64()?);
+    let issued = Cycle(r.u64()?);
+    let step = r.u8()?;
+    let retries = r.u8()?;
+    let state = match r.u8()? {
+        0 => TxnState::Searching {
+            outstanding: r.u32()?,
+        },
+        1 => TxnState::Serving {
+            cluster: ClusterId(r.u16()?),
+        },
+        2 => TxnState::MemoryWait,
+        _ => return Err(CodecError::Corrupt("bad txn state tag")),
+    };
+    let last = r.u64()?;
+    let mut buckets = [0u64; Phase::ALL.len()];
+    for b in &mut buckets {
+        *b = r.u64()?;
+    }
+    Ok(Txn {
+        cpu,
+        kind,
+        addr,
+        line,
+        issued,
+        step,
+        retries,
+        state,
+        timeline: TxnTimeline::from_parts(last, buckets),
+    })
+}
+
+impl Checkpoint for TxnTable {
+    fn save(&self, w: &mut ByteWriter) {
+        // Hash maps iterate in arbitrary order; key-sort for a canonical
+        // encoding (waiter vectors keep their arrival order verbatim —
+        // fill completion walks them in order).
+        let mut ids: Vec<TxnId> = self.txns.keys().copied().collect();
+        ids.sort_unstable();
+        w.u32(ids.len() as u32);
+        for id in ids {
+            w.u32(id);
+            save_txn(w, &self.txns[&id]);
+        }
+        w.u32(self.next);
+        let mut lines: Vec<LineAddr> = self.pending_fills.keys().copied().collect();
+        lines.sort_unstable_by_key(|l| l.0);
+        w.u32(lines.len() as u32);
+        for line in lines {
+            w.u64(line.0);
+            let waiters = &self.pending_fills[&line];
+            w.u32(waiters.len() as u32);
+            for &id in waiters {
+                w.u32(id);
+            }
+        }
+    }
+
+    fn restore(&mut self, r: &mut ByteReader<'_>) -> Result<(), CodecError> {
+        self.txns.clear();
+        for _ in 0..r.u32()? {
+            let id = r.u32()?;
+            self.txns.insert(id, restore_txn(r)?);
+        }
+        self.next = r.u32()?;
+        self.pending_fills.clear();
+        for _ in 0..r.u32()? {
+            let line = LineAddr(r.u64()?);
+            let mut waiters = Vec::new();
+            for _ in 0..r.u32()? {
+                waiters.push(r.u32()?);
+            }
+            self.pending_fills.insert(line, waiters);
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -475,6 +597,47 @@ mod tests {
         assert_eq!(tl.buckets()[Phase::NocHop as usize], 0);
         assert_eq!(tl.buckets()[Phase::L2Service as usize], 0);
         assert_eq!(tl.total(), 4);
+    }
+
+    #[test]
+    fn txn_table_checkpoint_round_trips() {
+        let mut table = TxnTable::default();
+        let mut searching = txn();
+        searching.begin_step(2, 3);
+        searching.timeline.credit(Phase::NocHop, Cycle(12));
+        let a = table.allocate(searching);
+        let mut serving = txn();
+        serving.serve_from(ClusterId(5));
+        let b = table.allocate(serving);
+        let mut missing = txn();
+        missing.begin_memory_wait();
+        let c = table.allocate(missing);
+        table.enqueue_fill(LineAddr(9), c);
+        table.enqueue_fill(LineAddr(9), a);
+
+        let mut w = ByteWriter::new();
+        table.save(&mut w);
+        let bytes = w.into_bytes();
+        let mut restored = TxnTable::default();
+        let mut r = ByteReader::new(&bytes);
+        restored.restore(&mut r).unwrap();
+        assert_eq!(r.remaining(), 0);
+        assert_eq!(restored.next, table.next);
+        for id in [a, b, c] {
+            let (x, y) = (table.get(id).unwrap(), restored.get(id).unwrap());
+            assert_eq!(x.cpu, y.cpu);
+            assert_eq!(x.kind, y.kind);
+            assert_eq!(x.addr, y.addr);
+            assert_eq!(x.issued, y.issued);
+            assert_eq!((x.step, x.retries), (y.step, y.retries));
+            assert_eq!(x.state, y.state);
+            assert_eq!(x.timeline, y.timeline);
+        }
+        // Waiter order survives (fill completion walks it in order).
+        assert_eq!(restored.take_fill_waiters(LineAddr(9)), vec![c, a]);
+
+        let mut r = ByteReader::new(&bytes[..bytes.len() - 2]);
+        assert!(TxnTable::default().restore(&mut r).is_err());
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! when the buffer is full. IPC falls directly out of this model, which
 //! is how the paper's Figure 15 numbers arise.
 
+use nim_types::codec::{ByteReader, ByteWriter, Checkpoint, CodecError};
 use nim_types::{AccessKind, Address, CpuId, L1Config, LineAddr, TraceOp};
 
 use crate::l1::{L1Cache, L1Stats};
@@ -370,6 +371,102 @@ impl InOrderCore {
     }
 }
 
+fn save_kind(w: &mut ByteWriter, kind: AccessKind) {
+    w.u8(match kind {
+        AccessKind::Read => 0,
+        AccessKind::Write => 1,
+        AccessKind::IFetch => 2,
+    });
+}
+
+fn restore_kind(r: &mut ByteReader<'_>) -> Result<AccessKind, CodecError> {
+    match r.u8()? {
+        0 => Ok(AccessKind::Read),
+        1 => Ok(AccessKind::Write),
+        2 => Ok(AccessKind::IFetch),
+        _ => Err(CodecError::Corrupt("bad access kind")),
+    }
+}
+
+fn save_op(w: &mut ByteWriter, op: TraceOp) {
+    w.u32(op.gap);
+    save_kind(w, op.kind);
+    w.u64(op.addr.0);
+}
+
+fn restore_op(r: &mut ByteReader<'_>) -> Result<TraceOp, CodecError> {
+    Ok(TraceOp {
+        gap: r.u32()?,
+        kind: restore_kind(r)?,
+        addr: Address(r.u64()?),
+    })
+}
+
+impl Checkpoint for InOrderCore {
+    fn save(&self, w: &mut ByteWriter) {
+        w.u64(self.stats.cycles);
+        w.u64(self.stats.instructions);
+        w.u64(self.stats.data_stall_cycles);
+        w.u64(self.stats.store_stall_cycles);
+        w.u64(self.stats.stores_issued);
+        w.u32(self.outstanding_stores);
+        match self.state {
+            State::NeedOp => w.u8(0),
+            State::Gap { left, op } => {
+                w.u8(1);
+                w.u32(left);
+                save_op(w, op);
+            }
+            State::MemReady { op } => {
+                w.u8(2);
+                save_op(w, op);
+            }
+            State::L1Busy { left } => {
+                w.u8(3);
+                w.u32(left);
+            }
+            State::WaitingData { kind } => {
+                w.u8(4);
+                save_kind(w, kind);
+            }
+            State::StoreBlocked { op } => {
+                w.u8(5);
+                save_op(w, op);
+            }
+            State::Halted => w.u8(6),
+        }
+        self.l1d.save(w);
+        self.l1i.save(w);
+    }
+
+    fn restore(&mut self, r: &mut ByteReader<'_>) -> Result<(), CodecError> {
+        self.stats.cycles = r.u64()?;
+        self.stats.instructions = r.u64()?;
+        self.stats.data_stall_cycles = r.u64()?;
+        self.stats.store_stall_cycles = r.u64()?;
+        self.stats.stores_issued = r.u64()?;
+        self.outstanding_stores = r.u32()?;
+        self.state = match r.u8()? {
+            0 => State::NeedOp,
+            1 => State::Gap {
+                left: r.u32()?,
+                op: restore_op(r)?,
+            },
+            2 => State::MemReady { op: restore_op(r)? },
+            3 => State::L1Busy { left: r.u32()? },
+            4 => State::WaitingData {
+                kind: restore_kind(r)?,
+            },
+            5 => State::StoreBlocked { op: restore_op(r)? },
+            6 => State::Halted,
+            _ => return Err(CodecError::Corrupt("bad core state tag")),
+        };
+        self.l1d.restore(r)?;
+        self.l1i.restore(r)?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -564,5 +661,55 @@ mod tests {
     fn unsolicited_data_panics() {
         let mut core = core();
         core.data_returned(Address(0));
+    }
+
+    #[test]
+    fn checkpoint_round_trips_mid_burst() {
+        use nim_types::codec::{ByteReader, ByteWriter, Checkpoint};
+        let mut a = core();
+        let mut ops = vec![
+            op(2, AccessKind::Read, 0x40),
+            op(30, AccessKind::Write, 0x80),
+        ]
+        .into_iter();
+        // Miss, fill, then park mid-gap so the state enum is nontrivial.
+        assert!(matches!(a.tick(&mut || ops.next()), CoreAction::Progress));
+        assert!(matches!(a.tick(&mut || ops.next()), CoreAction::Progress));
+        assert!(matches!(a.tick(&mut || ops.next()), CoreAction::Request(_)));
+        a.data_returned(Address(0x40));
+        a.tick(&mut || ops.next()); // enters the 30-gap
+        let mut w = ByteWriter::new();
+        a.save(&mut w);
+        let bytes = w.into_bytes();
+
+        let mut b = core();
+        let mut r = ByteReader::new(&bytes);
+        b.restore(&mut r).unwrap();
+        assert_eq!(r.remaining(), 0, "all bytes consumed");
+        assert_eq!(b.stats(), a.stats());
+        // Both replicas proceed identically with the same remaining ops.
+        let rest: Vec<TraceOp> = ops.collect();
+        let (mut ia, mut ib) = (rest.clone().into_iter(), rest.into_iter());
+        for _ in 0..100 {
+            assert_eq!(a.tick(&mut || ia.next()), b.tick(&mut || ib.next()));
+        }
+        assert_eq!(a.stats(), b.stats());
+        assert_eq!(a.l1d_stats(), b.l1d_stats());
+    }
+
+    #[test]
+    fn checkpoint_rejects_corrupt_bytes() {
+        use nim_types::codec::{ByteReader, ByteWriter, Checkpoint};
+        let a = core();
+        let mut w = ByteWriter::new();
+        a.save(&mut w);
+        let mut bytes = w.into_bytes();
+        // Poison the state tag (offset: 5×u64 stats + u32 stores).
+        bytes[44] = 0xee;
+        let mut b = core();
+        assert!(b.restore(&mut ByteReader::new(&bytes)).is_err());
+        // Truncation is an error, not a panic.
+        let mut c = core();
+        assert!(c.restore(&mut ByteReader::new(&bytes[..10])).is_err());
     }
 }

@@ -5,6 +5,7 @@
 //! no-write-allocate: every store is forwarded to the L2, and a store
 //! miss does not install the line.
 
+use nim_types::codec::{ByteReader, ByteWriter, Checkpoint, CodecError};
 use nim_types::{Address, L1Config, LineAddr};
 
 /// Hit/miss counters.
@@ -133,6 +134,45 @@ impl L1Cache {
     /// Resident lines.
     pub fn occupancy(&self) -> usize {
         self.sets.iter().map(Vec::len).sum()
+    }
+}
+
+impl Checkpoint for L1Cache {
+    fn save(&self, w: &mut ByteWriter) {
+        w.u64(self.clock);
+        w.u64(self.stats.hits);
+        w.u64(self.stats.misses);
+        w.u32(u32::try_from(self.sets.len()).expect("set count"));
+        for set in &self.sets {
+            w.u32(u32::try_from(set.len()).expect("way count"));
+            for way in set {
+                w.u64(way.line.0);
+                w.u64(way.stamp);
+            }
+        }
+    }
+
+    fn restore(&mut self, r: &mut ByteReader<'_>) -> Result<(), CodecError> {
+        self.clock = r.u64()?;
+        self.stats.hits = r.u64()?;
+        self.stats.misses = r.u64()?;
+        if r.u32()? as usize != self.sets.len() {
+            return Err(CodecError::Corrupt("L1 set count mismatch"));
+        }
+        for set in &mut self.sets {
+            let n = r.u32()? as usize;
+            if n > self.ways {
+                return Err(CodecError::Corrupt("L1 set overflows its ways"));
+            }
+            set.clear();
+            for _ in 0..n {
+                set.push(Way {
+                    line: LineAddr(r.u64()?),
+                    stamp: r.u64()?,
+                });
+            }
+        }
+        Ok(())
     }
 }
 

@@ -46,6 +46,7 @@ mod bus_phase;
 mod injection;
 mod lane;
 mod router_phase;
+mod snapshot;
 mod window;
 
 use std::collections::VecDeque;
@@ -398,7 +399,7 @@ impl Network {
     }
 
     /// The current minimum window length before worker threads spawn —
-    /// [`window::DEFAULT_SPAWN_MIN`] until the runtime calibration or a
+    /// `DEFAULT_SPAWN_MIN` until the runtime calibration or a
     /// [`Network::set_window_tuning`] override replaces it.
     #[inline]
     pub fn window_spawn_min(&self) -> u64 {

@@ -6,6 +6,7 @@
 //! flits (§3.2); control messages (requests, tag probes, acks) are single
 //! head-tail flits.
 
+use nim_types::codec::{ByteReader, ByteWriter, CodecError};
 use nim_types::{Coord, Cycle, PacketId, PillarId};
 
 /// Position of a flit within its packet.
@@ -193,9 +194,14 @@ impl FlitFifo {
         usize::from(self.len)
     }
 
-    #[cfg(test)]
+    #[inline]
     pub(crate) fn capacity(&self) -> usize {
         usize::from(self.cap)
+    }
+
+    /// Iterates the queued flits oldest-first (snapshot save).
+    pub(crate) fn iter<'a>(&'a self, arena: &'a FlitArena) -> impl Iterator<Item = &'a Flit> + 'a {
+        (0..self.len).map(move |i| &arena.slots[self.slot(i)])
     }
 
     #[inline]
@@ -297,6 +303,50 @@ impl Delivered {
     #[inline]
     pub fn latency(&self) -> u64 {
         self.delivered - self.injected
+    }
+
+    /// Serializes this record for a snapshot (mirror of
+    /// [`Delivered::restore`]).
+    pub fn save(&self, w: &mut ByteWriter) {
+        w.u64(self.packet.0);
+        for c in [self.src, self.dst] {
+            w.u8(c.x);
+            w.u8(c.y);
+            w.u8(c.layer);
+        }
+        w.u8(self.class.index() as u8);
+        w.u64(self.token);
+        w.u64(self.injected.0);
+        w.u64(self.delivered.0);
+        w.u16(self.hops);
+        w.u32(self.bus_wait);
+    }
+
+    /// Reads a record written by [`Delivered::save`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CodecError`] on truncated bytes or an unknown
+    /// traffic-class tag.
+    pub fn restore(r: &mut ByteReader<'_>) -> Result<Delivered, CodecError> {
+        let packet = PacketId(r.u64()?);
+        let src = Coord::new(r.u8()?, r.u8()?, r.u8()?);
+        let dst = Coord::new(r.u8()?, r.u8()?, r.u8()?);
+        let class = TrafficClass::ALL
+            .get(usize::from(r.u8()?))
+            .copied()
+            .ok_or(CodecError::Corrupt("bad traffic class tag"))?;
+        Ok(Delivered {
+            packet,
+            src,
+            dst,
+            class,
+            token: r.u64()?,
+            injected: Cycle(r.u64()?),
+            delivered: Cycle(r.u64()?),
+            hops: r.u16()?,
+            bus_wait: r.u32()?,
+        })
     }
 }
 

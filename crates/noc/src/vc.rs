@@ -84,6 +84,35 @@ impl Vc {
     pub(crate) fn len(&self) -> usize {
         self.fifo.len()
     }
+
+    /// The owning packet, if any (snapshot save).
+    #[inline]
+    pub(crate) fn owner(&self) -> Option<PacketId> {
+        self.owner
+    }
+
+    /// The underlying FIFO (snapshot save iterates its flits).
+    #[inline]
+    pub(crate) fn fifo(&self) -> &FlitFifo {
+        &self.fifo
+    }
+
+    /// Pushes a flit without ownership bookkeeping and then pins the
+    /// owner explicitly — the snapshot-restore path, which rebuilds VCs
+    /// that may hold a packet mid-stream (body flits without their head,
+    /// so [`Vc::push`]'s head/continuation invariants do not apply).
+    pub(crate) fn restore_flits(
+        &mut self,
+        arena: &mut FlitArena,
+        flits: &[Flit],
+        owner: Option<PacketId>,
+    ) {
+        debug_assert!(self.fifo.is_empty() && self.owner.is_none());
+        for &f in flits {
+            self.fifo.push_back(arena, f);
+        }
+        self.owner = owner;
+    }
 }
 
 /// One input port: the VCs fed by one upstream link.

@@ -114,6 +114,20 @@ impl CategoryMask {
         CategoryMask(self.0 & !(1 << cat.index()))
     }
 
+    /// The raw bitset, for serialization (bit `i` is
+    /// `Category::ALL[i]`).
+    #[inline]
+    pub const fn bits(self) -> u16 {
+        self.0
+    }
+
+    /// Rebuilds a mask from [`CategoryMask::bits`]. Bits above the
+    /// known categories are dropped.
+    #[inline]
+    pub const fn from_bits(bits: u16) -> CategoryMask {
+        CategoryMask(bits & CategoryMask::ALL.0)
+    }
+
     /// Parses a comma-separated category list (e.g.
     /// `"packet,pillar,search"`). `"all"` enables everything, `"none"`
     /// nothing; a leading `-` subtracts from `all` (e.g. `"-hop"`).

@@ -39,6 +39,11 @@ impl LatencyHistogram {
         &self.buckets
     }
 
+    /// Rebuilds a histogram from raw bucket counts (snapshot restore).
+    pub fn from_buckets(buckets: [u64; 16]) -> Self {
+        Self { buckets }
+    }
+
     /// Total samples recorded.
     pub fn count(&self) -> u64 {
         self.buckets.iter().sum()

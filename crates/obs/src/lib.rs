@@ -322,6 +322,94 @@ impl Obs {
         }
     }
 
+    /// The sampler's column layout and recorded rows, cloned for
+    /// snapshotting (`None` when disabled).
+    pub fn sampler_state(&self) -> Option<(Vec<String>, Vec<SampleRow>)> {
+        self.inner.as_ref().map(|i| {
+            let s = i.sampler.borrow();
+            (s.columns().to_vec(), s.rows().to_vec())
+        })
+    }
+
+    /// Restores the sampler's columns/rows and re-arms the next epoch
+    /// boundary (snapshot resume). A no-op when disabled.
+    pub fn restore_sampler_state(
+        &self,
+        columns: Vec<String>,
+        rows: Vec<SampleRow>,
+        next_sample: u64,
+    ) {
+        if let Some(inner) = &self.inner {
+            inner.sampler.borrow_mut().restore_rows(columns, rows);
+            inner.next_sample.set(next_sample);
+        }
+    }
+
+    /// Every registered metric, name-ordered and cloned for
+    /// snapshotting (`None` when disabled).
+    pub fn metrics_state(&self) -> Option<Vec<(String, Metric)>> {
+        self.with_metrics(|m| {
+            m.iter()
+                .map(|(name, metric)| (name.to_string(), metric.clone()))
+                .collect()
+        })
+    }
+
+    /// Reinserts metrics captured by [`Obs::metrics_state`] (snapshot
+    /// resume). A no-op when disabled.
+    pub fn restore_metrics_state(&self, entries: Vec<(String, Metric)>) {
+        if let Some(inner) = &self.inner {
+            let mut metrics = inner.metrics.borrow_mut();
+            for (name, metric) in entries {
+                metrics.set(name, metric);
+            }
+        }
+    }
+
+    /// The configuration this handle was created with (`None` when
+    /// disabled) — enough for a snapshot to rebuild an equivalent
+    /// handle on resume.
+    pub fn config(&self) -> Option<ObsConfig> {
+        self.inner.as_ref().map(|i| ObsConfig {
+            trace: i.tracing,
+            trace_capacity: i.trace.borrow().capacity(),
+            mask: i.mask,
+            sample_every: i.sample_every,
+            txn_sample: i.txn_sample,
+        })
+    }
+
+    /// The cycle of the most recently recorded sample row (`None` when
+    /// disabled or before the first row).
+    pub fn last_sample_cycle(&self) -> Option<u64> {
+        self.inner
+            .as_ref()
+            .and_then(|i| i.sampler.borrow().rows().last().map(|r| r.cycle))
+    }
+
+    /// Hashes the Chrome-JSON rendering of every buffered event stamped
+    /// at or after `cycle`. Two handles driven by the same binary agree
+    /// on this digest iff their trace suffixes match line-for-line
+    /// (the hasher is std's `DefaultHasher`, so digests are only
+    /// comparable within one build).
+    pub fn trace_digest_from(&self, cycle: u64) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        if let Some(inner) = &self.inner {
+            let trace = inner.trace.borrow();
+            let mut line = String::new();
+            for event in trace.iter() {
+                if event.cycle < cycle {
+                    continue;
+                }
+                line.clear();
+                event.write_chrome_json(&mut line);
+                line.hash(&mut h);
+            }
+        }
+        h.finish()
+    }
+
     /// Simulated cycles per wall-clock second measured by the sampler.
     pub fn cycles_per_sec(&self) -> f64 {
         self.inner

@@ -79,6 +79,11 @@ impl MetricsRegistry {
         self.metrics.insert(name.to_string(), Metric::Histogram(h));
     }
 
+    /// Stores a metric of any kind under `name` (snapshot restore).
+    pub fn set(&mut self, name: String, metric: Metric) {
+        self.metrics.insert(name, metric);
+    }
+
     /// Looks up one metric.
     pub fn get(&self, name: &str) -> Option<&Metric> {
         self.metrics.get(name)

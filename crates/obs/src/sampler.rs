@@ -57,6 +57,16 @@ impl EpochSampler {
         &self.rows
     }
 
+    /// Replaces the column layout and recorded rows wholesale (snapshot
+    /// restore). The wall-clock origin restarts at the restore point, so
+    /// `wall_secs` of rows recorded afterwards measure the resumed
+    /// process — wall-clock fields are never part of bit-identity.
+    pub fn restore_rows(&mut self, columns: Vec<String>, rows: Vec<SampleRow>) {
+        self.columns = columns;
+        self.rows = rows;
+        self.started = Instant::now();
+    }
+
     /// Records one snapshot at `cycle` from `(name, value)` pairs.
     /// Unknown names become new columns.
     pub fn record(&mut self, cycle: u64, pairs: &[(&str, f64)]) {

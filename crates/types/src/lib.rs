@@ -13,6 +13,8 @@
 //! * [`time`] — the [`Cycle`] newtype used for all simulated time.
 //! * [`config`] — [`SystemConfig`], the paper's Table 4 parameters.
 //! * [`hash`] — [`FxHashMap`], the de-SipHashed map for hot-path keys.
+//! * [`codec`] — the versioned binary snapshot codec and [`Checkpoint`]
+//!   seam.
 //!
 //! # Examples
 //!
@@ -28,6 +30,7 @@
 #![warn(missing_docs)]
 
 pub mod addr;
+pub mod codec;
 pub mod config;
 pub mod geom;
 pub mod hash;
@@ -36,6 +39,7 @@ pub mod time;
 pub mod trace;
 
 pub use addr::{Address, LineAddr};
+pub use codec::{ByteReader, ByteWriter, Checkpoint, CodecError};
 pub use config::{ConfigError, L1Config, L2Config, NetworkConfig, PillarPlacement, SystemConfig};
 pub use geom::{Coord, Dir};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
